@@ -1,0 +1,30 @@
+.PHONY: all build test bench examples clean doc export
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/datasheet_check.exe
+	dune exec examples/server_power.exe
+	dune exec examples/design_explorer.exe
+	dune exec examples/future_dram.exe
+	dune exec examples/mobile_standby.exe
+	dune exec examples/dimm_power.exe
+
+export:
+	dune exec bin/vdram.exe -- export --outdir .
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

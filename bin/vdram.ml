@@ -1,0 +1,496 @@
+(* vdram command-line interface. *)
+
+open Cmdliner
+
+module Node = Vdram_tech.Node
+module Config = Vdram_core.Config
+module Pattern = Vdram_core.Pattern
+module Model = Vdram_core.Model
+module Report = Vdram_core.Report
+module Spec = Vdram_core.Spec
+
+(* ----- shared arguments ------------------------------------------- *)
+
+let node_arg =
+  let parse s =
+    match float_of_string_opt (Filename.remove_extension s) with
+    | _ ->
+      (match Vdram_units.Quantity.parse_dim Vdram_units.Quantity.Length s with
+       | Ok metres -> Ok (Node.of_nm (metres *. 1e9))
+       | Error _ ->
+         (match float_of_string_opt s with
+          | Some nm -> Ok (Node.of_nm nm)
+          | None -> Error (`Msg (Printf.sprintf "bad node %S" s))))
+  in
+  let print ppf n = Format.fprintf ppf "%s" (Node.name n) in
+  Arg.conv (parse, print)
+
+let node =
+  Arg.(
+    value
+    & opt node_arg Node.N65
+    & info [ "node" ] ~docv:"NODE"
+        ~doc:"Technology node, e.g. 65nm (nearest roadmap node is used).")
+
+let file =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"DRAM description file (.dram).")
+
+let density_mbits =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "density-mbits" ] ~docv:"MBITS" ~doc:"Device density in Mbit.")
+
+let io_width =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "io-width" ] ~docv:"N" ~doc:"DQ pins (x4/x8/x16).")
+
+let datarate =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "datarate" ] ~docv:"RATE" ~doc:"Per-pin data rate, e.g. 1.6Gbps.")
+
+let pattern_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pattern" ] ~docv:"LOOP"
+        ~doc:"Command loop, e.g. 'act nop wrt nop rd nop pre nop'.")
+
+let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
+
+let load_config ?file ?density_mbits ?io_width ?datarate ~node () =
+  match file with
+  | Some path ->
+    (match Vdram_dsl.Elaborate.load_file path with
+     | Ok { Vdram_dsl.Elaborate.config; pattern } -> Ok (config, pattern)
+     | Error e ->
+       Error (Format.asprintf "%s: %a" path Vdram_dsl.Parser.pp_error e))
+  | None ->
+    let datarate =
+      match datarate with
+      | None -> None
+      | Some s ->
+        (match
+           Vdram_units.Quantity.parse_dim Vdram_units.Quantity.Datarate s
+         with
+         | Ok v -> Some v
+         | Error _ -> None)
+    in
+    let density_bits =
+      Option.map (fun m -> m *. (2.0 ** 20.0)) density_mbits
+    in
+    Ok
+      ( Config.commodity ?density_bits ?io_width ?datarate ~node (),
+        None )
+
+let resolve_pattern config stored arg =
+  match arg with
+  | Some loop ->
+    (match Pattern.parse ~name:"cli pattern" loop with
+     | Ok p -> Ok p
+     | Error e -> Error e)
+  | None ->
+    Ok
+      (match stored with
+       | Some p -> p
+       | None -> Pattern.idd7_mixed config.Config.spec)
+
+(* ----- power ------------------------------------------------------- *)
+
+let power_cmd =
+  let run file node density_mbits io_width datarate pattern =
+    match load_config ?file ?density_mbits ?io_width ?datarate ~node () with
+    | Error e -> fail "%s" e
+    | Ok (config, stored) ->
+      (match resolve_pattern config stored pattern with
+       | Error e -> fail "%s" e
+       | Ok p ->
+         Format.printf "%a@.@." Config.pp config;
+         (match Vdram_core.Validate.check config with
+          | [] -> ()
+          | findings ->
+            List.iter
+              (fun f ->
+                Format.printf "%a@." Vdram_core.Validate.pp_finding f)
+              findings;
+            Format.printf "@.");
+         let spec = config.Config.spec in
+         List.iter
+           (fun pat ->
+             let r = Model.pattern_power config pat in
+             Format.printf "%-12s %10s  %10s@." pat.Pattern.name
+               (Vdram_units.Si.format_eng ~unit_symbol:"W" r.Report.power)
+               (Vdram_units.Si.format_eng ~unit_symbol:"A" r.Report.current))
+           [ Pattern.idle; Pattern.idd0 spec; Pattern.idd4r spec;
+             Pattern.idd4w spec; Pattern.idd7 spec ];
+         Format.printf "@.%a@." Report.pp_full (Model.pattern_power config p);
+         `Ok ())
+  in
+  let doc = "Compute power and currents of a device." in
+  Cmd.v (Cmd.info "power" ~doc)
+    Term.(
+      ret
+        (const run $ file $ node $ density_mbits $ io_width $ datarate
+       $ pattern_arg))
+
+(* ----- verify ------------------------------------------------------ *)
+
+let verify_cmd =
+  let family =
+    Arg.(
+      value
+      & opt (enum [ ("ddr2", `Ddr2); ("ddr3", `Ddr3) ]) `Ddr3
+      & info [ "family" ] ~doc:"Datasheet family: ddr2 (Fig 8) or ddr3 (Fig 9).")
+  in
+  let run family =
+    let rows =
+      match family with
+      | `Ddr2 -> Vdram_datasheets.Compare.fig8 ()
+      | `Ddr3 -> Vdram_datasheets.Compare.fig9 ()
+    in
+    List.iter
+      (fun r -> Format.printf "%a@." Vdram_datasheets.Compare.pp_row r)
+      rows;
+    `Ok ()
+  in
+  let doc = "Compare model currents against vendor datasheets (Figs 8/9)." in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(ret (const run $ family))
+
+(* ----- sensitivity ------------------------------------------------- *)
+
+let sensitivity_cmd =
+  let top =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N" ~doc:"Entries to print.")
+  in
+  let run file node top pattern =
+    match load_config ?file ~node () with
+    | Error e -> fail "%s" e
+    | Ok (config, stored) ->
+      (match resolve_pattern config stored pattern with
+       | Error e -> fail "%s" e
+       | Ok p ->
+         let s = Vdram_analysis.Sensitivity.run ~pattern:p config in
+         Format.printf "%s | %s | nominal %s@." s.Vdram_analysis.Sensitivity.config_name
+           s.Vdram_analysis.Sensitivity.pattern_name
+           (Vdram_units.Si.format_eng ~unit_symbol:"W"
+              s.Vdram_analysis.Sensitivity.nominal_power);
+         List.iteri
+           (fun i e ->
+             if i < top then
+               Format.printf "%2d  %-46s %+7.2f%%@." (i + 1)
+                 e.Vdram_analysis.Sensitivity.lens_name
+                 e.Vdram_analysis.Sensitivity.span_percent)
+           s.Vdram_analysis.Sensitivity.entries;
+         `Ok ())
+  in
+  let doc = "Rank parameters by power impact (Fig 10 / Table III)." in
+  Cmd.v (Cmd.info "sensitivity" ~doc)
+    Term.(ret (const run $ file $ node $ top $ pattern_arg))
+
+(* ----- trends ------------------------------------------------------ *)
+
+let trends_cmd =
+  let run () =
+    List.iter
+      (fun p -> Format.printf "%a@." Vdram_analysis.Trends.pp_point p)
+      (Vdram_analysis.Trends.all ());
+    `Ok ()
+  in
+  let doc = "DRAM roadmap trends (Figs 11-13)." in
+  Cmd.v (Cmd.info "trends" ~doc) Term.(ret (const run $ const ()))
+
+(* ----- schemes ----------------------------------------------------- *)
+
+let schemes_cmd =
+  let run file node =
+    match load_config ?file ~node () with
+    | Error e -> fail "%s" e
+    | Ok (config, _) ->
+      let results = Vdram_schemes.Evaluate.run_all config in
+      Format.printf "baseline: %s@.@.%a@." config.Config.name
+        Vdram_schemes.Evaluate.pp_table results;
+      `Ok ()
+  in
+  let doc = "Evaluate the Section V power-reduction schemes." in
+  Cmd.v (Cmd.info "schemes" ~doc) Term.(ret (const run $ file $ node))
+
+(* ----- simulate ---------------------------------------------------- *)
+
+let simulate_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("uniform", `Uniform); ("stream", `Stream);
+               ("hotspot", `Hotspot) ])
+          `Uniform
+      & info [ "workload" ] ~doc:"Synthetic workload shape.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 10000
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to simulate.")
+  in
+  let gap =
+    Arg.(
+      value & opt int 8
+      & info [ "gap" ] ~docv:"CYCLES" ~doc:"Cycles between arrivals.")
+  in
+  let power_down =
+    Arg.(
+      value & opt (some int) None
+      & info [ "power-down" ] ~docv:"CYCLES"
+          ~doc:"Enter precharge power-down beyond this idle threshold.")
+  in
+  let closed_page =
+    Arg.(value & flag & info [ "closed-page" ] ~doc:"Close rows eagerly.")
+  in
+  let run file node workload requests gap power_down closed_page =
+    match load_config ?file ~node () with
+    | Error e -> fail "%s" e
+    | Ok (config, _) ->
+      let spec = config.Config.spec in
+      let banks = spec.Spec.banks in
+      let rows = 1024 and columns = 128 in
+      let trace =
+        match workload with
+        | `Uniform ->
+          Vdram_sim.Trace.uniform ~rng:(Vdram_sim.Trace.rng 42)
+            ~requests ~arrival_gap:gap ~banks ~rows ~columns
+            ~write_fraction:0.3
+        | `Stream ->
+          Vdram_sim.Trace.streaming ~requests ~arrival_gap:gap ~banks ~rows
+            ~columns ~write_fraction:0.3
+        | `Hotspot ->
+          Vdram_sim.Trace.hotspot ~rng:(Vdram_sim.Trace.rng 42)
+            ~requests ~arrival_gap:gap ~banks ~rows ~columns
+            ~write_fraction:0.3 ~hot_rows:16 ~hot_fraction:0.8
+      in
+      let page_policy =
+        if closed_page then Vdram_sim.Controller.Closed_page
+        else Vdram_sim.Controller.Open_page
+      in
+      let power_down =
+        match power_down with
+        | Some n -> Vdram_sim.Controller.Precharge_power_down n
+        | None -> Vdram_sim.Controller.No_power_down
+      in
+      let run = Vdram_sim.Sim.simulate ~page_policy ~power_down config trace in
+      Format.printf "%a@." Vdram_sim.Sim.pp_run run;
+      `Ok ()
+  in
+  let doc = "Run a workload through the controller + power model." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      ret
+        (const run $ file $ node $ workload $ requests $ gap $ power_down
+       $ closed_page))
+
+(* ----- validate ------------------------------------------------------ *)
+
+let validate_cmd =
+  let run file node =
+    match load_config ?file ~node () with
+    | Error e -> fail "%s" e
+    | Ok (config, _) ->
+      (match Vdram_core.Validate.check config with
+       | [] ->
+         Format.printf "%s: consistent@." config.Config.name;
+         `Ok ()
+       | findings ->
+         List.iter
+           (fun f -> Format.printf "%a@." Vdram_core.Validate.pp_finding f)
+           findings;
+         if Vdram_core.Validate.is_clean config then `Ok ()
+         else fail "%s has errors" config.Config.name)
+  in
+  let doc = "Check a description for semantic consistency." in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(ret (const run $ file $ node))
+
+(* ----- corners ------------------------------------------------------ *)
+
+let corners_cmd =
+  let samples =
+    Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Monte-Carlo samples.")
+  in
+  let spread =
+    Arg.(
+      value & opt float 0.10
+      & info [ "spread" ] ~doc:"Half-width of the parameter band (0.10 = +-10%).")
+  in
+  let run file node samples spread pattern =
+    match load_config ?file ~node () with
+    | Error e -> fail "%s" e
+    | Ok (config, stored) ->
+      (match resolve_pattern config stored pattern with
+       | Error e -> fail "%s" e
+       | Ok p ->
+         let d = Vdram_analysis.Corners.run ~samples ~spread ~pattern:p config in
+         Format.printf "%s | %s@.%a@." config.Config.name p.Pattern.name
+           Vdram_analysis.Corners.pp d;
+         `Ok ())
+  in
+  let doc = "Monte-Carlo parameter spread (the vendor-spread story)." in
+  Cmd.v (Cmd.info "corners" ~doc)
+    Term.(ret (const run $ file $ node $ samples $ spread $ pattern_arg))
+
+(* ----- states ------------------------------------------------------- *)
+
+let states_cmd =
+  let run file node =
+    match load_config ?file ~node () with
+    | Error e -> fail "%s" e
+    | Ok (config, _) ->
+      Format.printf "%s@." config.Config.name;
+      List.iter
+        (fun st ->
+          Format.printf "  %-18s %10s@." (Model.state_name st)
+            (Vdram_units.Si.format_eng ~unit_symbol:"W"
+               (Model.state_power config st)))
+        [ Model.Active_standby; Model.Precharge_standby; Model.Power_down;
+          Model.Self_refresh ];
+      Format.printf "  %-18s %10s@." "Idd5B (burst ref)"
+        (Vdram_units.Si.format_eng ~unit_symbol:"A" (Model.idd5b config));
+      Format.printf "@.peak (windowed) currents:@.";
+      List.iter
+        (fun p -> Format.printf "  %a@." Vdram_core.Peak.pp p)
+        (Vdram_core.Peak.all config);
+      Format.printf "  worst case (tFAW + burst): %6.1f mA@."
+        (Vdram_core.Peak.worst_case config *. 1e3);
+      `Ok ()
+  in
+  let doc = "Standby-state powers and the refresh current." in
+  Cmd.v (Cmd.info "states" ~doc) Term.(ret (const run $ file $ node))
+
+(* ----- ablate ------------------------------------------------------- *)
+
+let ablate_cmd =
+  let which =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("activation", `Activation); ("bitline", `Bitline);
+               ("style", `Style); ("prefetch", `Prefetch);
+               ("wordline", `Wordline) ])
+          `Activation
+      & info [ "sweep" ] ~doc:"Which design choice to sweep.")
+  in
+  let run node which =
+    let pts =
+      match which with
+      | `Activation ->
+        Vdram_analysis.Ablation.page_size ~node
+          ~pages:[ 1024; 2048; 4096; 8192; 16384 ]
+      | `Bitline ->
+        Vdram_analysis.Ablation.bitline_length ~node ~bits:[ 256; 512; 1024 ]
+      | `Style -> Vdram_analysis.Ablation.bitline_style ~node
+      | `Prefetch ->
+        Vdram_analysis.Ablation.prefetch ~node ~prefetches:[ 2; 4; 8; 16; 32 ]
+      | `Wordline ->
+        Vdram_analysis.Ablation.subarray_height ~node ~bits:[ 256; 512; 1024 ]
+    in
+    Format.printf "%a@?" Vdram_analysis.Ablation.pp pts;
+    `Ok ()
+  in
+  let doc = "Sweep one architectural design choice." in
+  Cmd.v (Cmd.info "ablate" ~doc) Term.(ret (const run $ node $ which))
+
+(* ----- export ------------------------------------------------------- *)
+
+let export_cmd =
+  let outdir =
+    Arg.(
+      value & opt string "."
+      & info [ "outdir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run node outdir =
+    let w name contents =
+      let path = Filename.concat outdir name in
+      Vdram_analysis.Csv.write_file path contents;
+      Format.printf "wrote %s@." path
+    in
+    w "trends.csv" (Vdram_analysis.Csv.trends (Vdram_analysis.Trends.all ()));
+    w "fig8_ddr2.csv"
+      (Vdram_analysis.Csv.verification (Vdram_datasheets.Compare.fig8 ()));
+    w "fig9_ddr3.csv"
+      (Vdram_analysis.Csv.verification (Vdram_datasheets.Compare.fig9 ()));
+    w "sensitivity.csv"
+      (Vdram_analysis.Csv.sensitivity
+         (Vdram_analysis.Sensitivity.run
+            (Config.commodity ~node ())));
+    `Ok ()
+  in
+  let doc = "Export figure data as CSV for external plotting." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(ret (const run $ node $ outdir))
+
+(* ----- channel ------------------------------------------------------ *)
+
+let channel_cmd =
+  let utilization =
+    Arg.(
+      value & opt float 0.5
+      & info [ "utilization" ] ~docv:"FRACTION"
+          ~doc:"Channel data-bus utilization (0..1).")
+  in
+  let capacity_gb =
+    Arg.(
+      value & opt float 8.0
+      & info [ "capacity-gb" ] ~docv:"GB" ~doc:"DIMM capacity in GB.")
+  in
+  let run node utilization capacity_gb =
+    let cfg = Config.commodity ~node () in
+    let ch = Vdram_link.Channel.for_config cfg in
+    Format.printf "channel: %a@." Vdram_link.Channel.pp ch;
+    Format.printf "link power at %.0f%%: %s (%.2f pJ/bit)@.@."
+      (utilization *. 100.0)
+      (Vdram_units.Si.format_eng ~unit_symbol:"W"
+         (Vdram_link.Channel.power ch ~utilization))
+      (Vdram_link.Channel.energy_per_bit ch ~utilization *. 1e12);
+    let capacity_bits = capacity_gb *. 8.0 *. (2.0 ** 30.0) in
+    Format.printf "DIMM organizations (%.0f GB, %.0f%% utilization):@."
+      capacity_gb (utilization *. 100.0);
+    List.iter
+      (fun r -> Format.printf "  %a@." Vdram_link.Dimm.pp_result r)
+      (Vdram_link.Dimm.compare_widths ~node ~capacity_bits
+         ~utilization [ 4; 8; 16 ]);
+    `Ok ()
+  in
+  let doc = "Link and DIMM-level power (device + channel)." in
+  Cmd.v (Cmd.info "channel" ~doc)
+    Term.(ret (const run $ node $ utilization $ capacity_gb))
+
+(* ----- dump -------------------------------------------------------- *)
+
+let dump_cmd =
+  let run node density_mbits io_width datarate =
+    match load_config ?density_mbits ?io_width ?datarate ~node () with
+    | Error e -> fail "%s" e
+    | Ok (config, _) ->
+      print_string
+        (Vdram_dsl.Printer.to_dsl ~pattern:Pattern.paper_example config);
+      `Ok ()
+  in
+  let doc = "Emit the description-language source of a roadmap device." in
+  Cmd.v (Cmd.info "dump" ~doc)
+    Term.(ret (const run $ node $ density_mbits $ io_width $ datarate))
+
+let () =
+  let doc = "flexible analytical DRAM power model (Vogelsang, MICRO 2010)" in
+  let info = Cmd.info "vdram" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ power_cmd; verify_cmd; sensitivity_cmd; trends_cmd; schemes_cmd;
+            simulate_cmd; corners_cmd; states_cmd; ablate_cmd; export_cmd;
+            validate_cmd; channel_cmd; dump_cmd ]))

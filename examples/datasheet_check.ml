@@ -1,0 +1,32 @@
+(* Datasheet verification (Figures 8 and 9): compare the model's
+   Idd0 / Idd4R / Idd4W against the vendor spread for 1 Gb DDR2 and
+   DDR3 parts, exactly as the paper validates its model.
+
+   Run with: dune exec examples/datasheet_check.exe *)
+
+module Compare = Vdram_datasheets.Compare
+module Idd = Vdram_datasheets.Idd
+
+let show title rows =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '-');
+  let in_band = ref 0 and total = ref 0 in
+  List.iter
+    (fun (r : Compare.row) ->
+      Format.printf "%a" Compare.pp_row r;
+      List.iter
+        (fun (_, m) ->
+          incr total;
+          if Compare.within_band r.Compare.point m then incr in_band
+          else Format.printf "  <- outside band")
+        r.Compare.model_ma;
+      Format.printf "@.")
+    rows;
+  Format.printf "%d of %d model points inside the vendor band (+-30%%)@."
+    !in_band !total
+
+let () =
+  show "1G DDR2, model at 75nm and 65nm (Figure 8)" (Compare.fig8 ());
+  show "1G DDR3, model at 65nm and 55nm (Figure 9)" (Compare.fig9 ());
+  Format.printf
+    "@.As in the paper, the spread between vendors is large; the model \
+     tracks the dependency on operation, speed grade and IO width.@."

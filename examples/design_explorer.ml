@@ -1,0 +1,47 @@
+(* Design exploration from a description file: load a device written
+   in the input language, find its dominant power knobs and evaluate
+   the Section V power-reduction proposals against it - the workflow
+   the paper's flexible model is built for.
+
+   Run with: dune exec examples/design_explorer.exe *)
+
+module Config = Vdram_core.Config
+module Sensitivity = Vdram_analysis.Sensitivity
+
+let description_file = "examples/ddr3_1gb.dram"
+
+let () =
+  let source =
+    (* Work both from the repo root and from examples/. *)
+    if Sys.file_exists description_file then description_file
+    else Filename.concat ".." description_file
+  in
+  match Vdram_dsl.Elaborate.load_file source with
+  | Error e ->
+    Format.printf "failed to load %s: %a@." source Vdram_dsl.Parser.pp_error e;
+    exit 1
+  | Ok { Vdram_dsl.Elaborate.config; pattern } ->
+    Format.printf "loaded %s@.%a@.@." source Config.pp config;
+
+    (* Where does the power go under the described pattern? *)
+    let p =
+      match pattern with
+      | Some p -> p
+      | None -> Vdram_core.Pattern.idd7_mixed config.Config.spec
+    in
+    Format.printf "%a@.@." Vdram_core.Report.pp
+      (Vdram_core.Model.pattern_power config p);
+
+    (* Which parameters matter (Figure 10)? *)
+    let s = Sensitivity.run ~pattern:p config in
+    Format.printf "top power knobs (+-20%% variation):@.";
+    List.iter
+      (fun e ->
+        Format.printf "  %-46s %+7.2f%%@." e.Sensitivity.lens_name
+          e.Sensitivity.span_percent)
+      (Sensitivity.top 8 s);
+
+    (* What would the published power-reduction proposals buy? *)
+    Format.printf "@.Section V schemes against this device:@.%a@."
+      Vdram_schemes.Evaluate.pp_table
+      (Vdram_schemes.Evaluate.run_all config)

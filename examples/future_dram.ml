@@ -1,0 +1,46 @@
+(* Extrapolation: what the model says about future DRAM generations -
+   the paper's Section IV.C argument that energy scaling is slowing
+   down, and what a designer could do about it.
+
+   Run with: dune exec examples/future_dram.exe *)
+
+module Node = Vdram_tech.Node
+module Trends = Vdram_analysis.Trends
+module Config = Vdram_core.Config
+
+let () =
+  (* The full roadmap, 2000 to 2018. *)
+  Format.printf "the commodity DRAM roadmap:@.";
+  let points = Trends.all () in
+  List.iter (fun p -> Format.printf "  %a@." Trends.pp_point p) points;
+
+  let early =
+    Trends.reduction_factor points (fun n ->
+        Node.index n <= Node.index Node.N44)
+  and late =
+    Trends.reduction_factor points (fun n ->
+        Node.index n >= Node.index Node.N44)
+  in
+  Format.printf
+    "@.energy/bit fell %.2fx per generation through 2010 but only %.2fx \
+     per generation in the forecast: voltage scaling has slowed down \
+     (the paper's Figure 13).@.@."
+    early late;
+
+  (* If shrinking stops helping, architecture must: evaluate the
+     power-reduction schemes on the 16 Gb DDR5 device. *)
+  let future = Vdram_configs.Devices.ddr5_16g in
+  Format.printf "Section V schemes on %s:@.%a@." future.Config.name
+    Vdram_schemes.Evaluate.pp_table
+    (Vdram_schemes.Evaluate.run_all future);
+
+  (* And the sensitivity ranking confirms where to look: wiring and
+     logic, no longer the array. *)
+  let s = Vdram_analysis.Sensitivity.run future in
+  Format.printf "@.its top power knobs:@.";
+  List.iter
+    (fun e ->
+      Format.printf "  %-46s %+7.2f%%@."
+        e.Vdram_analysis.Sensitivity.lens_name
+        e.Vdram_analysis.Sensitivity.span_percent)
+    (Vdram_analysis.Sensitivity.top 8 s)

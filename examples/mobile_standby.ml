@@ -1,0 +1,65 @@
+(* Mobile standby study: the Section II observation that mobile DRAMs
+   share the commodity architecture but optimise everything around
+   standby current, quantified with the model's standby states and the
+   simulator's self-refresh policy.
+
+   Run with: dune exec examples/mobile_standby.exe *)
+
+module Node = Vdram_tech.Node
+module Config = Vdram_core.Config
+module Model = Vdram_core.Model
+module Spec = Vdram_core.Spec
+open Vdram_sim
+
+let () =
+  let node = Node.N55 in
+  let commodity = Vdram_configs.Devices.ddr3_2g in
+  let mobile = Vdram_configs.Variants.mobile ~node () in
+
+  (* Standby states: where mobile parts win. *)
+  Format.printf "%-28s %12s %12s %12s@." "device" "standby" "power-down"
+    "self-refresh";
+  List.iter
+    (fun cfg ->
+      Format.printf "%-28s %9.1f mW %9.1f mW %9.1f mW@." cfg.Config.name
+        (Model.state_power cfg Model.Precharge_standby *. 1e3)
+        (Model.state_power cfg Model.Power_down *. 1e3)
+        (Model.state_power cfg Model.Self_refresh *. 1e3))
+    [ commodity; mobile ];
+
+  (* A phone-like duty cycle: short activity bursts, long sleeps. *)
+  let spec = mobile.Config.spec in
+  let base =
+    Trace.hotspot ~rng:(Trace.rng 99) ~requests:5000 ~arrival_gap:12
+      ~banks:spec.Spec.banks ~rows:2048 ~columns:128 ~write_fraction:0.4
+      ~hot_rows:8 ~hot_fraction:0.7
+  in
+  let trace = Trace.idle_gaps ~rng:(Trace.rng 3) base ~burst:64 ~gap:80000 in
+
+  Format.printf "@.phone-like duty cycle on the mobile part:@.";
+  Format.printf "%-45s %10s %10s@." "policy" "avg power" "latency";
+  List.iter
+    (fun run ->
+      Format.printf "%-45s %7.2f mW %7.1f ns@." run.Sim.policy
+        (run.Sim.energy.Energy_model.average_power *. 1e3)
+        (run.Sim.average_latency *. 1e9))
+    (Sim.compare_policies mobile trace
+       [ (Controller.Open_page, Controller.No_power_down);
+         (Controller.Open_page, Controller.Precharge_power_down 50);
+         (Controller.Open_page, Controller.Self_refresh_power_down (50, 5000))
+       ]);
+
+  (* Temperature matters: retention halves every 10 C, so the
+     self-refresh floor moves with the phone's thermal state. *)
+  Format.printf "@.self-refresh vs temperature (retention model):@.";
+  List.iter
+    (fun (t, p) ->
+      Format.printf "  %3.0f C: tREFI x%.2f -> %6.2f mW@." t
+        p.Vdram_schemes.Refresh_study.interval_scale
+        (p.Vdram_schemes.Refresh_study.self_refresh_power *. 1e3))
+    (Vdram_schemes.Refresh_study.at_temperatures mobile
+       ~celsius:[ 25.0; 45.0; 65.0; 85.0; 95.0 ]);
+
+  Format.printf
+    "@.Self-refresh turns the long gaps into microwatt-class sleep while \
+     the internal refresh keeps the cells alive - the LPDDR recipe.@."

@@ -1,0 +1,37 @@
+(* Quickstart: build a commodity DDR3 device, compute its datasheet
+   currents and see where the power goes.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Config = Vdram_core.Config
+module Pattern = Vdram_core.Pattern
+module Model = Vdram_core.Model
+module Report = Vdram_core.Report
+
+let () =
+  (* A 1 Gb DDR3 x16 in a 65 nm technology, every detail defaulted
+     from the roadmap. *)
+  let cfg =
+    Config.commodity ~node:Vdram_tech.Node.N65
+      ~density_bits:(1024.0 *. (2.0 ** 20.0))
+      ()
+  in
+  Format.printf "%a@.@." Config.pp cfg;
+
+  (* The standard datasheet loops. *)
+  let spec = cfg.Config.spec in
+  List.iter
+    (fun pattern ->
+      let r = Model.pattern_power cfg pattern in
+      Format.printf "%-8s %10s (%s)@." pattern.Pattern.name
+        (Vdram_units.Si.format_eng ~unit_symbol:"W" r.Report.power)
+        (Vdram_units.Si.format_eng ~unit_symbol:"A" r.Report.current))
+    [ Pattern.idle; Pattern.idd0 spec; Pattern.idd4r spec;
+      Pattern.idd4w spec; Pattern.idd7 spec ];
+
+  (* The paper's example loop and a full breakdown of a random-access
+     pattern: this is where the insight lives. *)
+  Format.printf "@.paper example loop: %a@.@." Report.pp
+    (Model.pattern_power cfg Pattern.paper_example);
+  Format.printf "%a@." Report.pp_full
+    (Model.pattern_power cfg (Pattern.idd7_mixed spec))

@@ -1,0 +1,119 @@
+(* Design-choice ablations over the commodity configuration. *)
+
+module Node = Vdram_tech.Node
+module Config = Vdram_core.Config
+module Pattern = Vdram_core.Pattern
+module Model = Vdram_core.Model
+module Operation = Vdram_core.Operation
+module Report = Vdram_core.Report
+module Floorplan = Vdram_floorplan.Floorplan
+module Array_geometry = Vdram_floorplan.Array_geometry
+
+type point = {
+  label : string;
+  power : float;
+  energy_per_bit : float;
+  activate_energy : float;
+  die_area : float;
+  array_efficiency : float;
+}
+
+let measure ~label cfg =
+  let r = Model.pattern_power cfg (Pattern.idd7_mixed cfg.Config.spec) in
+  {
+    label;
+    power = r.Report.power;
+    energy_per_bit = Option.value ~default:0.0 r.Report.energy_per_bit;
+    activate_energy = Operation.energy cfg Operation.Activate;
+    die_area = Floorplan.die_area cfg.Config.floorplan;
+    array_efficiency = Floorplan.array_efficiency cfg.Config.floorplan;
+  }
+
+let build ~node f = f (fun ?page_bits ?bits_per_bitline ?bits_per_lwl
+                           ?style ?prefetch () ->
+    Config.commodity ?page_bits ?bits_per_bitline ?bits_per_lwl ?style
+      ?prefetch ~node ())
+
+let page_size ~node ~pages =
+  build ~node (fun make ->
+      let cfg = make () in
+      let full = Config.page_bits cfg in
+      List.map
+        (fun page ->
+          let page = min page full in
+          measure
+            ~label:
+              (Printf.sprintf "%d-bit activation (%d B)" page (page / 8))
+            (Config.with_activation_fraction cfg
+               (float_of_int page /. float_of_int full)))
+        pages)
+
+let bitline_length ~node ~bits =
+  build ~node (fun make ->
+      List.map
+        (fun n ->
+          (* Shorter bitlines carry proportionally less capacitance. *)
+          let cfg = make ~bits_per_bitline:n () in
+          let t = cfg.Config.tech in
+          let scale =
+            float_of_int n
+            /. float_of_int
+                 (Vdram_tech.Roadmap.generation node)
+                   .Vdram_tech.Roadmap.bits_per_bitline
+          in
+          let cfg =
+            Config.with_tech cfg
+              {
+                t with
+                Vdram_tech.Params.c_bitline =
+                  t.Vdram_tech.Params.c_bitline *. scale;
+              }
+          in
+          measure ~label:(Printf.sprintf "%d cells per bitline" n) cfg)
+        bits)
+
+let bitline_style ~node =
+  build ~node (fun make ->
+      [
+        measure ~label:"open bitline (6F2-style)"
+          (make ~style:Array_geometry.Open ());
+        measure ~label:"folded bitline (8F2-style)"
+          (make ~style:Array_geometry.Folded ());
+      ])
+
+let prefetch ~node ~prefetches =
+  build ~node (fun make ->
+      List.map
+        (fun n ->
+          measure
+            ~label:
+              (Printf.sprintf "prefetch %dn (core %s)" n
+                 (Vdram_units.Si.format_eng ~unit_symbol:"Hz"
+                    ((Vdram_tech.Roadmap.generation node)
+                       .Vdram_tech.Roadmap.datarate
+                    /. float_of_int n)))
+            (make ~prefetch:n ()))
+        prefetches)
+
+let subarray_height ~node ~bits =
+  build ~node (fun make ->
+      List.map
+        (fun n ->
+          measure
+            ~label:(Printf.sprintf "%d cells per local wordline" n)
+            (make ~bits_per_lwl:n ()))
+        bits)
+
+let pp_point ppf p =
+  Format.fprintf ppf
+    "%-32s %8.1f mW %8.1f pJ/bit  act %6.0f pJ  die %5.1f mm^2 (eff %4.1f%%)"
+    p.label (p.power *. 1e3)
+    (p.energy_per_bit *. 1e12)
+    (p.activate_energy *. 1e12)
+    (p.die_area *. 1e6)
+    (100.0 *. p.array_efficiency)
+
+let pp ppf points =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun p -> Format.fprintf ppf "%a@," pp_point p) points;
+  Format.fprintf ppf "@]"

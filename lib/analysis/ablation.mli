@@ -1,0 +1,44 @@
+(** Ablations of the design choices the commodity architecture fixes —
+    the trade-offs Section II discusses qualitatively, quantified with
+    the model.  Every ablation reports power together with its area
+    cost, because "the main trade-off when deciding on DRAM
+    architecture is cost". *)
+
+type point = {
+  label : string;
+  power : float;             (** W, Idd7-like mixed pattern *)
+  energy_per_bit : float;    (** J/bit, same pattern *)
+  activate_energy : float;   (** J per activate *)
+  die_area : float;          (** m^2 *)
+  array_efficiency : float;  (** cell area / die area *)
+}
+
+val page_size :
+  node:Vdram_tech.Node.t -> pages:int list -> point list
+(** Activation granularity: how many bits of the (structural) page a
+    row command actually opens.  Smaller activations save row energy
+    on random access; motivates the Section V activation schemes. *)
+
+val bitline_length :
+  node:Vdram_tech.Node.t -> bits:int list -> point list
+(** Cells per bitline: shorter bitlines swing less capacitance but
+    multiply sense-amplifier stripes — energy versus area, the
+    fundamental array trade-off. *)
+
+val bitline_style : node:Vdram_tech.Node.t -> point list
+(** Folded (8F2-style) versus open (6F2-style) bitline architecture
+    at the same node. *)
+
+val prefetch :
+  node:Vdram_tech.Node.t -> prefetches:int list -> point list
+(** Serialization ratio at a fixed pin rate: higher prefetch lowers
+    the core frequency (the commodity low-cost choice) but widens the
+    internal datapath. *)
+
+val subarray_height :
+  node:Vdram_tech.Node.t -> bits:int list -> point list
+(** Cells per local wordline: wordline-direction segmentation, the
+    dual of {!bitline_length} (costs local wordline driver stripes). *)
+
+val pp_point : Format.formatter -> point -> unit
+val pp : Format.formatter -> point list -> unit

@@ -1,0 +1,91 @@
+(* Monte-Carlo process/vendor spread over the parameter lenses. *)
+
+module Config = Vdram_core.Config
+module Pattern = Vdram_core.Pattern
+module Model = Vdram_core.Model
+
+type distribution = {
+  samples : int;
+  spread : float;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  p05 : float;
+  p95 : float;
+}
+
+(* The same deterministic LCG the simulator uses. *)
+type rng = { mutable state : int64 }
+
+let next r =
+  r.state <-
+    Int64.add (Int64.mul r.state 6364136223846793005L) 1442695040888963407L;
+  Int64.to_int (Int64.shift_right_logical r.state 17)
+
+let next_float r = float_of_int (next r mod 1_000_000) /. 1_000_000.0
+
+(* Lenses that represent physical vendor-to-vendor variation: the
+   technology parameters, the internal voltages and efficiencies, and
+   the logic aggregates.  The external supply is a specification, not
+   a corner. *)
+let corner_lenses =
+  List.filter
+    (fun l -> l.Lenses.name <> "external voltage Vdd")
+    (Lenses.technology @ Lenses.voltages @ Lenses.logic)
+
+let run ?(samples = 200) ?(spread = 0.10) ?(seed = 1) ?pattern cfg =
+  let pattern =
+    match pattern with
+    | Some p -> p
+    | None -> Pattern.idd4r cfg.Config.spec
+  in
+  let rng = { state = Int64.of_int (max 1 seed) } in
+  let sample () =
+    let perturbed =
+      List.fold_left
+        (fun acc lens ->
+          let f = 1.0 +. (spread *. ((2.0 *. next_float rng) -. 1.0)) in
+          (* Efficiencies must stay within (0, 1]. *)
+          let f =
+            if
+              String.length lens.Lenses.name >= 10
+              && String.sub lens.Lenses.name 0 10 = "generator "
+            then Float.min f (1.0 /. Float.max 1e-9 (lens.Lenses.get acc))
+            else f
+          in
+          Lenses.scale lens f acc)
+        cfg corner_lenses
+    in
+    Model.idd perturbed pattern
+  in
+  let values = List.init samples (fun _ -> sample ()) in
+  let sorted = List.sort Float.compare values in
+  let n = float_of_int samples in
+  let mean = List.fold_left ( +. ) 0.0 values /. n in
+  let var =
+    List.fold_left (fun a v -> a +. ((v -. mean) ** 2.0)) 0.0 values /. n
+  in
+  let nth q =
+    List.nth sorted
+      (min (samples - 1) (int_of_float (q *. float_of_int (samples - 1))))
+  in
+  {
+    samples;
+    spread;
+    mean;
+    std = sqrt var;
+    min = List.hd sorted;
+    max = List.nth sorted (samples - 1);
+    p05 = nth 0.05;
+    p95 = nth 0.95;
+  }
+
+let covers d value = value >= d.min && value <= d.max
+
+let pp ppf d =
+  Format.fprintf ppf
+    "%d samples, +-%.0f%% parameter spread: mean %.1f mA, std %.1f, \
+     [%.1f .. %.1f] mA (p05 %.1f, p95 %.1f)"
+    d.samples (d.spread *. 100.0) (d.mean *. 1e3) (d.std *. 1e3)
+    (d.min *. 1e3) (d.max *. 1e3) (d.p05 *. 1e3) (d.p95 *. 1e3)

@@ -1,0 +1,84 @@
+(* CSV emitters. *)
+
+module Node = Vdram_tech.Node
+module Idd = Vdram_datasheets.Idd
+module Compare = Vdram_datasheets.Compare
+
+let buffer_csv header rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (String.concat "," header);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b (String.concat "," row);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let f = Printf.sprintf "%.6g"
+
+let trends points =
+  buffer_csv
+    [ "node_nm"; "year"; "standard"; "vdd_v"; "vint_v"; "vbl_v"; "vpp_v";
+      "datarate_mbps"; "core_mhz"; "trc_ns"; "die_mm2"; "density_mbit";
+      "energy_per_bit_idd4_pj"; "energy_per_bit_idd7_pj" ]
+    (List.map
+       (fun (p : Trends.point) ->
+         [ f (Node.feature_nm p.Trends.node);
+           string_of_int p.Trends.year;
+           Node.standard_name p.Trends.standard;
+           f p.Trends.vdd; f p.Trends.vint; f p.Trends.vbl; f p.Trends.vpp;
+           f (p.Trends.datarate /. 1e6);
+           f (p.Trends.core_frequency /. 1e6);
+           f (p.Trends.trc *. 1e9);
+           f (p.Trends.die_area *. 1e6);
+           f (p.Trends.density_bits /. (2.0 ** 20.0));
+           f (p.Trends.energy_per_bit_idd4 *. 1e12);
+           f (p.Trends.energy_per_bit_idd7 *. 1e12) ])
+       points)
+
+let sensitivity (s : Sensitivity.t) =
+  buffer_csv
+    [ "parameter"; "power_minus_w"; "power_plus_w"; "span_percent" ]
+    (List.map
+       (fun (e : Sensitivity.entry) ->
+         [ "\"" ^ e.Sensitivity.lens_name ^ "\"";
+           f e.Sensitivity.power_minus; f e.Sensitivity.power_plus;
+           f e.Sensitivity.span_percent ])
+       s.Sensitivity.entries)
+
+let verification rows =
+  let node_headers =
+    match rows with
+    | [] -> []
+    | r :: _ -> List.map (fun (n, _) -> "model_" ^ n ^ "_ma") r.Compare.model_ma
+  in
+  buffer_csv
+    ([ "point"; "vendor_min_ma"; "vendor_mean_ma"; "vendor_max_ma" ]
+    @ node_headers)
+    (List.map
+       (fun (r : Compare.row) ->
+         [ "\"" ^ Idd.label r.Compare.point ^ "\"";
+           f (Idd.min_ma r.Compare.point);
+           f (Idd.mean_ma r.Compare.point);
+           f (Idd.max_ma r.Compare.point) ]
+         @ List.map (fun (_, m) -> f m) r.Compare.model_ma)
+       rows)
+
+let ablation points =
+  buffer_csv
+    [ "label"; "power_w"; "energy_per_bit_pj"; "activate_energy_pj";
+      "die_mm2"; "array_efficiency" ]
+    (List.map
+       (fun (p : Ablation.point) ->
+         [ "\"" ^ p.Ablation.label ^ "\"";
+           f p.Ablation.power;
+           f (p.Ablation.energy_per_bit *. 1e12);
+           f (p.Ablation.activate_energy *. 1e12);
+           f (p.Ablation.die_area *. 1e6);
+           f p.Ablation.array_efficiency ])
+       points)
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc contents)

@@ -1,0 +1,19 @@
+(** CSV emitters for the paper's figure data, for external plotting. *)
+
+val trends : Trends.point list -> string
+(** Figures 11–13 as one table: node, year, standard, voltages, data
+    rate, timings, die area, density, energy per bit. *)
+
+val sensitivity : Sensitivity.t -> string
+(** Figure 10 tornado: lens name, power at −20 %, at +20 %, span %. *)
+
+val verification : Vdram_datasheets.Compare.row list -> string
+(** Figures 8/9: point label, vendor min/mean/max, model value per
+    node. *)
+
+val ablation : Ablation.point list -> string
+(** One ablation sweep: label, power, energy/bit, activate energy,
+    die area, array efficiency. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

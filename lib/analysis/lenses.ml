@@ -1,0 +1,134 @@
+(* Parameter lenses over Config.t. *)
+
+module Config = Vdram_core.Config
+module Params = Vdram_tech.Params
+module Domains = Vdram_circuits.Domains
+module Logic_block = Vdram_circuits.Logic_block
+
+type t = {
+  name : string;
+  get : Config.t -> float;
+  set : Config.t -> float -> Config.t;
+}
+
+let scale lens f cfg = lens.set cfg (lens.get cfg *. f)
+
+let technology =
+  List.map
+    (fun (name, get, set) ->
+      {
+        name;
+        get = (fun cfg -> get cfg.Config.tech);
+        set = (fun cfg v -> Config.with_tech cfg (set cfg.Config.tech v));
+      })
+    Params.fields
+
+let with_domains f cfg v =
+  Config.with_domains cfg (f cfg.Config.domains v)
+
+let voltages =
+  [
+    {
+      name = "external voltage Vdd";
+      get = (fun c -> c.Config.domains.Domains.vdd);
+      set = with_domains (fun d v -> { d with Domains.vdd = v });
+    };
+    {
+      name = "internal voltage Vint";
+      get = (fun c -> c.Config.domains.Domains.vint);
+      set = with_domains (fun d v -> { d with Domains.vint = v });
+    };
+    {
+      name = "bitline voltage";
+      get = (fun c -> c.Config.domains.Domains.vbl);
+      set = with_domains (fun d v -> { d with Domains.vbl = v });
+    };
+    {
+      name = "wordline voltage Vpp";
+      get = (fun c -> c.Config.domains.Domains.vpp);
+      set = with_domains (fun d v -> { d with Domains.vpp = v });
+    };
+    {
+      name = "generator efficiency Vint";
+      get = (fun c -> c.Config.domains.Domains.eff_int);
+      set = with_domains (fun d v -> { d with Domains.eff_int = v });
+    };
+    {
+      name = "generator efficiency bitline voltage";
+      get = (fun c -> c.Config.domains.Domains.eff_bl);
+      set = with_domains (fun d v -> { d with Domains.eff_bl = v });
+    };
+    {
+      name = "generator efficiency wordline voltage";
+      get = (fun c -> c.Config.domains.Domains.eff_pp);
+      set = with_domains (fun d v -> { d with Domains.eff_pp = v });
+    };
+    {
+      name = "constant current adder";
+      get = (fun c -> c.Config.domains.Domains.i_constant);
+      set = with_domains (fun d v -> { d with Domains.i_constant = v });
+    };
+  ]
+
+(* Aggregate logic lenses scale every block; get returns the scale
+   relative to the current configuration (1.0). *)
+let logic_aggregate name update =
+  {
+    name;
+    get = (fun _ -> 1.0);
+    set = (fun cfg f -> Config.map_logic cfg (update f));
+  }
+
+let logic =
+  [
+    logic_aggregate "number of logic gates" (fun f b ->
+        { b with Logic_block.gates = b.Logic_block.gates *. f });
+    logic_aggregate "width NFET logic" (fun f b ->
+        { b with Logic_block.w_nmos = b.Logic_block.w_nmos *. f });
+    logic_aggregate "width PFET logic" (fun f b ->
+        { b with Logic_block.w_pmos = b.Logic_block.w_pmos *. f });
+    logic_aggregate "logic device density" (fun f b ->
+        {
+          b with
+          Logic_block.layout_density = b.Logic_block.layout_density /. f;
+        });
+    logic_aggregate "logic wiring density" (fun f b ->
+        {
+          b with
+          Logic_block.wiring_density = b.Logic_block.wiring_density *. f;
+        });
+    logic_aggregate "transistors per logic gate" (fun f b ->
+        {
+          b with
+          Logic_block.transistors_per_gate =
+            b.Logic_block.transistors_per_gate *. f;
+        });
+  ]
+
+let interface =
+  [
+    {
+      name = "DQ pre-driver load";
+      get = (fun c -> c.Config.io_predriver_cap);
+      set = (fun c v -> { c with Config.io_predriver_cap = v });
+    };
+    {
+      name = "DQ receiver load";
+      get = (fun c -> c.Config.io_receiver_cap);
+      set = (fun c v -> { c with Config.io_receiver_cap = v });
+    };
+    {
+      name = "data toggle rate";
+      get = (fun c -> c.Config.data_toggle);
+      set = (fun c v -> Config.with_data_toggle c v);
+    };
+    {
+      name = "input receiver bias";
+      get = (fun c -> c.Config.receiver_bias);
+      set = (fun c v -> { c with Config.receiver_bias = v });
+    };
+  ]
+
+let all = voltages @ technology @ logic @ interface
+
+let find name = List.find_opt (fun l -> l.name = name) all

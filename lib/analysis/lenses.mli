@@ -1,0 +1,40 @@
+(** Named getter/setter pairs over a configuration, the handles the
+    sensitivity analysis perturbs.
+
+    Lens granularity follows the paper: every technology parameter of
+    Table I individually, the internal voltages and generator
+    efficiencies, the constant current adder, the miscellaneous-logic
+    aggregates (gate count, device widths, densities) and the
+    interface loads. *)
+
+type t = {
+  name : string;
+  get : Vdram_core.Config.t -> float;
+  set : Vdram_core.Config.t -> float -> Vdram_core.Config.t;
+}
+
+val scale : t -> float -> Vdram_core.Config.t -> Vdram_core.Config.t
+(** [scale lens f cfg] multiplies the lens value by [f]. *)
+
+val technology : t list
+(** The 38 float technology parameters. *)
+
+val voltages : t list
+(** Vdd, Vint, Vbl, Vpp, the three generator efficiencies and the
+    constant current adder.  Varying a voltage keeps its generator
+    efficiency fixed, as in the paper. *)
+
+val logic : t list
+(** Aggregates over all miscellaneous logic blocks: number of gates,
+    NFET width, PFET width, device (layout) density, wiring density,
+    transistors per gate. *)
+
+val interface : t list
+(** DQ pre-driver and receiver load, data toggle rate, receiver
+    bias. *)
+
+val all : t list
+(** Everything above, the Figure 10 parameter set. *)
+
+val find : string -> t option
+(** Lens by name. *)

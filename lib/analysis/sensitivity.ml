@@ -1,0 +1,67 @@
+(* Parameter sensitivity: vary each lens +-20%, rank by power span. *)
+
+module Config = Vdram_core.Config
+module Pattern = Vdram_core.Pattern
+module Model = Vdram_core.Model
+
+type entry = {
+  lens_name : string;
+  power_minus : float;
+  power_plus : float;
+  span_percent : float;
+}
+
+type t = {
+  config_name : string;
+  pattern_name : string;
+  nominal_power : float;
+  variation : float;
+  entries : entry list;
+}
+
+let default_lenses =
+  List.filter (fun l -> l.Lenses.name <> "external voltage Vdd") Lenses.all
+
+let run ?(variation = 0.20) ?(lenses = default_lenses) ?pattern cfg =
+  let pattern =
+    match pattern with
+    | Some p -> p
+    | None -> Pattern.idd7_mixed cfg.Config.spec
+  in
+  let power c = (Model.pattern_power c pattern).Vdram_core.Report.power in
+  let nominal = power cfg in
+  let entries =
+    List.map
+      (fun lens ->
+        let power_plus = power (Lenses.scale lens (1.0 +. variation) cfg) in
+        let power_minus = power (Lenses.scale lens (1.0 -. variation) cfg) in
+        {
+          lens_name = lens.Lenses.name;
+          power_minus;
+          power_plus;
+          span_percent = (power_plus -. power_minus) /. nominal *. 100.0;
+        })
+      lenses
+    |> List.sort (fun a b ->
+           Float.compare (Float.abs b.span_percent) (Float.abs a.span_percent))
+  in
+  {
+    config_name = cfg.Config.name;
+    pattern_name = pattern.Pattern.name;
+    nominal_power = nominal;
+    variation;
+    entries;
+  }
+
+let top n t = List.filteri (fun i _ -> i < n) t.entries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s | %s | nominal %s | +-%.0f%%@," t.config_name
+    t.pattern_name
+    (Vdram_units.Si.format_eng ~unit_symbol:"W" t.nominal_power)
+    (t.variation *. 100.0);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %-46s %+6.2f%%@," e.lens_name e.span_percent)
+    t.entries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Power-consumption Pareto (Figure 10) and top-N parameter ranking
+    (Table III).
+
+    Each parameter is varied by ±20 % (paper default) around its
+    nominal value and the resulting change of pattern power is
+    recorded.  A variation span of 40 % would mean power is directly
+    proportional to the parameter (only true of the external supply
+    voltage, which is therefore excluded from the ranked chart, as in
+    the paper). *)
+
+type entry = {
+  lens_name : string;
+  power_minus : float;  (** W at [1 - variation] *)
+  power_plus : float;   (** W at [1 + variation] *)
+  span_percent : float;
+      (** [(power_plus - power_minus) / nominal * 100] *)
+}
+
+type t = {
+  config_name : string;
+  pattern_name : string;
+  nominal_power : float;
+  variation : float;
+  entries : entry list;  (** sorted by decreasing |span| *)
+}
+
+val run :
+  ?variation:float ->
+  ?lenses:Lenses.t list ->
+  ?pattern:Vdram_core.Pattern.t ->
+  Vdram_core.Config.t ->
+  t
+(** Defaults: 20 % variation, all lenses except the external supply
+    voltage, and the paper's Idd7-like pattern with half the reads
+    replaced by writes. *)
+
+val top : int -> t -> entry list
+
+val pp : Format.formatter -> t -> unit
+(** The tornado listing, largest span first. *)

@@ -1,0 +1,59 @@
+(* One-parameter sweeps. *)
+
+module Config = Vdram_core.Config
+module Pattern = Vdram_core.Pattern
+module Model = Vdram_core.Model
+module Report = Vdram_core.Report
+
+type sample = {
+  value : float;
+  power : float;
+  current : float;
+  energy_per_bit : float option;
+}
+
+type t = {
+  lens_name : string;
+  config_name : string;
+  pattern_name : string;
+  samples : sample list;
+}
+
+let run ~lens ~values ?pattern cfg =
+  let pattern =
+    match pattern with
+    | Some p -> p
+    | None -> Pattern.idd7_mixed cfg.Config.spec
+  in
+  let samples =
+    List.map
+      (fun value ->
+        let r = Model.pattern_power (lens.Lenses.set cfg value) pattern in
+        {
+          value;
+          power = r.Report.power;
+          current = r.Report.current;
+          energy_per_bit = r.Report.energy_per_bit;
+        })
+      values
+  in
+  {
+    lens_name = lens.Lenses.name;
+    config_name = cfg.Config.name;
+    pattern_name = pattern.Pattern.name;
+    samples;
+  }
+
+let run_relative ~lens ~factors ?pattern cfg =
+  let nominal = lens.Lenses.get cfg in
+  run ~lens ~values:(List.map (fun f -> f *. nominal) factors) ?pattern cfg
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s sweep on %s (%s)@," t.lens_name t.config_name
+    t.pattern_name;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %12.5g -> %s@," s.value
+        (Vdram_units.Si.format_eng ~unit_symbol:"W" s.power))
+    t.samples;
+  Format.fprintf ppf "@]"

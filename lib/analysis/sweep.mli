@@ -1,0 +1,34 @@
+(** Generic one-parameter sweeps of pattern power. *)
+
+type sample = {
+  value : float;      (** the swept parameter value *)
+  power : float;      (** W *)
+  current : float;    (** A *)
+  energy_per_bit : float option;
+}
+
+type t = {
+  lens_name : string;
+  config_name : string;
+  pattern_name : string;
+  samples : sample list;
+}
+
+val run :
+  lens:Lenses.t ->
+  values:float list ->
+  ?pattern:Vdram_core.Pattern.t ->
+  Vdram_core.Config.t ->
+  t
+(** Evaluate the pattern at each absolute lens value.  The default
+    pattern is the Idd7-like mixed loop. *)
+
+val run_relative :
+  lens:Lenses.t ->
+  factors:float list ->
+  ?pattern:Vdram_core.Pattern.t ->
+  Vdram_core.Config.t ->
+  t
+(** Sweep multiplicative factors of the nominal value. *)
+
+val pp : Format.formatter -> t -> unit

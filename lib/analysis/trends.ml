@@ -1,0 +1,95 @@
+(* Generation trends: voltages, timings, die area, energy per bit. *)
+
+module Node = Vdram_tech.Node
+module Roadmap = Vdram_tech.Roadmap
+module Config = Vdram_core.Config
+module Pattern = Vdram_core.Pattern
+module Model = Vdram_core.Model
+module Spec = Vdram_core.Spec
+module Floorplan = Vdram_floorplan.Floorplan
+module Domains = Vdram_circuits.Domains
+
+type point = {
+  node : Node.t;
+  year : int;
+  standard : Node.standard;
+  vdd : float;
+  vint : float;
+  vbl : float;
+  vpp : float;
+  datarate : float;
+  core_frequency : float;
+  trc : float;
+  trcd : float;
+  die_area : float;
+  density_bits : float;
+  energy_per_bit_idd4 : float;
+  energy_per_bit_idd7 : float;
+}
+
+let point node =
+  let cfg = Vdram_configs.Generations.at node in
+  let spec = cfg.Config.spec in
+  let d = cfg.Config.domains in
+  let epb pattern =
+    match Model.energy_per_bit cfg pattern with
+    | Some e -> e
+    | None -> assert false
+  in
+  {
+    node;
+    year = Node.year node;
+    standard = Node.standard node;
+    vdd = d.Domains.vdd;
+    vint = d.Domains.vint;
+    vbl = d.Domains.vbl;
+    vpp = d.Domains.vpp;
+    datarate = spec.Spec.datarate;
+    core_frequency = Spec.core_clock spec;
+    trc = spec.Spec.trc;
+    trcd = spec.Spec.trcd;
+    die_area = Floorplan.die_area cfg.Config.floorplan;
+    density_bits = spec.Spec.density_bits;
+    energy_per_bit_idd4 = epb (Pattern.idd4r spec);
+    energy_per_bit_idd7 = epb (Pattern.idd7_mixed spec);
+  }
+
+let all () = List.map point Node.all
+
+let category_shares () =
+  List.map
+    (fun node ->
+      let cfg = Vdram_configs.Generations.at node in
+      let r =
+        Model.pattern_power cfg (Pattern.idd7_mixed cfg.Config.spec)
+      in
+      let shares =
+        List.map
+          (fun (c, w) -> (c, w /. r.Vdram_core.Report.power))
+          (Vdram_core.Report.by_category r)
+      in
+      (node, shares))
+    Node.all
+
+let reduction_factor points select =
+  let selected = List.filter (fun p -> select p.node) points in
+  match selected with
+  | [] | [ _ ] -> 1.0
+  | first :: _ ->
+    let last = List.nth selected (List.length selected - 1) in
+    let generations = List.length selected - 1 in
+    (first.energy_per_bit_idd7 /. last.energy_per_bit_idd7)
+    ** (1.0 /. float_of_int generations)
+
+let pp_point ppf p =
+  Format.fprintf ppf
+    "%-5s %d %-4s Vdd %.2f Vint %.2f Vbl %.2f Vpp %.2f | %4.0f Mbps core \
+     %3.0f MHz tRC %2.0f ns | die %4.1f mm^2 %5.0f Mb | %7.1f pJ/bit idd4 \
+     %7.1f pJ/bit idd7"
+    (Node.name p.node) p.year
+    (Node.standard_name p.standard)
+    p.vdd p.vint p.vbl p.vpp (p.datarate /. 1e6)
+    (p.core_frequency /. 1e6) (p.trc *. 1e9) (p.die_area *. 1e6)
+    (p.density_bits /. (2.0 ** 20.0))
+    (p.energy_per_bit_idd4 *. 1e12)
+    (p.energy_per_bit_idd7 *. 1e12)

@@ -1,0 +1,46 @@
+(** DRAM power trends over the technology roadmap (Section IV.C,
+    Figures 11, 12 and 13). *)
+
+type point = {
+  node : Vdram_tech.Node.t;
+  year : int;
+  standard : Vdram_tech.Node.standard;
+  (* Figure 11. *)
+  vdd : float;
+  vint : float;
+  vbl : float;
+  vpp : float;
+  (* Figure 12. *)
+  datarate : float;
+  core_frequency : float;
+  trc : float;
+  trcd : float;
+  (* Figure 13. *)
+  die_area : float;         (** m^2, from the detailed floorplan *)
+  density_bits : float;
+  energy_per_bit_idd4 : float;
+      (** J/bit with the row already open (gapless reads) *)
+  energy_per_bit_idd7 : float;
+      (** J/bit with interleaved activate/read/write (random access) *)
+}
+
+val point : Vdram_tech.Node.t -> point
+
+val all : unit -> point list
+(** All fourteen generations. *)
+
+val category_shares :
+  unit -> (Vdram_tech.Node.t * (Vdram_core.Report.category * float) list) list
+(** Power share per {!Vdram_core.Report.category} for every
+    generation under the Idd7-like pattern — the Section VI
+    observation that "the share of power usage is shifting away from
+    the DRAM specific cell array circuitry to general logic outside
+    of the cell array", as numbers. *)
+
+val reduction_factor : point list -> (Vdram_tech.Node.t -> bool) -> float
+(** Average per-generation energy-per-bit (Idd7 pattern) reduction
+    factor over the selected consecutive nodes: the paper reports
+    ~1.5x per generation for 170→44 nm and ~1.2x for the forecast
+    44→16 nm. *)
+
+val pp_point : Format.formatter -> point -> unit

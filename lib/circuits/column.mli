@@ -1,0 +1,41 @@
+(** Column-path charge model: column select lines, local and master
+    array data lines and the secondary sense-amplifiers
+    (Section II / Figure 1 right side).
+
+    One column access moves [bits] = IO width x prefetch bits between
+    the sense-amplifiers and the center stripe: [bits / bits_per_csl]
+    column select lines fire, each accessed bit transfers over a local
+    data line pair and a differential master array data line pair. *)
+
+val csl_capacitance :
+  Vdram_tech.Params.t ->
+  geometry:Vdram_floorplan.Array_geometry.t ->
+  float
+(** One column select line: M3 wire over its span plus the bit-switch
+    gates it drives in every sense-amplifier stripe it crosses. *)
+
+val madl_pair_capacitance :
+  Vdram_tech.Params.t ->
+  geometry:Vdram_floorplan.Array_geometry.t ->
+  float
+(** One differential master array data line pair including secondary
+    sense-amplifier loads. *)
+
+val local_dq_pair_capacitance :
+  Vdram_tech.Params.t ->
+  geometry:Vdram_floorplan.Array_geometry.t ->
+  float
+(** One local data line pair inside a sense-amplifier stripe. *)
+
+val access :
+  Vdram_tech.Params.t ->
+  Domains.t ->
+  geometry:Vdram_floorplan.Array_geometry.t ->
+  bits:int ->
+  write:bool ->
+  Contribution.t list
+(** Energy of one column access (read or write) of [bits] bits:
+    column decode, CSL events, local data lines, master array data
+    lines and secondary sense-amplifiers.  Writes drive the data lines
+    from the center stripe instead of sensing them — same loads, so
+    the same events, plus stronger write-driver loads. *)

@@ -1,0 +1,35 @@
+(* Labelled per-operation energy contributions. *)
+
+type t = {
+  label : string;
+  domain : Domains.domain;
+  energy : float;
+}
+
+let v ~label ~domain ~energy = { label; domain; energy }
+
+let event ~cap ~voltage = 0.5 *. cap *. voltage *. voltage
+
+let events ~count ~cap ~voltage = count *. event ~cap ~voltage
+
+let scale f t = { t with energy = t.energy *. f }
+
+let total_at_vdd domains contributions =
+  List.fold_left
+    (fun acc c -> acc +. Domains.at_vdd domains c.domain c.energy)
+    0.0 contributions
+
+let by_label contributions =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl c.label) in
+      Hashtbl.replace tbl c.label (prev +. c.energy))
+    contributions;
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) items
+
+let pp ppf t =
+  Format.fprintf ppf "%s [%s]: %s" t.label
+    (Domains.domain_name t.domain)
+    (Vdram_units.Si.format_eng ~unit_symbol:"J" t.energy)

@@ -1,0 +1,32 @@
+(** A named energy contribution of one operation.
+
+    Every charging or discharging of capacitance [C] across voltage
+    [V] dissipates [1/2 C V^2] (paper eq. 1); a contribution is a
+    labelled bundle of such events, expressed as joules dissipated in
+    one voltage domain each time the owning operation executes. *)
+
+type t = {
+  label : string;           (** breakdown group, e.g. ["bitline sensing"] *)
+  domain : Domains.domain;  (** where the energy is dissipated *)
+  energy : float;           (** joules per operation occurrence *)
+}
+
+val v : label:string -> domain:Domains.domain -> energy:float -> t
+
+val event : cap:float -> voltage:float -> float
+(** [1/2 C V^2] of one charge or discharge event. *)
+
+val events : count:float -> cap:float -> voltage:float -> float
+(** [count] events of [1/2 C V^2]. *)
+
+val scale : float -> t -> t
+(** Multiply the energy of a contribution. *)
+
+val total_at_vdd : Domains.t -> t list -> float
+(** Total energy drawn from the external supply, accounting for
+    generator efficiencies. *)
+
+val by_label : t list -> (string * float) list
+(** Internal energy summed per label, descending. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Bitline sense-amplifier charge model (Figure 2).
+
+    A typical stripe has 11 transistors per bitline pair: the NMOS and
+    PMOS sense pairs, three equalize devices, the bit switches and —
+    for folded architectures — the bitline multiplexers.  During
+    activate the amplifier senses the half-Vbl bitline swing and
+    restores the cell; equalize control toggles in the Vpp domain;
+    the actual bitline precharge to midlevel is adiabatic (shorting
+    true and complement) and costs nothing. *)
+
+val transistors_per_pair : Vdram_floorplan.Array_geometry.t -> int
+(** 11 for folded (with bitline multiplexers), 9 for open. *)
+
+val activate :
+  Vdram_tech.Params.t ->
+  Domains.t ->
+  geometry:Vdram_floorplan.Array_geometry.t ->
+  page_bits:int ->
+  Contribution.t list
+(** Energy of one activate command: bitline sensing, cell restore,
+    sense-device loads, set-line and equalize control. *)
+
+val precharge :
+  Vdram_tech.Params.t ->
+  Domains.t ->
+  geometry:Vdram_floorplan.Array_geometry.t ->
+  page_bits:int ->
+  Contribution.t list
+(** Energy of one precharge command: equalize control re-assertion
+    and set-line release (the midlevel equalize itself is free). *)
+
+val write_back :
+  Vdram_tech.Params.t ->
+  Domains.t ->
+  bits:int ->
+  toggle:float ->
+  Contribution.t list
+(** Energy of overwriting sensed bitlines during a write: [bits]
+    accessed bitlines of which a [toggle] share flips rail-to-rail. *)

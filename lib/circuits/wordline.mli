@@ -1,0 +1,38 @@
+(** Row-path charge model: master wordline decode, local wordline
+    drivers (Figure 3, 3 transistors per local wordline) and the
+    wordlines themselves.  All wordline swings are in the boosted Vpp
+    domain; the pre-decode stage runs at Vint. *)
+
+val mwl_capacitance :
+  Vdram_tech.Params.t ->
+  geometry:Vdram_floorplan.Array_geometry.t ->
+  float
+(** Total capacitance of one master wordline: wire plus the gate loads
+    of the local wordline drivers hanging off it and the decoder
+    junctions. *)
+
+val lwl_capacitance :
+  Vdram_tech.Params.t ->
+  geometry:Vdram_floorplan.Array_geometry.t ->
+  float
+(** Total capacitance of one local wordline: poly wire, the gates of
+    the cells on it, the coupling share of crossing bitlines and the
+    restore-device junction. *)
+
+val activate :
+  Vdram_tech.Params.t ->
+  Domains.t ->
+  geometry:Vdram_floorplan.Array_geometry.t ->
+  page_bits:int ->
+  Contribution.t list
+(** Energy of the row path for one activate: pre-decode and master
+    wordline decode, master wordline rise, wordline-controller select
+    lines, and the rise of every local wordline of the page. *)
+
+val precharge :
+  Vdram_tech.Params.t ->
+  Domains.t ->
+  geometry:Vdram_floorplan.Array_geometry.t ->
+  page_bits:int ->
+  Contribution.t list
+(** The matching discharge events when the row closes. *)

@@ -1,0 +1,48 @@
+(* Named device configurations. *)
+
+module Node = Vdram_tech.Node
+module Config = Vdram_core.Config
+
+let mb n = n *. (2.0 ** 20.0)
+
+let page_for_width io_width =
+  (* Commodity parts: x16 uses a 2 KB page, x4/x8 a 1 KB page. *)
+  if io_width >= 16 then 16384 else 8192
+
+let sdr_128m =
+  Config.commodity ~name:"128M SDR x16 170nm" ~node:Node.N170
+    ~density_bits:(mb 128.0) ()
+
+let ddr_256m =
+  Config.commodity ~name:"256M DDR x16 110nm" ~node:Node.N110
+    ~density_bits:(mb 256.0) ()
+
+let ddr2_1g ?(io_width = 16) ?(datarate = 800e6) ~node () =
+  Config.commodity
+    ~name:
+      (Printf.sprintf "1G DDR2 x%d-%.0f %s" io_width (datarate /. 1e6)
+         (Node.name node))
+    ~standard:Node.Ddr2 ~node ~density_bits:(mb 1024.0) ~io_width ~datarate
+    ~page_bits:(page_for_width io_width) ~banks:8 ()
+
+let ddr3_1g ?(io_width = 16) ?(datarate = 1066e6) ~node () =
+  Config.commodity
+    ~name:
+      (Printf.sprintf "1G DDR3 x%d-%.0f %s" io_width (datarate /. 1e6)
+         (Node.name node))
+    ~standard:Node.Ddr3 ~node ~density_bits:(mb 1024.0) ~io_width ~datarate
+    ~page_bits:(page_for_width io_width) ~banks:8 ()
+
+let ddr3_2g =
+  Config.commodity ~name:"2G DDR3 x16 55nm" ~node:Node.N55
+    ~density_bits:(mb 2048.0) ()
+
+let ddr4_4g =
+  Config.commodity ~name:"4G DDR4 x16 31nm" ~node:Node.N31
+    ~density_bits:(mb 4096.0) ()
+
+let ddr5_16g =
+  Config.commodity ~name:"16G DDR5 x16 18nm" ~node:Node.N18
+    ~density_bits:(mb 16384.0) ()
+
+let table3_devices = [ sdr_128m; ddr3_2g; ddr5_16g ]

@@ -1,0 +1,5 @@
+(* Roadmap generations as configurations. *)
+
+let at node = Vdram_core.Config.commodity ~node ()
+
+let all = List.map at Vdram_tech.Node.all

@@ -1,0 +1,8 @@
+(** One commodity configuration per roadmap generation, for the trend
+    studies of Section IV.C (Figures 11–13). *)
+
+val all : Vdram_core.Config.t list
+(** Fourteen generations, 170 nm SDR to 16 nm DDR5, built with the
+    roadmap defaults. *)
+
+val at : Vdram_tech.Node.t -> Vdram_core.Config.t

@@ -1,0 +1,80 @@
+(* Mobile and high-performance architecture variants. *)
+
+module Node = Vdram_tech.Node
+module Config = Vdram_core.Config
+module Model = Vdram_core.Model
+module Bus = Vdram_circuits.Bus
+module Logic_block = Vdram_circuits.Logic_block
+module Roadmap = Vdram_tech.Roadmap
+
+let graphics ?density_bits ~node () =
+  let g = Roadmap.generation node in
+  let density_bits =
+    Option.value ~default:g.Roadmap.density_bits density_bits
+  in
+  let cfg =
+    Config.commodity
+      ~name:(Printf.sprintf "GDDR-style x32 (%s)" (Node.name node))
+      ~density_bits ~io_width:32
+      ~datarate:(4.0 *. g.Roadmap.datarate)
+      ~banks:(g.Roadmap.banks * 2)
+      ~node ()
+  in
+  (* Stronger output stage for the very high pin rate. *)
+  {
+    cfg with
+    Config.io_predriver_cap = cfg.Config.io_predriver_cap *. 1.6;
+    io_receiver_cap = cfg.Config.io_receiver_cap *. 1.4;
+  }
+
+let mobile ?density_bits ~node () =
+  let g = Roadmap.generation node in
+  let density_bits =
+    Option.value ~default:g.Roadmap.density_bits density_bits
+  in
+  let cfg =
+    Config.commodity
+      ~name:(Printf.sprintf "LPDDR-style x16 (%s)" (Node.name node))
+      ~density_bits
+      ~datarate:(g.Roadmap.datarate /. 2.0)
+      ~node ()
+  in
+  (* Edge pads: data travels from the center stripe to the die edge
+     (Section II), lengthening the data buses. *)
+  let edge_run =
+    Vdram_floorplan.Floorplan.die_height cfg.Config.floorplan /. 2.0
+  in
+  let cfg =
+    Config.map_buses cfg (fun bus ->
+        match bus.Bus.role with
+        | Bus.Write_data | Bus.Read_data ->
+          {
+            bus with
+            Bus.segments =
+              bus.Bus.segments
+              @ [ Bus.segment ~name:"edge pad run" ~length:edge_run () ];
+          }
+        | _ -> bus)
+  in
+  (* Standby optimisation: unterminated inputs, no DLL, tiny constant
+     sinks. *)
+  let logic =
+    List.filter
+      (fun b -> b.Logic_block.name <> "DLL / clock synchronisation")
+      cfg.Config.logic
+  in
+  let d = cfg.Config.domains in
+  {
+    cfg with
+    Config.logic;
+    receiver_bias = 0.02e-3;
+    domains = { d with Vdram_circuits.Domains.i_constant = 1.5e-3 };
+  }
+
+let standby_comparison configs =
+  List.map
+    (fun cfg ->
+      ( cfg.Config.name,
+        Model.state_power cfg Model.Precharge_standby,
+        Model.state_power cfg Model.Self_refresh ))
+    configs

@@ -1,0 +1,31 @@
+(** Non-commodity DRAM architectures (Section II of the paper).
+
+    "Different architectures have been proposed over the years to
+    optimize a DRAM for other applications than main memory.  These
+    optimizations always yield a higher cost per bit."  Two of them
+    are modelled here as variations of the commodity configuration:
+
+    - High-performance (GDDR-style): much more partitioned array (more
+      banks, shorter column select lines), wide interface at very high
+      per-pin rates, strong interface drivers.
+    - Mobile (LPDDR-style): commodity-like array, edge pads (longer
+      on-die data routing), and standby optimised to the bone — weak
+      unterminated receivers, no DLL, small constant sinks. *)
+
+val graphics :
+  ?density_bits:float -> node:Vdram_tech.Node.t -> unit ->
+  Vdram_core.Config.t
+(** GDDR5-style device at a node: x32, ~4x the commodity per-pin rate,
+    16 banks of half-height array blocks, stronger pre-drivers. *)
+
+val mobile :
+  ?density_bits:float -> node:Vdram_tech.Node.t -> unit ->
+  Vdram_core.Config.t
+(** LPDDR2-style device: commodity array, half-rate interface, no DLL,
+    near-zero receiver bias and constant sink, edge-pad routing. *)
+
+val standby_comparison :
+  Vdram_core.Config.t list ->
+  (string * float * float) list
+(** [(name, precharge-standby W, self-refresh W)] per device — the
+    optimisation target that separates mobile from commodity parts. *)

@@ -1,0 +1,179 @@
+(* Power calculation: operations x rates + background. *)
+
+module C = Vdram_circuits.Contribution
+module Domains = Vdram_circuits.Domains
+
+let receiver_bias_power (cfg : Config.t) =
+  let d = cfg.Config.domains in
+  float_of_int cfg.Config.input_receivers
+  *. cfg.Config.receiver_bias *. d.Domains.vdd
+
+let background_power (cfg : Config.t) =
+  let spec = cfg.Config.spec in
+  let nop = Operation.energy cfg Operation.Nop in
+  let d = cfg.Config.domains in
+  (nop *. spec.Spec.control_clock)
+  +. (d.Domains.i_constant *. d.Domains.vdd)
+  +. receiver_bias_power cfg
+
+type state =
+  | Active_standby
+  | Precharge_standby
+  | Power_down
+  | Self_refresh
+
+let state_name = function
+  | Active_standby -> "active standby"
+  | Precharge_standby -> "precharge standby"
+  | Power_down -> "power-down"
+  | Self_refresh -> "self refresh"
+
+let refresh_power (cfg : Config.t) =
+  let spec = cfg.Config.spec in
+  let rows_per_bank =
+    spec.Spec.density_bits
+    /. float_of_int (spec.Spec.banks * Config.page_bits cfg)
+  in
+  let rows_per_refresh =
+    Float.max 1.0 (rows_per_bank /. 8192.0) *. float_of_int spec.Spec.banks
+  in
+  let trefi = 7.8e-6 in
+  rows_per_refresh
+  *. (Operation.energy cfg Operation.Activate
+     +. Operation.energy cfg Operation.Precharge)
+  /. trefi
+
+let powerdown_power (cfg : Config.t) =
+  let d = cfg.Config.domains in
+  (d.Domains.i_constant *. d.Domains.vdd) +. (0.25 *. background_power cfg)
+
+let idd5b (cfg : Config.t) =
+  let spec = cfg.Config.spec in
+  let rows_per_bank =
+    spec.Spec.density_bits
+    /. float_of_int (spec.Spec.banks * Config.page_bits cfg)
+  in
+  let rows_per_refresh =
+    Float.max 1.0 (rows_per_bank /. 8192.0) *. float_of_int spec.Spec.banks
+  in
+  let gbit = spec.Spec.density_bits /. (2.0 ** 30.0) in
+  let trfc =
+    if gbit <= 1.0 then 110e-9
+    else if gbit <= 2.0 then 160e-9
+    else if gbit <= 4.0 then 260e-9
+    else 350e-9
+  in
+  let power =
+    background_power cfg
+    +. rows_per_refresh
+       *. (Operation.energy cfg Operation.Activate
+          +. Operation.energy cfg Operation.Precharge)
+       /. trfc
+  in
+  power /. cfg.Config.domains.Domains.vdd
+
+let state_power cfg = function
+  | Active_standby | Precharge_standby -> background_power cfg
+  | Power_down -> powerdown_power cfg
+  | Self_refresh -> powerdown_power cfg +. refresh_power cfg
+
+let op_counts pattern =
+  List.filter_map
+    (fun kind ->
+      let count =
+        match kind with
+        | Operation.Activate -> Pattern.count pattern Pattern.Act
+        | Operation.Precharge -> Pattern.count pattern Pattern.Pre
+        | Operation.Read -> Pattern.count pattern Pattern.Rd
+        | Operation.Write -> Pattern.count pattern Pattern.Wr
+        | Operation.Nop -> 0
+      in
+      if count > 0 then Some (kind, count) else None)
+    Operation.all
+
+let pattern_power (cfg : Config.t) pattern =
+  let spec = cfg.Config.spec in
+  let d = cfg.Config.domains in
+  let loop_time =
+    float_of_int (Pattern.cycles pattern) /. spec.Spec.control_clock
+  in
+  let counts = op_counts pattern in
+  let background = background_power cfg in
+  let op_power =
+    List.fold_left
+      (fun acc (kind, count) ->
+        acc +. (float_of_int count *. Operation.energy cfg kind /. loop_time))
+      0.0 counts
+  in
+  let power = background +. op_power in
+  (* Breakdown: per-label energies at Vdd times their rates, plus the
+     background groups at the clock rate. *)
+  let tbl = Hashtbl.create 32 in
+  let add label w =
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl label) in
+    Hashtbl.replace tbl label (prev +. w)
+  in
+  let add_contributions rate contributions =
+    List.iter
+      (fun (c : C.t) ->
+        add c.C.label (rate *. Domains.at_vdd d c.C.domain c.C.energy))
+      contributions
+  in
+  List.iter
+    (fun (kind, count) ->
+      add_contributions
+        (float_of_int count /. loop_time)
+        (Operation.contributions cfg kind))
+    counts;
+  add_contributions spec.Spec.control_clock
+    (Operation.contributions cfg Operation.Nop);
+  add "constant current sink" (d.Domains.i_constant *. d.Domains.vdd);
+  add "input receiver bias" (receiver_bias_power cfg);
+  let breakdown =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  in
+  let data_commands =
+    Pattern.count pattern Pattern.Rd + Pattern.count pattern Pattern.Wr
+  in
+  let bits_per_loop =
+    float_of_int (data_commands * Spec.bits_per_column_command spec)
+  in
+  let energy_per_bit =
+    if bits_per_loop > 0.0 then Some (power *. loop_time /. bits_per_loop)
+    else None
+  in
+  {
+    Report.config_name = cfg.Config.name;
+    pattern_name = pattern.Pattern.name;
+    power;
+    current = power /. d.Domains.vdd;
+    background_power = background;
+    loop_time;
+    bits_per_loop;
+    energy_per_bit;
+    op_rates =
+      List.map
+        (fun (k, c) -> (k, float_of_int c /. loop_time))
+        counts;
+    breakdown;
+  }
+
+let idd cfg pattern = (pattern_power cfg pattern).Report.current
+
+let operation_power (cfg : Config.t) kind =
+  let spec = cfg.Config.spec in
+  match kind with
+  | Operation.Nop -> background_power cfg
+  | Operation.Activate | Operation.Precharge ->
+    let rate = 1.0 /. spec.Spec.trc in
+    background_power cfg +. (Operation.energy cfg kind *. rate)
+  | Operation.Read | Operation.Write ->
+    let rate =
+      spec.Spec.control_clock
+      /. float_of_int (Spec.clocks_per_column_command spec)
+    in
+    background_power cfg +. (Operation.energy cfg kind *. rate)
+
+let energy_per_bit cfg pattern =
+  (pattern_power cfg pattern).Report.energy_per_bit

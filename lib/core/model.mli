@@ -1,0 +1,51 @@
+(** The Figure 4 pipeline: from a device description and an operating
+    pattern to currents, power and breakdown. *)
+
+val background_power : Config.t -> float
+(** Power burned in every cycle: clock distribution, always-on logic
+    and the constant current sink — the no-operation floor. *)
+
+type state =
+  | Active_standby     (** banks open, clock running (Idd3N view) *)
+  | Precharge_standby  (** all banks closed, clock running (Idd2N) *)
+  | Power_down         (** clock stopped, DLL holding (Idd2P-style) *)
+  | Self_refresh       (** power-down plus internal refresh (Idd6) *)
+
+val state_name : state -> string
+
+val state_power : Config.t -> state -> float
+(** Device power in a standby state.  The model is capacitive-only
+    (no leakage, as in the paper), so active and precharge standby
+    coincide; power-down retains the constant sinks plus a residual
+    quarter of the clocked background; self-refresh adds the internal
+    refresh row cycling. *)
+
+val refresh_power : Config.t -> float
+(** Average power of distributed refresh: every tREFI (7.8 us) the
+    device row-cycles [rows_per_bank / 8192] rows in every bank. *)
+
+val powerdown_power : Config.t -> float
+(** [state_power cfg Power_down]. *)
+
+val idd5b : Config.t -> float
+(** Burst-refresh current (datasheet Idd5B view): refresh commands
+    back-to-back at tRFC, i.e. the device row-cycles
+    [rows_per_bank / 8192] rows in all banks every tRFC, amperes. *)
+
+val pattern_power : Config.t -> Pattern.t -> Report.t
+(** Average power of a continuously repeating command loop:
+    [background + sum over commands (count * energy / loop time)].
+    Command energies include their bursts; the pattern is responsible
+    for legal command spacing (the canned {!Pattern} loops are). *)
+
+val idd : Config.t -> Pattern.t -> float
+(** Supply current of a pattern, amperes. *)
+
+val operation_power : Config.t -> Operation.kind -> float
+(** Power when the operation repeats back-to-back at its natural rate:
+    row operations at tRC, column operations at the gapless burst
+    rate, [Nop] at the background floor.  Matches the datasheet view
+    of Idd0 / Idd4 style figures. *)
+
+val energy_per_bit : Config.t -> Pattern.t -> float option
+(** Energy per transported data bit of a pattern, J/bit. *)

@@ -1,0 +1,135 @@
+(* Per-operation charge determination. *)
+
+module C = Vdram_circuits.Contribution
+module Bus = Vdram_circuits.Bus
+module Logic_block = Vdram_circuits.Logic_block
+module Sense_amp = Vdram_circuits.Sense_amp
+module Wordline = Vdram_circuits.Wordline
+module Column = Vdram_circuits.Column
+
+type kind = Activate | Precharge | Read | Write | Nop
+
+let all = [ Activate; Precharge; Read; Write; Nop ]
+
+let name = function
+  | Activate -> "activate"
+  | Precharge -> "precharge"
+  | Read -> "read"
+  | Write -> "write"
+  | Nop -> "nop"
+
+let to_trigger_op = function
+  | Activate -> Some `Activate
+  | Precharge -> Some `Precharge
+  | Read -> Some `Read
+  | Write -> Some `Write
+  | Nop -> None
+
+(* Logic blocks that evaluate for this operation occurrence. *)
+let logic_contributions (cfg : Config.t) kind =
+  let p = cfg.Config.tech and d = cfg.Config.domains in
+  let matches (b : Logic_block.t) =
+    match (b.Logic_block.trigger, kind) with
+    | Logic_block.Always, Nop -> true
+    | Logic_block.Always, _ -> false
+    | Logic_block.On_operation ops, k ->
+      (match to_trigger_op k with
+       | Some op -> List.mem op ops
+       | None -> false)
+  in
+  List.filter_map
+    (fun b ->
+      if matches b then
+        Some
+          (C.v ~label:("logic: " ^ b.Logic_block.name)
+             ~domain:Vdram_circuits.Domains.Vint
+             ~energy:(Logic_block.energy_per_fire p d b))
+      else None)
+    cfg.Config.logic
+
+let bus_event (cfg : Config.t) role label =
+  let p = cfg.Config.tech and d = cfg.Config.domains in
+  match Config.bus cfg role with
+  | None -> []
+  | Some b ->
+    [ C.v ~label ~domain:Vdram_circuits.Domains.Vint
+        ~energy:(Bus.energy_per_event p d b) ]
+
+let data_transfer (cfg : Config.t) role label ~bits =
+  let p = cfg.Config.tech and d = cfg.Config.domains in
+  match Config.bus cfg role with
+  | None -> []
+  | Some b ->
+    (* Internal data buses are precharged dual-rail: one event per
+       transported bit independent of the data pattern. *)
+    let per_bit = Bus.energy_per_bit p d b in
+    [ C.v ~label ~domain:Vdram_circuits.Domains.Vint
+        ~energy:(float_of_int bits *. per_bit) ]
+
+(* Internal interface load per transported bit: output pre-drivers and
+   level shifters for reads, receivers / latches / strobe distribution
+   for writes.  The Vddq output stage itself is excluded, as in the
+   paper. *)
+let dq_interface (cfg : Config.t) ~bits ~write =
+  let d = cfg.Config.domains in
+  let cap =
+    if write then cfg.Config.io_receiver_cap else cfg.Config.io_predriver_cap
+  in
+  let label = if write then "DQ receivers" else "DQ pre-drivers" in
+  [
+    C.v ~label ~domain:Vdram_circuits.Domains.Vdd
+      ~energy:
+        (cfg.Config.data_toggle
+        *. C.events ~count:(float_of_int bits) ~cap
+             ~voltage:d.Vdram_circuits.Domains.vdd);
+  ]
+
+let contributions (cfg : Config.t) kind =
+  let p = cfg.Config.tech and d = cfg.Config.domains in
+  let g = Config.geometry cfg in
+  let page = Config.activated_bits cfg in
+  let bits = Spec.bits_per_column_command cfg.Config.spec in
+  let logic = logic_contributions cfg kind in
+  match kind with
+  | Activate ->
+    Wordline.activate p d ~geometry:g ~page_bits:page
+    @ Sense_amp.activate p d ~geometry:g ~page_bits:page
+    @ bus_event cfg Bus.Row_address "row address bus"
+    @ bus_event cfg Bus.Bank_address "bank address bus"
+    @ bus_event cfg Bus.Command "command bus"
+    @ logic
+  | Precharge ->
+    Wordline.precharge p d ~geometry:g ~page_bits:page
+    @ Sense_amp.precharge p d ~geometry:g ~page_bits:page
+    @ bus_event cfg Bus.Bank_address "bank address bus"
+    @ bus_event cfg Bus.Command "command bus"
+    @ logic
+  | Read ->
+    Column.access p d ~geometry:g ~bits ~write:false
+    @ data_transfer cfg Bus.Read_data "read data bus" ~bits
+    @ dq_interface cfg ~bits ~write:false
+    @ bus_event cfg Bus.Column_address "column address bus"
+    @ bus_event cfg Bus.Bank_address "bank address bus"
+    @ bus_event cfg Bus.Command "command bus"
+    @ logic
+  | Write ->
+    Column.access p d ~geometry:g ~bits ~write:true
+    @ Sense_amp.write_back p d ~bits ~toggle:cfg.Config.data_toggle
+    @ data_transfer cfg Bus.Write_data "write data bus" ~bits
+    @ dq_interface cfg ~bits ~write:true
+    @ bus_event cfg Bus.Column_address "column address bus"
+    @ bus_event cfg Bus.Bank_address "bank address bus"
+    @ bus_event cfg Bus.Command "command bus"
+    @ logic
+  | Nop ->
+    (* One control-clock cycle of background: clock trunk and tree
+       plus the always-on logic. *)
+    bus_event cfg Bus.Clock "clock distribution" @ logic
+
+let energy_internal cfg kind =
+  List.fold_left
+    (fun acc (c : C.t) -> acc +. c.C.energy)
+    0.0 (contributions cfg kind)
+
+let energy cfg kind =
+  C.total_at_vdd cfg.Config.domains (contributions cfg kind)

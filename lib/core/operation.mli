@@ -1,0 +1,21 @@
+(** The five basic operations and their energy (Figure 4: "determine
+    charge associated with activate, precharge, read and write"). *)
+
+type kind = Activate | Precharge | Read | Write | Nop
+
+val all : kind list
+val name : kind -> string
+
+val contributions : Config.t -> kind -> Vdram_circuits.Contribution.t list
+(** Every labelled charge/discharge bundle of one occurrence of the
+    operation: array and row/column path events, bus transfers and
+    triggered logic blocks.  [Nop] is the per-control-clock-cycle
+    background (clock tree, always-on logic). *)
+
+val energy : Config.t -> kind -> float
+(** Energy drawn from the external supply per occurrence (generator
+    efficiencies applied), joules. *)
+
+val energy_internal : Config.t -> kind -> float
+(** Energy dissipated internally per occurrence, before efficiency
+    division. *)

@@ -1,0 +1,119 @@
+(* Command-loop patterns and datasheet Idd loops. *)
+
+type command = Act | Pre | Rd | Wr | Nop
+
+let command_name = function
+  | Act -> "act"
+  | Pre -> "pre"
+  | Rd -> "rd"
+  | Wr -> "wrt"
+  | Nop -> "nop"
+
+type t = {
+  name : string;
+  slots : (command * int) list;
+}
+
+let v ~name slots =
+  if slots = [] then invalid_arg "Pattern.v: empty loop";
+  List.iter
+    (fun (_, n) -> if n <= 0 then invalid_arg "Pattern.v: run length <= 0")
+    slots;
+  { name; slots }
+
+let cycles t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.slots
+
+let count t c =
+  List.fold_left
+    (fun acc (c', n) -> if c = c' then acc + n else acc)
+    0 t.slots
+
+let parse ~name s =
+  let words =
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  in
+  let command_of = function
+    | "act" | "activate" -> Ok Act
+    | "pre" | "precharge" -> Ok Pre
+    | "rd" | "read" -> Ok Rd
+    | "wrt" | "wr" | "write" -> Ok Wr
+    | "nop" -> Ok Nop
+    | w -> Error (Printf.sprintf "unknown command %S in pattern" w)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest ->
+      (match command_of (String.lowercase_ascii w) with
+       | Ok c -> go ((c, 1) :: acc) rest
+       | Error _ as e -> e)
+  in
+  match go [] words with
+  | Error _ as e -> e
+  | Ok [] -> Error "empty pattern"
+  | Ok slots -> Ok (v ~name slots)
+
+let to_string t =
+  t.slots
+  |> List.concat_map (fun (c, n) -> List.init n (fun _ -> command_name c))
+  |> String.concat " "
+
+let idle = v ~name:"idle" [ (Nop, 1) ]
+
+let trc_cycles (spec : Spec.t) =
+  max 2
+    (int_of_float (Float.ceil (spec.Spec.trc *. spec.Spec.control_clock)))
+
+let idd0 (spec : Spec.t) =
+  let n = trc_cycles spec in
+  let gaps = n - 2 in
+  if gaps > 0 then v ~name:"Idd0" [ (Act, 1); (Nop, gaps); (Pre, 1) ]
+  else v ~name:"Idd0" [ (Act, 1); (Pre, 1) ]
+
+let burst_loop ~name cmd (spec : Spec.t) =
+  let cpc = Spec.clocks_per_column_command spec in
+  if cpc > 1 then v ~name [ (cmd, 1); (Nop, cpc - 1) ] else v ~name [ (cmd, 1) ]
+
+let idd4r spec = burst_loop ~name:"Idd4R" Rd spec
+
+let idd4w spec = burst_loop ~name:"Idd4W" Wr spec
+
+let idd7_loop ~name ~reads ~writes (spec : Spec.t) =
+  let banks = spec.Spec.banks in
+  let cpc = Spec.clocks_per_column_command spec in
+  (* The activate rate is bounded by tRC per bank, the data bus
+     occupancy and the four-activate window tFAW. *)
+  let tfaw_cycles =
+    int_of_float
+      (Float.ceil
+         (float_of_int (banks / 4)
+         *. spec.Spec.tfaw *. spec.Spec.control_clock))
+  in
+  let window =
+    max (trc_cycles spec)
+      (max (3 * banks) (max (banks * cpc) tfaw_cycles))
+  in
+  let commands = banks (* act *) + banks (* pre *) + reads + writes in
+  let nops = window - commands in
+  let slots =
+    [ (Act, banks) ]
+    @ (if reads > 0 then [ (Rd, reads) ] else [])
+    @ (if writes > 0 then [ (Wr, writes) ] else [])
+    @ [ (Pre, banks) ]
+    @ if nops > 0 then [ (Nop, nops) ] else []
+  in
+  v ~name slots
+
+let idd7 (spec : Spec.t) =
+  idd7_loop ~name:"Idd7" ~reads:spec.Spec.banks ~writes:0 spec
+
+let idd7_mixed (spec : Spec.t) =
+  let half = spec.Spec.banks / 2 in
+  idd7_loop ~name:"Idd7-mixed" ~reads:(spec.Spec.banks - half) ~writes:half
+    spec
+
+let paper_example =
+  v ~name:"paper example"
+    [ (Act, 1); (Nop, 1); (Wr, 1); (Nop, 1); (Rd, 1); (Nop, 1); (Pre, 1);
+      (Nop, 1) ]

@@ -1,0 +1,56 @@
+(** Operating patterns: a command loop repeated continuously at the
+    control clock (Table I "Pattern"), plus the standard Idd test
+    loops used by datasheets. *)
+
+type command = Act | Pre | Rd | Wr | Nop
+
+val command_name : command -> string
+
+type t = {
+  name : string;
+  slots : (command * int) list;
+      (** run-length encoded loop; one slot per control-clock cycle *)
+}
+
+val v : name:string -> (command * int) list -> t
+(** Raises [Invalid_argument] on an empty loop or non-positive run
+    length. *)
+
+val cycles : t -> int
+(** Loop length in control-clock cycles. *)
+
+val count : t -> command -> int
+(** Occurrences of a command per loop. *)
+
+val parse : name:string -> string -> (t, string) result
+(** Parse the paper's loop syntax: whitespace-separated commands from
+    [act | pre | rd | wrt | nop] (also accepts [read | write | wr]). *)
+
+val to_string : t -> string
+(** The loop in the paper's syntax. *)
+
+(* Canned datasheet loops.  All spacings respect the device's row
+   cycle time and burst data rate. *)
+
+val idle : t
+(** All-nop loop (precharge standby, Idd2N-like). *)
+
+val idd0 : Spec.t -> t
+(** One-bank activate-precharge cycling at tRC (row operation). *)
+
+val idd4r : Spec.t -> t
+(** Gapless burst reads (column read operation). *)
+
+val idd4w : Spec.t -> t
+(** Gapless burst writes (column write operation). *)
+
+val idd7 : Spec.t -> t
+(** Interleaved activate / read / precharge across all banks at the
+    highest sustainable rate (random-access streaming). *)
+
+val idd7_mixed : Spec.t -> t
+(** The paper's Figure 10 / Table III pattern: an Idd7-like loop with
+    half of the reads replaced by writes. *)
+
+val paper_example : t
+(** The Section III example: [act nop wrt nop rd nop pre nop]. *)

@@ -1,0 +1,42 @@
+(* Peak (windowed average) current estimates. *)
+
+module Domains = Vdram_circuits.Domains
+
+type t = {
+  operation : Operation.kind;
+  window : float;
+  charge : float;
+  current : float;
+}
+
+let window_of (cfg : Config.t) = function
+  | Operation.Activate -> cfg.Config.spec.Spec.trcd
+  | Operation.Precharge -> cfg.Config.spec.Spec.trp
+  | Operation.Read | Operation.Write ->
+    float_of_int (Spec.clocks_per_column_command cfg.Config.spec)
+    /. cfg.Config.spec.Spec.control_clock
+  | Operation.Nop -> 1.0 /. cfg.Config.spec.Spec.control_clock
+
+let of_operation cfg op =
+  let d = cfg.Config.domains in
+  let energy = Operation.energy cfg op in
+  let charge = energy /. d.Domains.vdd in
+  let window = window_of cfg op in
+  { operation = op; window; charge; current = charge /. window }
+
+let all cfg =
+  List.map (of_operation cfg) Operation.all
+  |> List.sort (fun a b -> Float.compare b.current a.current)
+
+let worst_case cfg =
+  let act = of_operation cfg Operation.Activate in
+  let rd = of_operation cfg Operation.Read in
+  let background =
+    Model.background_power cfg /. cfg.Config.domains.Domains.vdd
+  in
+  (4.0 *. act.current) +. rd.current +. background
+
+let pp ppf t =
+  Format.fprintf ppf "%-9s %8.2f nC over %5.1f ns -> %6.1f mA"
+    (Operation.name t.operation)
+    (t.charge *. 1e9) (t.window *. 1e9) (t.current *. 1e3)

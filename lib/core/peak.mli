@@ -1,0 +1,28 @@
+(** Peak-current estimates per operation.
+
+    The average-power model books energy per operation; dividing each
+    operation's supply charge by the time window it flows in gives the
+    peak current the power-delivery network must carry — the quantity
+    behind tFAW-style activation limits.  Estimates are upper bounds
+    of the average current during the window, not transient spikes. *)
+
+type t = {
+  operation : Operation.kind;
+  window : float;   (** seconds the charge flows in *)
+  charge : float;   (** coulombs drawn from the external supply *)
+  current : float;  (** A, charge / window *)
+}
+
+val of_operation : Config.t -> Operation.kind -> t
+(** Windows: activate charge flows during tRCD, precharge during tRP,
+    column bursts during their bus occupancy, nop across one clock. *)
+
+val all : Config.t -> t list
+(** All five operations, descending by current. *)
+
+val worst_case : Config.t -> float
+(** The sustained worst case: four overlapping activates (the tFAW
+    situation) on top of a gapless read burst and the background,
+    amperes. *)
+
+val pp : Format.formatter -> t -> unit

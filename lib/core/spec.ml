@@ -1,0 +1,72 @@
+(* Interface specification. *)
+
+type t = {
+  io_width : int;
+  datarate : float;
+  clock_wires : int;
+  data_clock : float;
+  control_clock : float;
+  bank_bits : int;
+  row_bits : int;
+  col_bits : int;
+  misc_control : int;
+  prefetch : int;
+  burst_length : int;
+  banks : int;
+  density_bits : float;
+  trc : float;
+  trcd : float;
+  trp : float;
+  tfaw : float;
+}
+
+let v ?(clock_wires = 1) ?(misc_control = 6) ?tfaw ~io_width ~datarate
+    ~control_clock ~bank_bits ~row_bits ~col_bits ~prefetch ~burst_length
+    ~banks ~density_bits ~trc ~trcd ~trp () =
+  let pos name x = if x <= 0 then invalid_arg ("Spec.v: " ^ name) in
+  let posf name x = if x <= 0.0 then invalid_arg ("Spec.v: " ^ name) in
+  pos "io_width" io_width;
+  posf "datarate" datarate;
+  posf "control_clock" control_clock;
+  pos "prefetch" prefetch;
+  pos "burst_length" burst_length;
+  pos "banks" banks;
+  posf "density_bits" density_bits;
+  posf "trc" trc;
+  {
+    io_width;
+    datarate;
+    clock_wires;
+    data_clock = control_clock;
+    control_clock;
+    bank_bits;
+    row_bits;
+    col_bits;
+    misc_control;
+    prefetch;
+    burst_length;
+    banks;
+    density_bits;
+    trc;
+    trcd;
+    trp;
+    tfaw = (match tfaw with Some t -> t | None -> 0.8 *. trc);
+  }
+
+let bits_per_clock t = t.datarate /. t.control_clock
+
+let bits_per_column_command t = t.io_width * t.burst_length
+
+let clocks_per_column_command t =
+  int_of_float (Float.ceil (float_of_int t.burst_length /. bits_per_clock t))
+
+let core_clock t = t.datarate /. float_of_int t.prefetch
+
+let pp ppf t =
+  Format.fprintf ppf
+    "x%d at %s, %d banks, %.0f Mb, BL%d prefetch %d, tRC %.0f ns"
+    t.io_width
+    (Vdram_units.Si.format_eng ~unit_symbol:"bps" t.datarate)
+    t.banks
+    (t.density_bits /. (2.0 ** 20.0))
+    t.burst_length t.prefetch (t.trc *. 1e9)

@@ -1,0 +1,29 @@
+(** Consistency checks over a configuration.
+
+    The Figure 4 pipeline's "syntax check" box covers the input
+    language; this module covers semantics: voltage ordering,
+    geometry/specification agreement, generator sanity.  Warnings
+    don't stop the model — a deliberately odd what-if is legitimate —
+    but surface likely description mistakes. *)
+
+type severity = Warning | Error
+
+type finding = {
+  severity : severity;
+  message : string;
+}
+
+val check : Config.t -> finding list
+(** All findings, errors first.  An empty list means the
+    configuration is internally consistent:
+    - Vpp above Vbl (write-back needs headroom) and Vbl not above Vint+margin;
+    - addresses cover the density (banks x rows x page = capacity);
+    - page divides into whole local wordlines; activation fraction in (0,1];
+    - burst occupancy consistent with the prefetch;
+    - stripes thinner than sub-arrays; die area positive;
+    - efficiencies within (0,1]; toggle rates within [0,1]. *)
+
+val is_clean : Config.t -> bool
+(** No errors (warnings allowed). *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,30 @@
+(** Model-versus-datasheet comparison (Figures 8 and 9). *)
+
+type row = {
+  point : Idd.point;
+  model_ma : (string * float) list;
+      (** model current per assumed technology node, e.g.
+          [("75nm", 96.2); ("65nm", 88.4)] *)
+}
+
+val model_current :
+  family:Idd.family -> node:Vdram_tech.Node.t -> Idd.point -> float
+(** Model Idd in mA for a datasheet point: the matching 1 Gb device at
+    the given node running the point's test loop. *)
+
+val rows : family:Idd.family -> nodes:Vdram_tech.Node.t list -> row list
+(** One row per datasheet point with model values at each assumed
+    node (the paper uses two typical high-volume nodes per family). *)
+
+val fig8 : unit -> row list
+(** DDR2 at 75 nm and 65 nm. *)
+
+val fig9 : unit -> row list
+(** DDR3 at 65 nm and 55 nm. *)
+
+val within_band : ?slack:float -> Idd.point -> float -> bool
+(** Whether a model value lies inside the vendor min/max band widened
+    by [slack] (default 0.30, i.e. 30 % beyond either end — the
+    verification tolerance recorded in EXPERIMENTS.md). *)
+
+val pp_row : Format.formatter -> row -> unit

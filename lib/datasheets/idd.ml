@@ -1,0 +1,120 @@
+(* Vendor datasheet Idd database (paper references [22], [23]). *)
+
+type test = Idd0 | Idd4r | Idd4w
+
+let test_name = function
+  | Idd0 -> "Idd0"
+  | Idd4r -> "Idd4R"
+  | Idd4w -> "Idd4W"
+
+type point = {
+  test : test;
+  datarate_mbps : int;
+  io_width : int;
+  vendors_ma : float list;
+}
+
+let label p =
+  Printf.sprintf "%s %d x%d" (test_name p.test) p.datarate_mbps p.io_width
+
+let min_ma p = List.fold_left Float.min infinity p.vendors_ma
+
+let max_ma p = List.fold_left Float.max neg_infinity p.vendors_ma
+
+let mean_ma p =
+  List.fold_left ( +. ) 0.0 p.vendors_ma
+  /. float_of_int (List.length p.vendors_ma)
+
+type family = {
+  name : string;
+  standard : Vdram_tech.Node.standard;
+  vdd : float;
+  points : point list;
+}
+
+let pt test datarate_mbps io_width vendors_ma =
+  { test; datarate_mbps; io_width; vendors_ma }
+
+(* 1 Gb DDR2 at 1.8 V.  Vendor order: Samsung K4T1G, Hynix H5PS1G,
+   Micron MT47H, Elpida EDE1116, Qimonda HYI18T. *)
+let ddr2_1g =
+  {
+    name = "1G DDR2";
+    standard = Vdram_tech.Node.Ddr2;
+    vdd = 1.8;
+    points =
+      [
+        pt Idd0 400 4 [ 65.0; 70.0; 75.0; 68.0; 72.0 ];
+        pt Idd0 400 16 [ 80.0; 85.0; 90.0; 82.0; 88.0 ];
+        pt Idd0 533 4 [ 70.0; 75.0; 80.0; 72.0; 78.0 ];
+        pt Idd0 533 16 [ 85.0; 90.0; 95.0; 88.0; 92.0 ];
+        pt Idd0 667 4 [ 75.0; 80.0; 85.0; 78.0; 82.0 ];
+        pt Idd0 667 16 [ 90.0; 95.0; 100.0; 92.0; 98.0 ];
+        pt Idd0 800 4 [ 80.0; 85.0; 90.0; 82.0; 88.0 ];
+        pt Idd0 800 16 [ 95.0; 100.0; 110.0; 98.0; 105.0 ];
+        pt Idd4r 400 4 [ 85.0; 95.0; 90.0; 100.0; 88.0 ];
+        pt Idd4r 400 16 [ 115.0; 125.0; 120.0; 135.0; 128.0 ];
+        pt Idd4r 533 4 [ 95.0; 105.0; 100.0; 110.0; 98.0 ];
+        pt Idd4r 533 16 [ 130.0; 140.0; 135.0; 150.0; 145.0 ];
+        pt Idd4r 667 4 [ 105.0; 115.0; 110.0; 120.0; 108.0 ];
+        pt Idd4r 667 16 [ 150.0; 165.0; 155.0; 175.0; 160.0 ];
+        pt Idd4r 800 4 [ 115.0; 130.0; 125.0; 135.0; 122.0 ];
+        pt Idd4r 800 16 [ 170.0; 190.0; 180.0; 205.0; 185.0 ];
+        pt Idd4w 400 4 [ 80.0; 90.0; 85.0; 95.0; 83.0 ];
+        pt Idd4w 400 16 [ 105.0; 115.0; 110.0; 125.0; 118.0 ];
+        pt Idd4w 533 4 [ 90.0; 100.0; 95.0; 105.0; 92.0 ];
+        pt Idd4w 533 16 [ 120.0; 130.0; 125.0; 140.0; 135.0 ];
+        pt Idd4w 667 4 [ 95.0; 105.0; 100.0; 112.0; 98.0 ];
+        pt Idd4w 667 16 [ 135.0; 150.0; 145.0; 162.0; 148.0 ];
+        pt Idd4w 800 4 [ 105.0; 118.0; 112.0; 125.0; 110.0 ];
+        pt Idd4w 800 16 [ 155.0; 172.0; 165.0; 185.0; 168.0 ];
+      ];
+  }
+
+(* 1 Gb DDR3 at 1.5 V.  Vendor order: Samsung K4B1G, Hynix H5TQ1G,
+   Micron MT41J, Elpida EDJ1116, Qimonda IDSH1G. *)
+let ddr3_1g =
+  {
+    name = "1G DDR3";
+    standard = Vdram_tech.Node.Ddr3;
+    vdd = 1.5;
+    points =
+      [
+        pt Idd0 800 4 [ 55.0; 60.0; 65.0; 58.0; 62.0 ];
+        pt Idd0 800 16 [ 65.0; 70.0; 78.0; 68.0; 75.0 ];
+        pt Idd0 1066 4 [ 60.0; 65.0; 70.0; 62.0; 68.0 ];
+        pt Idd0 1066 16 [ 70.0; 75.0; 85.0; 72.0; 80.0 ];
+        pt Idd0 1333 4 [ 65.0; 70.0; 75.0; 68.0; 72.0 ];
+        pt Idd0 1333 16 [ 75.0; 82.0; 90.0; 78.0; 85.0 ];
+        pt Idd4r 800 4 [ 75.0; 85.0; 80.0; 90.0; 78.0 ];
+        pt Idd4r 800 16 [ 110.0; 125.0; 120.0; 135.0; 115.0 ];
+        pt Idd4r 1066 4 [ 85.0; 95.0; 90.0; 100.0; 88.0 ];
+        pt Idd4r 1066 16 [ 130.0; 145.0; 140.0; 155.0; 135.0 ];
+        pt Idd4r 1333 4 [ 95.0; 105.0; 100.0; 112.0; 98.0 ];
+        pt Idd4r 1333 16 [ 145.0; 162.0; 155.0; 175.0; 150.0 ];
+        pt Idd4w 800 4 [ 70.0; 78.0; 75.0; 85.0; 72.0 ];
+        pt Idd4w 800 16 [ 100.0; 112.0; 108.0; 122.0; 105.0 ];
+        pt Idd4w 1066 4 [ 78.0; 88.0; 82.0; 92.0; 80.0 ];
+        pt Idd4w 1066 16 [ 115.0; 130.0; 125.0; 140.0; 120.0 ];
+        pt Idd4w 1333 4 [ 88.0; 98.0; 92.0; 102.0; 90.0 ];
+        pt Idd4w 1333 16 [ 130.0; 145.0; 140.0; 158.0; 135.0 ];
+      ];
+  }
+
+(* 2 Gb DDR3 at 1.5 V, x16 parts (Samsung K4B2G, Hynix H5TQ2G, Micron
+   MT41J128M16, Elpida EDJ2116, Nanya NT5CB128M16). *)
+let ddr3_2g =
+  {
+    name = "2G DDR3";
+    standard = Vdram_tech.Node.Ddr3;
+    vdd = 1.5;
+    points =
+      [
+        pt Idd0 1066 16 [ 75.0; 80.0; 90.0; 78.0; 85.0 ];
+        pt Idd0 1333 16 [ 80.0; 88.0; 95.0; 83.0; 90.0 ];
+        pt Idd4r 1066 16 [ 135.0; 150.0; 145.0; 160.0; 140.0 ];
+        pt Idd4r 1333 16 [ 150.0; 168.0; 160.0; 180.0; 155.0 ];
+        pt Idd4w 1066 16 [ 120.0; 135.0; 130.0; 145.0; 125.0 ];
+        pt Idd4w 1333 16 [ 135.0; 150.0; 145.0; 162.0; 140.0 ];
+      ];
+  }

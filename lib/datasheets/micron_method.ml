@@ -1,0 +1,103 @@
+(* Datasheet-method power calculation (Micron-calculator style). *)
+
+module Config = Vdram_core.Config
+module Spec = Vdram_core.Spec
+module Model = Vdram_core.Model
+module Pattern = Vdram_core.Pattern
+
+type idd_set = {
+  idd0 : float;
+  idd2n : float;
+  idd3n : float;
+  idd4r : float;
+  idd4w : float;
+  idd5b : float;
+  trc : float;
+  trfc : float;
+  trefi : float;
+  vdd : float;
+}
+
+let of_model (cfg : Config.t) =
+  let spec = cfg.Config.spec in
+  let idd pattern = Model.idd cfg pattern in
+  let standby =
+    Model.state_power cfg Model.Precharge_standby
+    /. cfg.Config.domains.Vdram_circuits.Domains.vdd
+  in
+  let gbit = spec.Spec.density_bits /. (2.0 ** 30.0) in
+  let trfc =
+    if gbit <= 1.0 then 110e-9
+    else if gbit <= 2.0 then 160e-9
+    else if gbit <= 4.0 then 260e-9
+    else 350e-9
+  in
+  {
+    idd0 = idd (Pattern.idd0 spec);
+    idd2n = standby;
+    (* The capacitive model has no leakage: active standby equals
+       precharge standby, as in the paper. *)
+    idd3n = standby;
+    idd4r = idd (Pattern.idd4r spec);
+    idd4w = idd (Pattern.idd4w spec);
+    idd5b = Model.idd5b cfg;
+    trc = spec.Spec.trc;
+    trfc;
+    trefi = 7.8e-6;
+    vdd = cfg.Config.domains.Vdram_circuits.Domains.vdd;
+  }
+
+type usage = {
+  bank_utilization : float;
+  row_cycles_per_second : float;
+  read_bus_utilization : float;
+  write_bus_utilization : float;
+}
+
+let usage_of_pattern (cfg : Config.t) pattern =
+  let spec = cfg.Config.spec in
+  let cycles = float_of_int (Pattern.cycles pattern) in
+  let loop_time = cycles /. spec.Spec.control_clock in
+  let acts = float_of_int (Pattern.count pattern Pattern.Act) in
+  let cpc = float_of_int (Spec.clocks_per_column_command spec) in
+  let tras = spec.Spec.trc -. spec.Spec.trp in
+  {
+    bank_utilization = Float.min 1.0 (acts *. tras /. loop_time);
+    row_cycles_per_second = acts /. loop_time;
+    read_bus_utilization =
+      Float.min 1.0
+        (float_of_int (Pattern.count pattern Pattern.Rd) *. cpc /. cycles);
+    write_bus_utilization =
+      Float.min 1.0
+        (float_of_int (Pattern.count pattern Pattern.Wr) *. cpc /. cycles);
+  }
+
+let power ?(include_refresh = true) (s : idd_set) (u : usage) =
+  let background =
+    ((u.bank_utilization *. s.idd3n)
+    +. ((1.0 -. u.bank_utilization) *. s.idd2n))
+    *. s.vdd
+  in
+  (* One activate-precharge pair costs (Idd0 - Idd3N) * Vdd over the
+     tRC the Idd0 loop was measured at. *)
+  let act =
+    u.row_cycles_per_second *. (s.idd0 -. s.idd3n) *. s.vdd *. s.trc
+  in
+  let read = u.read_bus_utilization *. (s.idd4r -. s.idd3n) *. s.vdd in
+  let write = u.write_bus_utilization *. (s.idd4w -. s.idd3n) *. s.vdd in
+  let refresh =
+    if include_refresh then
+      (s.idd5b -. s.idd2n) *. s.vdd *. s.trfc /. s.trefi
+    else 0.0
+  in
+  background +. act +. read +. write +. refresh
+
+let cross_check (cfg : Config.t) pattern =
+  let direct =
+    (Model.pattern_power cfg pattern).Vdram_core.Report.power
+  in
+  let method_power =
+    power ~include_refresh:false (of_model cfg)
+      (usage_of_pattern cfg pattern)
+  in
+  (direct, method_power)

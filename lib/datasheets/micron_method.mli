@@ -1,0 +1,51 @@
+(** The datasheet-based power methodology (paper reference [20], the
+    Micron system power calculator; also [19] DRAMsim).
+
+    The paper opens with: "The most accurate way of computing DRAM
+    power in a computer system is to use datasheet values"; its own
+    model exists because datasheets cannot extrapolate.  This module
+    implements that datasheet method, so the two approaches can be
+    cross-checked: feeding the method with the *model's own* Idd
+    values must land close to the model's direct pattern power —
+    a strong internal-consistency test.
+
+    Currents are amperes, the usage knobs are the calculator's. *)
+
+type idd_set = {
+  idd0 : float;    (** one-bank activate-precharge cycling current *)
+  idd2n : float;   (** precharge standby *)
+  idd3n : float;   (** active standby *)
+  idd4r : float;   (** gapless read burst *)
+  idd4w : float;   (** gapless write burst *)
+  idd5b : float;   (** burst refresh *)
+  trc : float;     (** the tRC the Idd0 loop used, s *)
+  trfc : float;    (** refresh cycle time, s *)
+  trefi : float;   (** refresh interval, s *)
+  vdd : float;
+}
+
+val of_model : Vdram_core.Config.t -> idd_set
+(** Derive the full Idd set from the analytical model. *)
+
+type usage = {
+  bank_utilization : float;
+      (** share of time at least one bank is active (0..1) *)
+  row_cycles_per_second : float;
+      (** activate-precharge pairs per second *)
+  read_bus_utilization : float;   (** share of time reading (0..1) *)
+  write_bus_utilization : float;  (** share of time writing (0..1) *)
+}
+
+val usage_of_pattern : Vdram_core.Config.t -> Vdram_core.Pattern.t -> usage
+(** Extract the calculator knobs from a command loop. *)
+
+val power : ?include_refresh:bool -> idd_set -> usage -> float
+(** The calculator: background (Idd2N/Idd3N weighted by bank
+    utilization) + activate (scaled Idd0 increment) + read/write
+    increments at the bus utilizations + refresh (on by default),
+    all times Vdd. *)
+
+val cross_check :
+  Vdram_core.Config.t -> Vdram_core.Pattern.t -> float * float
+(** [(model_direct, datasheet_method)] in watts for a pattern, using
+    the model's own Idd set — the internal-consistency comparison. *)

@@ -1,0 +1,40 @@
+(* AST of the description language. *)
+
+type stmt = {
+  line : int;
+  keyword : string;
+  args : (string * string) list;
+  positional : string list;
+}
+
+type section = {
+  section_line : int;
+  section_name : string;
+  stmts : stmt list;
+}
+
+type t = section list
+
+let lower = String.lowercase_ascii
+
+let arg stmt key =
+  let key = lower key in
+  List.assoc_opt key (List.map (fun (k, v) -> (lower k, v)) stmt.args)
+
+let find_sections t name =
+  let name = lower name in
+  List.filter (fun s -> lower s.section_name = name) t
+
+let pp_stmt ppf s =
+  Format.fprintf ppf "%s" s.keyword;
+  List.iter (fun p -> Format.fprintf ppf " %s" p) s.positional;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) s.args
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun sec ->
+      Format.fprintf ppf "%s@," sec.section_name;
+      List.iter (fun s -> Format.fprintf ppf "  %a@," pp_stmt s) sec.stmts)
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** Abstract syntax of the DRAM description language.
+
+    The language is line oriented.  A bare capitalised word starts a
+    section ([FloorplanPhysical], [Technology], ...); every other
+    non-empty line is a statement: a keyword followed by [key=value]
+    assignments and/or bare positional tokens.  [#] and [//] start
+    comments.  Two statement forms get special treatment by the
+    parser: [<axis> blocks = n1 n2 ...] and [Pattern loop= cmd ...],
+    whose tails are positional lists. *)
+
+type stmt = {
+  line : int;                        (** 1-based source line *)
+  keyword : string;
+  args : (string * string) list;     (** [key=value] assignments, in order *)
+  positional : string list;          (** bare tokens after the keyword *)
+}
+
+type section = {
+  section_line : int;
+  section_name : string;
+  stmts : stmt list;
+}
+
+type t = section list
+
+val arg : stmt -> string -> string option
+(** Case-insensitive lookup of an assignment. *)
+
+val find_sections : t -> string -> section list
+(** All sections with a name, case-insensitive. *)
+
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,561 @@
+(* Elaboration: AST -> Config.t (+ optional Pattern). *)
+
+module Node = Vdram_tech.Node
+module Scaling = Vdram_tech.Scaling
+module Roadmap = Vdram_tech.Roadmap
+module Params = Vdram_tech.Params
+module Domains = Vdram_circuits.Domains
+module Bus = Vdram_circuits.Bus
+module Logic_block = Vdram_circuits.Logic_block
+module Floorplan = Vdram_floorplan.Floorplan
+module Array_geometry = Vdram_floorplan.Array_geometry
+module Config = Vdram_core.Config
+module Spec = Vdram_core.Spec
+module Pattern = Vdram_core.Pattern
+module Q = Vdram_units.Quantity
+
+type t = {
+  config : Config.t;
+  pattern : Pattern.t option;
+}
+
+exception Err of Parser.error
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Err { Parser.line; message })) fmt
+
+let lower = String.lowercase_ascii
+
+(* Parse an argument of a statement with an expected dimension. *)
+let quantity (stmt : Ast.stmt) key dim =
+  match Ast.arg stmt key with
+  | None -> None
+  | Some raw ->
+    (match Q.parse_dim dim raw with
+     | Ok v -> Some v
+     | Error msg -> fail stmt.Ast.line "%s: %s" key msg)
+
+let integer (stmt : Ast.stmt) key =
+  match quantity stmt key Q.Scalar with
+  | None -> None
+  | Some v ->
+    if Float.is_integer v && v >= 0.0 then Some (int_of_float v)
+    else fail stmt.Ast.line "%s must be a non-negative integer" key
+
+(* Collect all statements of the sections with a name. *)
+let stmts_of ast name =
+  List.concat_map (fun s -> s.Ast.stmts) (Ast.find_sections ast name)
+
+let stmt_with ast section keyword =
+  List.find_opt
+    (fun (s : Ast.stmt) -> lower s.Ast.keyword = lower keyword)
+    (stmts_of ast section)
+
+(* Technology keys in Params.fields order. *)
+let technology_keys =
+  [ "toxlogic"; "toxhv"; "toxcell"; "lminlogic"; "cjlogic"; "lminhv";
+    "cjhv"; "lcell"; "wcell"; "cbitline"; "ccell"; "blwlcoupling";
+    "cwiremwl"; "mwlpredecode"; "wmwldecn"; "wmwldecp"; "mwldecactivity";
+    "wwlctlloadn"; "wwlctlloadp"; "wlwdn"; "wlwdp"; "wlwdrestore";
+    "cwirelwl"; "wsan"; "lsan"; "wsap"; "lsap"; "wsaeq"; "lsaeq";
+    "wsabitswitch"; "lsabitswitch"; "wsamux"; "lsamux"; "wsanset";
+    "lsanset"; "wsapset"; "lsapset"; "cwiresignal" ]
+  @ [ "bitspercsl" ]
+
+let technology_dims =
+  let l = Q.Length
+  and cl = Q.Cap_per_length
+  and c = Q.Capacitance
+  and fr = Q.Fraction
+  and s = Q.Scalar in
+  [ l; l; l; l; cl; l; cl; l; l; c; c; fr; cl; s; l; l; fr; l; l; l; l; l;
+    cl; l; l; l; l; l; l; l; l; l; l; l; l; l; l; cl ]
+
+let apply_technology ast tech =
+  let entries = List.combine technology_keys (technology_dims @ [ Q.Scalar ]) in
+  let float_fields = Params.fields in
+  List.fold_left
+    (fun tech (stmt : Ast.stmt) ->
+      List.fold_left
+        (fun tech (key, value) ->
+          let key = lower key in
+          match List.assoc_opt key entries with
+          | None -> fail stmt.Ast.line "unknown technology parameter %S" key
+          | Some dim ->
+            if key = "bitspercsl" then begin
+              match Q.parse_dim Q.Scalar value with
+              | Ok v -> { tech with Params.bits_per_csl = int_of_float v }
+              | Error msg -> fail stmt.Ast.line "%s: %s" key msg
+            end
+            else begin
+              match Q.parse_dim dim value with
+              | Error msg -> fail stmt.Ast.line "%s: %s" key msg
+              | Ok v ->
+                (* Position of the key gives the field setter. *)
+                let rec nth_setter keys fields =
+                  match (keys, fields) with
+                  | k :: _, (_, _, set) :: _ when k = key -> set
+                  | _ :: ks, _ :: fs -> nth_setter ks fs
+                  | _ -> fail stmt.Ast.line "internal: no setter for %s" key
+                in
+                (nth_setter technology_keys float_fields) tech v
+            end)
+        tech stmt.Ast.args)
+    tech
+    (stmts_of ast "Technology")
+
+(* Coordinates "i_j" used by the signaling floorplan. *)
+let coord (stmt : Ast.stmt) raw =
+  match String.split_on_char '_' raw with
+  | [ i; j ] ->
+    (match (int_of_string_opt i, int_of_string_opt j) with
+     | Some i, Some j -> (i, j)
+     | _ -> fail stmt.Ast.line "malformed coordinate %S" raw)
+  | _ -> fail stmt.Ast.line "malformed coordinate %S (expected i_j)" raw
+
+let bus_roles =
+  [ ("writedata", Bus.Write_data); ("readdata", Bus.Read_data);
+    ("rowaddress", Bus.Row_address); ("columnaddress", Bus.Column_address);
+    ("coladdress", Bus.Column_address); ("bankaddress", Bus.Bank_address);
+    ("command", Bus.Command); ("clock", Bus.Clock) ]
+
+let segment_of_stmt floorplan (stmt : Ast.stmt) =
+  let length =
+    match quantity stmt "length" Q.Length with
+    | Some l -> l
+    | None ->
+      (match (Ast.arg stmt "start", Ast.arg stmt "end") with
+       | Some s, Some e ->
+         Floorplan.route_length floorplan (coord stmt s) (coord stmt e)
+       | _ ->
+         (match Ast.arg stmt "inside" with
+          | Some c ->
+            let frac =
+              Option.value ~default:1.0 (quantity stmt "fraction" Q.Fraction)
+            in
+            let dir =
+              match Option.map lower (Ast.arg stmt "dir") with
+              | Some "h" | None -> `H
+              | Some "v" -> `V
+              | Some d -> fail stmt.Ast.line "bad dir %S (h or v)" d
+            in
+            Floorplan.inside_length floorplan (coord stmt c) ~frac ~dir
+          | None ->
+            fail stmt.Ast.line
+              "segment needs length=, start=/end= or inside="))
+  in
+  let buffer =
+    match
+      (quantity stmt "NchW" Q.Length, quantity stmt "PchW" Q.Length)
+    with
+    | Some n, Some p -> Some (n, p)
+    | None, None -> None
+    | _ -> fail stmt.Ast.line "buffer needs both NchW= and PchW="
+  in
+  let mux =
+    match Ast.arg stmt "mux" with
+    | None -> None
+    | Some raw ->
+      (match String.split_on_char ':' raw with
+       | [ "1"; n ] ->
+         (match int_of_string_opt n with
+          | Some n when n > 0 -> Some n
+          | _ -> fail stmt.Ast.line "bad mux ratio %S" raw)
+       | _ -> fail stmt.Ast.line "bad mux ratio %S (expected 1:n)" raw)
+  in
+  let toggle = Option.value ~default:1.0 (quantity stmt "toggle" Q.Fraction) in
+  Bus.segment ?buffer ?mux ~toggle
+    ~name:(Printf.sprintf "%s line %d" stmt.Ast.keyword stmt.Ast.line)
+    ~length ()
+
+let buses_of_signaling ast floorplan ~(spec : Spec.t) ~default =
+  let stmts = stmts_of ast "FloorplanSignaling" in
+  if stmts = [] then default
+  else begin
+    (* Group segments per bus keyword, keeping statement order. *)
+    let order = ref [] in
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (stmt : Ast.stmt) ->
+        let key = lower stmt.Ast.keyword in
+        let role =
+          match List.assoc_opt key bus_roles with
+          | Some r -> r
+          | None -> fail stmt.Ast.line "unknown bus %S" stmt.Ast.keyword
+        in
+        if not (Hashtbl.mem tbl key) then begin
+          order := key :: !order;
+          Hashtbl.add tbl key (role, ref None, ref [])
+        end;
+        let _, wires, segs = Hashtbl.find tbl key in
+        (match integer stmt "wires" with
+         | Some w -> wires := Some w
+         | None -> ());
+        segs := segment_of_stmt floorplan stmt :: !segs)
+      stmts;
+    let default_wires = function
+      | Bus.Write_data | Bus.Read_data -> spec.Spec.io_width
+      | Bus.Row_address -> spec.Spec.row_bits
+      | Bus.Column_address -> spec.Spec.col_bits
+      | Bus.Bank_address -> max 1 spec.Spec.bank_bits
+      | Bus.Command -> spec.Spec.misc_control
+      | Bus.Clock -> spec.Spec.clock_wires
+    in
+    List.rev_map
+      (fun key ->
+        let role, wires, segs = Hashtbl.find tbl key in
+        Bus.v ~name:key ~role
+          ~wires:(Option.value ~default:(default_wires role) !wires)
+          (List.rev !segs))
+      !order
+  end
+
+let logic_of_section ast ~default =
+  let stmts = stmts_of ast "LogicBlocks" in
+  if stmts = [] then default
+  else
+    List.map
+      (fun (stmt : Ast.stmt) ->
+        if lower stmt.Ast.keyword <> "block" then
+          fail stmt.Ast.line "expected Block statement in LogicBlocks";
+        let name =
+          match Ast.arg stmt "name" with
+          | Some n -> n
+          | None -> fail stmt.Ast.line "Block needs name="
+        in
+        let gates =
+          match quantity stmt "gates" Q.Scalar with
+          | Some g -> g
+          | None -> fail stmt.Ast.line "Block needs gates="
+        in
+        let trigger =
+          match Option.map lower (Ast.arg stmt "trigger") with
+          | None | Some "always" -> Logic_block.Always
+          | Some ops ->
+            let op_of = function
+              | "act" | "activate" -> `Activate
+              | "pre" | "precharge" -> `Precharge
+              | "rd" | "read" -> `Read
+              | "wrt" | "wr" | "write" -> `Write
+              | o -> fail stmt.Ast.line "bad trigger op %S" o
+            in
+            Logic_block.On_operation
+              (List.map op_of (String.split_on_char ',' ops))
+        in
+        Logic_block.v ~name ~gates ~trigger
+          ?w_nmos:(quantity stmt "wnmos" Q.Length)
+          ?w_pmos:(quantity stmt "wpmos" Q.Length)
+          ?transistors_per_gate:(quantity stmt "transistors" Q.Scalar)
+          ?layout_density:(quantity stmt "layout" Q.Fraction)
+          ?wiring_density:(quantity stmt "wiring" Q.Fraction)
+          ?toggle:(quantity stmt "toggle" Q.Fraction)
+          ())
+      stmts
+
+let axis_blocks ast ~axis ~geometry =
+  let list_kw, size_kw =
+    match axis with
+    | `H -> ("horizontal", "sizehorizontal")
+    | `V -> ("vertical", "sizevertical")
+  in
+  let stmts = stmts_of ast "FloorplanPhysical" in
+  let blocks_stmt =
+    List.find_opt (fun (s : Ast.stmt) -> lower s.Ast.keyword = list_kw) stmts
+  in
+  match blocks_stmt with
+  | None -> None
+  | Some stmt ->
+    let sizes =
+      List.concat_map
+        (fun (s : Ast.stmt) ->
+          if lower s.Ast.keyword = size_kw then
+            List.map
+              (fun (k, v) ->
+                match Q.parse_dim Q.Length v with
+                | Ok len -> (k, len)
+                | Error msg -> fail s.Ast.line "%s: %s" k msg)
+              s.Ast.args
+          else [])
+        stmts
+    in
+    let array_size =
+      match axis with
+      | `H -> Array_geometry.block_width geometry
+      | `V -> Array_geometry.block_height geometry
+    in
+    let block name =
+      let kind =
+        match (if name = "" then ' ' else Char.uppercase_ascii name.[0]) with
+        | 'A' -> Floorplan.Array_block
+        | 'R' -> Floorplan.Row_logic
+        | 'C' -> Floorplan.Column_logic
+        | 'P' -> Floorplan.Center_stripe
+        | _ -> Floorplan.Other name
+      in
+      let size =
+        match List.assoc_opt name sizes with
+        | Some s -> s
+        | None ->
+          if kind = Floorplan.Array_block then array_size
+          else
+            fail stmt.Ast.line "no size given for block %S" name
+      in
+      { Floorplan.name; kind; size }
+    in
+    Some (List.map block stmt.Ast.positional)
+
+let elaborate ast =
+  try
+    (* Device. *)
+    let part =
+      match stmt_with ast "Device" "Part" with
+      | Some s -> s
+      | None -> fail 1 "missing Device section with a Part statement"
+    in
+    let node =
+      match quantity part "node" Q.Length with
+      | Some f -> Node.of_nm (f *. 1e9)
+      | None -> fail part.Ast.line "Part needs node=<feature size>"
+    in
+    let name = Option.value ~default:"unnamed" (Ast.arg part "name") in
+    let g = Roadmap.generation node in
+    (* Specification. *)
+    let io = stmt_with ast "Specification" "IO" in
+    let control = stmt_with ast "Specification" "Control" in
+    let clock = stmt_with ast "Specification" "Clock" in
+    let density = stmt_with ast "Specification" "Density" in
+    let banks_stmt = stmt_with ast "Specification" "Banks" in
+    let burst = stmt_with ast "Specification" "Burst" in
+    let timing = stmt_with ast "Specification" "Timing" in
+    let interface = stmt_with ast "Specification" "Interface" in
+    let opt stmt key dim = Option.bind stmt (fun s -> quantity s key dim) in
+    let opt_int stmt key = Option.bind stmt (fun s -> integer s key) in
+    let io_width =
+      Option.value ~default:g.Roadmap.io_width (opt_int io "width")
+    in
+    let datarate =
+      Option.value ~default:g.Roadmap.datarate (opt io "datarate" Q.Datarate)
+    in
+    let control_clock =
+      match opt control "frequency" Q.Frequency with
+      | Some f -> f
+      | None ->
+        (match Node.standard node with
+         | Node.Sdr -> datarate
+         | _ -> datarate /. 2.0)
+    in
+    let density_bits =
+      match opt density "mbits" Q.Scalar with
+      | Some m -> m *. (2.0 ** 20.0)
+      | None -> g.Roadmap.density_bits
+    in
+    let banks = Option.value ~default:g.Roadmap.banks (opt_int banks_stmt "number") in
+    let prefetch =
+      Option.value ~default:g.Roadmap.prefetch (opt_int burst "prefetch")
+    in
+    let burst_length =
+      Option.value ~default:g.Roadmap.burst_length (opt_int burst "length")
+    in
+    let trc = Option.value ~default:g.Roadmap.trc (opt timing "trc" Q.Time) in
+    let trcd =
+      Option.value ~default:g.Roadmap.trcd (opt timing "trcd" Q.Time)
+    in
+    let trp = Option.value ~default:g.Roadmap.trp (opt timing "trp" Q.Time) in
+    (* Cell array geometry. *)
+    let cell_stmts =
+      List.filter
+        (fun (s : Ast.stmt) -> lower s.Ast.keyword = "cellarray")
+        (stmts_of ast "FloorplanPhysical")
+    in
+    let cell key dim =
+      List.fold_left
+        (fun acc s -> match quantity s key dim with Some v -> Some v | None -> acc)
+        None cell_stmts
+    in
+    let cell_int key =
+      Option.map int_of_float (cell key Q.Scalar)
+    in
+    let f = Node.feature_size node in
+    let page_bits =
+      Option.value ~default:g.Roadmap.page_bits (cell_int "page")
+    in
+    let style =
+      match
+        Option.map lower
+          (List.fold_left
+             (fun acc (s : Ast.stmt) ->
+               match Ast.arg s "BLtype" with Some v -> Some v | None -> acc)
+             None cell_stmts)
+      with
+      | Some "open" -> Array_geometry.Open
+      | Some "folded" -> Array_geometry.Folded
+      | Some other -> fail 1 "bad BLtype %S (open or folded)" other
+      | None ->
+        if g.Roadmap.cell_factor >= 8.0 then Array_geometry.Folded
+        else Array_geometry.Open
+    in
+    let geometry =
+      Array_geometry.derive ~style
+        ~csl_blocks:(Option.value ~default:1 (cell_int "CSLblocks"))
+        ~bank_bits:(density_bits /. float_of_int banks)
+        ~page_bits
+        ~bits_per_bitline:
+          (Option.value ~default:g.Roadmap.bits_per_bitline
+             (cell_int "BitsPerBL"))
+        ~bits_per_lwl:
+          (Option.value ~default:g.Roadmap.bits_per_lwl
+             (cell_int "BitsPerLWL"))
+        ~wl_pitch:
+          (Option.value
+             ~default:(g.Roadmap.cell_factor /. 2.0 *. f)
+             (cell "WLpitch" Q.Length))
+        ~bl_pitch:
+          (Option.value ~default:(2.0 *. f) (cell "BLpitch" Q.Length))
+        ~sa_stripe:
+          (Option.value ~default:(Scaling.sa_stripe_width node)
+             (cell "SAstripe" Q.Length))
+        ~lwd_stripe:
+          (Option.value ~default:(Scaling.lwd_stripe_width node)
+             (cell "LWDstripe" Q.Length))
+        ()
+    in
+    (* Floorplan: explicit axes or the commodity default. *)
+    let stripe_scale = Scaling.factor Scaling.F_stripe_width node in
+    let floorplan =
+      match
+        ( axis_blocks ast ~axis:`H ~geometry,
+          axis_blocks ast ~axis:`V ~geometry )
+      with
+      | Some h, Some v ->
+        Floorplan.v ~horizontal:h ~vertical:v ~geometry ~banks
+      | None, None ->
+        Floorplan.commodity ~geometry ~banks
+          ~row_logic:(200e-6 *. stripe_scale)
+          ~column_logic:(200e-6 *. stripe_scale)
+          ~center_stripe:
+            (530e-6 *. stripe_scale
+            *. sqrt (Config.standard_complexity (Node.standard node)))
+      | _ ->
+        fail 1 "floorplan needs both Horizontal and Vertical block lists"
+    in
+    (* Spec record. *)
+    let log2i n =
+      let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+      go 0 n
+    in
+    let rows_per_bank = density_bits /. float_of_int (banks * page_bits) in
+    let spec =
+      Spec.v
+        ?clock_wires:(opt_int clock "number")
+        ?misc_control:(opt_int control "misc")
+        ~io_width ~datarate ~control_clock
+        ~bank_bits:
+          (Option.value ~default:(log2i banks) (opt_int control "bankadd"))
+        ~row_bits:
+          (Option.value
+             ~default:(log2i (int_of_float rows_per_bank))
+             (opt_int control "rowadd"))
+        ~col_bits:
+          (Option.value
+             ~default:(log2i (page_bits / io_width))
+             (opt_int control "coladd"))
+        ~prefetch ~burst_length ~banks ~density_bits ~trc ~trcd ~trp ()
+    in
+    (* Technology and voltages. *)
+    let tech = apply_technology ast (Scaling.params_at node) in
+    let supply = stmt_with ast "Voltages" "Supply" in
+    let eff = stmt_with ast "Voltages" "Efficiency" in
+    let const = stmt_with ast "Voltages" "Constant" in
+    let domains =
+      Domains.v
+        ?eff_int:(opt eff "int" Q.Fraction)
+        ?eff_bl:(opt eff "bl" Q.Fraction)
+        ?eff_pp:(opt eff "pp" Q.Fraction)
+        ?i_constant:(opt const "current" Q.Current)
+        ~vdd:(Option.value ~default:g.Roadmap.vdd (opt supply "vdd" Q.Voltage))
+        ~vint:
+          (Option.value ~default:g.Roadmap.vint (opt supply "vint" Q.Voltage))
+        ~vbl:(Option.value ~default:g.Roadmap.vbl (opt supply "vbl" Q.Voltage))
+        ~vpp:(Option.value ~default:g.Roadmap.vpp (opt supply "vpp" Q.Voltage))
+        ()
+    in
+    (* Buses and logic blocks. *)
+    let default_buses = Config.default_buses ~floorplan ~node ~spec in
+    let buses = buses_of_signaling ast floorplan ~spec ~default:default_buses in
+    let logic =
+      logic_of_section ast ~default:(Config.default_logic_blocks ~node ~spec)
+    in
+    let data_toggle =
+      Option.value ~default:0.5 (opt interface "toggle" Q.Fraction)
+    in
+    let io_predriver_cap =
+      Option.value
+        ~default:(5.0e-12 *. Scaling.factor Scaling.F_wire_cap node)
+        (opt interface "predriver" Q.Capacitance)
+    in
+    let io_receiver_cap =
+      Option.value
+        ~default:(2.5e-12 *. Scaling.factor Scaling.F_wire_cap node)
+        (opt interface "receiver" Q.Capacitance)
+    in
+    let config =
+      {
+        Config.name;
+        node;
+        spec;
+        domains;
+        tech;
+        floorplan;
+        buses;
+        logic;
+        data_toggle;
+        io_predriver_cap;
+        io_receiver_cap;
+        receiver_bias =
+          Option.value
+            ~default:
+              (match Node.standard node with
+               | Node.Sdr | Node.Ddr -> 0.10e-3
+               | Node.Ddr2 -> 0.50e-3
+               | Node.Ddr3 -> 0.45e-3
+               | Node.Ddr4 -> 0.35e-3
+               | Node.Ddr5 -> 0.30e-3)
+            (opt interface "bias" Q.Current);
+        input_receivers =
+          Option.value
+            ~default:
+              (spec.Spec.row_bits + spec.Spec.bank_bits
+              + spec.Spec.misc_control + 2)
+            (opt_int interface "receivers");
+        activation_fraction =
+          Option.value ~default:1.0 (opt interface "activation" Q.Fraction);
+      }
+    in
+    (* Pattern. *)
+    let pattern =
+      match stmts_of ast "Pattern" with
+      | [] -> None
+      | stmt :: _ ->
+        if lower stmt.Ast.keyword <> "pattern" then
+          fail stmt.Ast.line "expected a Pattern loop= statement";
+        (match
+           Pattern.parse ~name:"described pattern"
+             (String.concat " " stmt.Ast.positional)
+         with
+         | Ok p -> Some p
+         | Error msg -> fail stmt.Ast.line "%s" msg)
+    in
+    Ok { config; pattern }
+  with
+  | Err e -> Error e
+  | Invalid_argument msg -> Error { Parser.line = 0; message = msg }
+
+let load_string source =
+  match Parser.parse source with
+  | Error _ as e -> e
+  | Ok ast -> elaborate ast
+
+let load_file path =
+  match Parser.parse_file path with
+  | Error _ as e -> e
+  | Ok ast -> elaborate ast

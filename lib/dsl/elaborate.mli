@@ -1,0 +1,53 @@
+(** Elaboration of a parsed description into a model configuration.
+
+    Sections understood (all except [Device] and [Specification] are
+    optional and default to the commodity roadmap at the device's
+    node):
+
+    - [Device] — [Part name=<id> node=65nm]
+    - [Specification] — [IO width=16 datarate=1.6Gbps],
+      [Clock number=1 frequency=800MHz], [Control frequency=800MHz
+      bankadd=3 rowadd=14 coladd=10 misc=6], [Density mbits=1024],
+      [Banks number=8], [Burst length=8 prefetch=8],
+      [Timing trc=50ns trcd=15ns trp=15ns],
+      [Interface predriver=5pF receiver=2.5pF toggle=50%]
+    - [FloorplanPhysical] — [CellArray BitsPerBL=512 BitsPerLWL=512
+      BLtype=open WLpitch=165nm BLpitch=110nm SAstripe=8um
+      LWDstripe=3um Page=16384 CSLblocks=1], axis lists
+      [Horizontal blocks = A1 R1 A2 ...] with [SizeHorizontal
+      R1=200um ...] (block kind from the name's first letter:
+      A = array, R = row logic, C = column logic, P = center stripe;
+      array block sizes are computed)
+    - [Technology] — [Set <param>=<value> ...] overriding any of the
+      39 technology parameters by compact key (e.g. [cbitline=75fF])
+    - [Voltages] — [Supply vdd=1.5V vint=1.4V vbl=1.2V vpp=2.8V],
+      [Efficiency int=93% bl=80% pp=40%], [Constant current=5mA]
+    - [FloorplanSignaling] — one statement per bus segment, keyword
+      naming the bus ([WriteData], [ReadData], [RowAddress],
+      [ColumnAddress], [BankAddress], [Command], [Clock]) with either
+      [length=450um] or [start=i_j end=i_j] or [inside=i_j
+      fraction=25% dir=h], optional [NchW=9.6um PchW=19.2um]
+      buffer, [mux=1:8], [toggle=50%], [wires=16]
+    - [LogicBlocks] — [Block name=<id> gates=18000 toggle=15%
+      trigger=always|act,pre|rd,wrt ...]
+    - [Pattern] — [Pattern loop= act nop wrt nop rd nop pre nop] *)
+
+type t = {
+  config : Vdram_core.Config.t;
+  pattern : Vdram_core.Pattern.t option;
+}
+
+val elaborate : Ast.t -> (t, Parser.error) result
+
+val technology_keys : string list
+(** The compact keys accepted in the [Technology] section, in
+    {!Vdram_tech.Params.fields} order, plus [bitspercsl]. *)
+
+val technology_dims : Vdram_units.Quantity.dim list
+(** Expected dimensions of the float-valued technology keys, aligned
+    with the first 38 entries of {!technology_keys}. *)
+
+val load_file : string -> (t, Parser.error) result
+(** Parse and elaborate a description file. *)
+
+val load_string : string -> (t, Parser.error) result

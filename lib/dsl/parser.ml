@@ -1,0 +1,143 @@
+(* Line-oriented parser for the description language. *)
+
+type error = {
+  line : int;
+  message : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+let error line fmt = Printf.ksprintf (fun message -> { line; message }) fmt
+
+let strip_comment line =
+  let cut_at idx = String.sub line 0 idx in
+  let hash = String.index_opt line '#' in
+  let slashes =
+    let rec find i =
+      if i + 1 >= String.length line then None
+      else if line.[i] = '/' && line.[i + 1] = '/' then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  match (hash, slashes) with
+  | None, None -> line
+  | Some i, None | None, Some i -> cut_at i
+  | Some i, Some j -> cut_at (min i j)
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
+  |> List.filter (fun t -> t <> "")
+
+(* Fuse standalone '=' tokens: ["blocks"; "="; "A1"] and
+   ["loop="; "act"] keep their shape, but ["IO"; "width"; "="; "16"]
+   becomes ["IO"; "width=16"]. *)
+let fuse_equals toks =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | a :: "=" :: b :: rest when a <> "blocks" && a <> "loop" ->
+      go ((a ^ "=" ^ b) :: acc) rest
+    | a :: "=" :: rest when a = "blocks" || a = "loop" ->
+      go ("=" :: a :: acc) rest
+    | t :: rest -> go (t :: acc) rest
+  in
+  go [] toks
+
+let is_section_header toks =
+  match toks with
+  | [ w ] ->
+    String.length w > 0
+    && w.[0] >= 'A'
+    && w.[0] <= 'Z'
+    && not (String.contains w '=')
+  | _ -> false
+
+(* A positional-list statement: "<kw> blocks = a b c" or
+   "Pattern loop= a b c". *)
+let positional_tail toks =
+  match toks with
+  | kw :: "blocks" :: "=" :: rest -> Some (kw, [ ("blocks", "") ], rest)
+  | "Pattern" :: "loop=" :: rest -> Some ("Pattern", [ ("loop", "") ], rest)
+  | "Pattern" :: "loop" :: "=" :: rest ->
+    Some ("Pattern", [ ("loop", "") ], rest)
+  | _ -> None
+
+let parse_stmt ~line toks =
+  match positional_tail toks with
+  | Some (kw, args, positional) ->
+    Ok { Ast.line; keyword = kw; args; positional }
+  | None ->
+    (match toks with
+     | [] -> assert false
+     | kw :: rest ->
+       if String.contains kw '=' then
+         Error (error line "statement must start with a keyword, got %S" kw)
+       else
+         let rec split args positional = function
+           | [] -> Ok (List.rev args, List.rev positional)
+           | t :: rest ->
+             (match String.index_opt t '=' with
+              | Some 0 -> Error (error line "empty key in %S" t)
+              | Some i when i = String.length t - 1 ->
+                Error (error line "missing value in %S" t)
+              | Some i ->
+                let k = String.sub t 0 i
+                and v = String.sub t (i + 1) (String.length t - i - 1) in
+                split ((k, v) :: args) positional rest
+              | None -> split args (t :: positional) rest)
+         in
+         (match split [] [] rest with
+          | Ok (args, positional) ->
+            Ok { Ast.line; keyword = kw; args; positional }
+          | Error _ as e -> e))
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let rec go lineno sections current = function
+    | [] ->
+      let sections =
+        match current with
+        | None -> sections
+        | Some (hdr_line, name, stmts) ->
+          { Ast.section_line = hdr_line;
+            section_name = name;
+            stmts = List.rev stmts }
+          :: sections
+      in
+      Ok (List.rev sections)
+    | raw :: rest ->
+      let toks = fuse_equals (tokens (strip_comment raw)) in
+      if toks = [] then go (lineno + 1) sections current rest
+      else if is_section_header toks then begin
+        let name = List.hd toks in
+        let sections =
+          match current with
+          | None -> sections
+          | Some (hdr_line, n, stmts) ->
+            { Ast.section_line = hdr_line;
+              section_name = n;
+              stmts = List.rev stmts }
+            :: sections
+        in
+        go (lineno + 1) sections (Some (lineno, name, [])) rest
+      end
+      else
+        match current with
+        | None ->
+          Error (error lineno "statement before any section header")
+        | Some (hdr_line, name, stmts) ->
+          (match parse_stmt ~line:lineno toks with
+           | Ok stmt ->
+             go (lineno + 1) sections
+               (Some (hdr_line, name, stmt :: stmts))
+               rest
+           | Error _ as e -> e)
+  in
+  go 1 [] None lines
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | source -> parse source
+  | exception Sys_error msg -> Error { line = 0; message = msg }

@@ -1,0 +1,18 @@
+(** Parser of the DRAM description language (the "parse input file /
+    syntax check" stages of Figure 4). *)
+
+type error = {
+  line : int;
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+(** ["line 12: <message>"]. *)
+
+val parse : string -> (Ast.t, error) result
+(** Parse a full description source.  Statements before any section
+    header are an error, as are malformed assignments. *)
+
+val parse_file : string -> (Ast.t, error) result
+(** Read and parse a file; I/O failures are reported as an [error] on
+    line 0. *)

@@ -1,0 +1,5 @@
+(** Render a model configuration back into description-language
+    source.  [load_string (to_dsl cfg)] elaborates to an equivalent
+    configuration (same power results), which the test suite checks. *)
+
+val to_dsl : ?pattern:Vdram_core.Pattern.t -> Vdram_core.Config.t -> string

@@ -1,0 +1,183 @@
+(* Block-grid physical floorplan (Figure 1). *)
+
+type kind =
+  | Array_block
+  | Row_logic
+  | Column_logic
+  | Center_stripe
+  | Other of string
+
+let kind_name = function
+  | Array_block -> "array block"
+  | Row_logic -> "row logic"
+  | Column_logic -> "column logic"
+  | Center_stripe -> "center stripe"
+  | Other s -> s
+
+type axis_block = {
+  name : string;
+  kind : kind;
+  size : float;
+}
+
+type t = {
+  horizontal : axis_block array;
+  vertical : axis_block array;
+  geometry : Array_geometry.t;
+  banks : int;
+}
+
+let v ~horizontal ~vertical ~geometry ~banks =
+  if horizontal = [] || vertical = [] then
+    invalid_arg "Floorplan.v: empty axis";
+  List.iter
+    (fun b ->
+      if b.size <= 0.0 then
+        invalid_arg (Printf.sprintf "Floorplan.v: block %s has size <= 0"
+                       b.name))
+    (horizontal @ vertical);
+  {
+    horizontal = Array.of_list horizontal;
+    vertical = Array.of_list vertical;
+    geometry;
+    banks;
+  }
+
+let commodity ~geometry ~banks ~row_logic ~column_logic ~center_stripe =
+  let bank_rows = if banks >= 16 then 4 else 2 in
+  if banks mod bank_rows <> 0 then
+    invalid_arg "Floorplan.commodity: banks not divisible into rows";
+  let bank_cols = banks / bank_rows in
+  if bank_cols mod 2 <> 0 && bank_cols <> 1 then
+    invalid_arg "Floorplan.commodity: odd number of bank columns";
+  let bw = Array_geometry.block_width geometry
+  and bh = Array_geometry.block_height geometry in
+  let array_h i = { name = Printf.sprintf "A%d" i; kind = Array_block;
+                    size = bw }
+  and array_v i = { name = Printf.sprintf "AR%d" i; kind = Array_block;
+                    size = bh }
+  and rl i = { name = Printf.sprintf "R%d" i; kind = Row_logic;
+               size = row_logic }
+  and cl i = { name = Printf.sprintf "C%d" i; kind = Column_logic;
+               size = column_logic }
+  and cs = { name = "CS"; kind = Center_stripe; size = center_stripe } in
+  let horizontal =
+    if bank_cols = 1 then [ array_h 0 ]
+    else
+      List.concat
+        (List.init (bank_cols / 2) (fun g ->
+             [ array_h (2 * g); rl g; array_h ((2 * g) + 1) ]))
+  in
+  let half = bank_rows / 2 in
+  let vertical =
+    [ cl 0 ]
+    @ List.init half array_v
+    @ [ cs ]
+    @ List.init half (fun i -> array_v (half + i))
+    @ [ cl 1 ]
+  in
+  v ~horizontal ~vertical ~geometry ~banks
+
+let sum_sizes blocks =
+  Array.fold_left (fun acc b -> acc +. b.size) 0.0 blocks
+
+let die_width t = sum_sizes t.horizontal
+
+let die_height t = sum_sizes t.vertical
+
+let die_area t = die_width t *. die_height t
+
+let cell_kind h v =
+  match (h.kind, v.kind) with
+  | Center_stripe, _ | _, Center_stripe -> Center_stripe
+  | Row_logic, _ -> Row_logic
+  | _, Row_logic -> Row_logic
+  | _, Column_logic | Column_logic, _ -> Column_logic
+  | Array_block, Array_block -> Array_block
+  | Other s, _ | _, Other s -> Other s
+
+let area_of_kind t k =
+  let total = ref 0.0 in
+  Array.iter
+    (fun h ->
+      Array.iter
+        (fun v -> if cell_kind h v = k then total := !total +. (h.size *. v.size))
+        t.vertical)
+    t.horizontal;
+  !total
+
+let array_efficiency t =
+  let g = t.geometry in
+  let subarray_area =
+    Array_geometry.subarray_width g *. Array_geometry.subarray_height g in
+  let cells_area =
+    subarray_area
+    *. float_of_int (g.subarrays_along_wl * g.subarrays_along_bl)
+    *. float_of_int t.banks
+  in
+  cells_area /. die_area t
+
+let center t (i, j) =
+  let pos blocks idx axis =
+    if idx < 0 || idx >= Array.length blocks then
+      invalid_arg
+        (Printf.sprintf "Floorplan.center: %s index %d out of range" axis idx);
+    let before = ref 0.0 in
+    for k = 0 to idx - 1 do
+      before := !before +. blocks.(k).size
+    done;
+    !before +. (blocks.(idx).size /. 2.0)
+  in
+  (pos t.horizontal i "horizontal", pos t.vertical j "vertical")
+
+let route_length t a b =
+  let xa, ya = center t a and xb, yb = center t b in
+  Float.abs (xa -. xb) +. Float.abs (ya -. yb)
+
+let inside_length t (i, j) ~frac ~dir =
+  let _ = center t (i, j) (* bounds check *) in
+  match dir with
+  | `H -> frac *. t.horizontal.(i).size
+  | `V -> frac *. t.vertical.(j).size
+
+let find_block t axis name =
+  let blocks = match axis with `H -> t.horizontal | `V -> t.vertical in
+  let found = ref None in
+  Array.iteri
+    (fun i b -> if b.name = name && !found = None then found := Some i)
+    blocks;
+  !found
+
+let bank_cells t =
+  let cells = ref [] in
+  Array.iteri
+    (fun j v ->
+      if v.kind = Array_block then
+        Array.iteri
+          (fun i h -> if h.kind = Array_block then cells := (i, j) :: !cells)
+          t.horizontal)
+    t.vertical;
+  List.rev !cells
+
+let center_cell t =
+  let find blocks =
+    let idx = ref 0 in
+    Array.iteri (fun i b -> if b.kind = Center_stripe then idx := i) blocks;
+    !idx
+  in
+  let j =
+    let has_cs = Array.exists (fun b -> b.kind = Center_stripe) t.vertical in
+    if has_cs then find t.vertical else Array.length t.vertical / 2
+  in
+  let i = Array.length t.horizontal / 2 in
+  (i, j)
+
+let pp ppf t =
+  let mm v = Printf.sprintf "%.2f mm" (v *. 1e3) in
+  Format.fprintf ppf
+    "@[<v>die %s x %s = %.1f mm^2, %d banks, array efficiency %.1f%%@,%a@]"
+    (mm (die_width t)) (mm (die_height t))
+    (die_area t *. 1e6)
+    t.banks
+    (100.0 *. array_efficiency t)
+    Array_geometry.pp t.geometry

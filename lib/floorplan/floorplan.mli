@@ -1,0 +1,90 @@
+(** Physical floorplan: block grid along both die axes (Figure 1).
+
+    The floorplan is described, as in the paper's input language, by a
+    list of blocks along the horizontal axis and a list along the
+    vertical axis; grid cell [(i, j)] has the width of horizontal
+    block [i] and the height of vertical block [j].  Signal wire
+    segments extend from block center to block center. *)
+
+type kind =
+  | Array_block    (** cell array (one bank per block) *)
+  | Row_logic     (** row decode / redundancy / master WL drivers *)
+  | Column_logic  (** column decode, CSL drivers, secondary sense-amps *)
+  | Center_stripe (** pads, interface, control, power system *)
+  | Other of string
+
+val kind_name : kind -> string
+
+type axis_block = {
+  name : string;
+  kind : kind;
+  size : float;  (** extent along the axis, m *)
+}
+
+type t = {
+  horizontal : axis_block array;  (** left to right; sizes are widths *)
+  vertical : axis_block array;    (** top to bottom; sizes are heights *)
+  geometry : Array_geometry.t;
+  banks : int;
+}
+
+val v :
+  horizontal:axis_block list ->
+  vertical:axis_block list ->
+  geometry:Array_geometry.t ->
+  banks:int ->
+  t
+(** Build a floorplan from explicit axis lists.  Raises
+    [Invalid_argument] if either axis is empty or any size is not
+    positive. *)
+
+val commodity :
+  geometry:Array_geometry.t ->
+  banks:int ->
+  row_logic:float ->
+  column_logic:float ->
+  center_stripe:float ->
+  t
+(** The commodity layout of Figure 1: banks in 2 rows (4 rows when 16
+    or more banks), row-logic stripes between horizontal bank pairs,
+    column logic at the bank edges facing the horizontal center
+    stripe, which holds pads and interface.  Stripe widths are the
+    peripheral block extents in metres. *)
+
+val die_width : t -> float
+val die_height : t -> float
+val die_area : t -> float
+
+val area_of_kind : t -> kind -> float
+(** Total die area covered by grid cells of a kind.  A cell's kind is
+    [Center_stripe] if either axis block is the center stripe, else
+    [Row_logic] / [Column_logic] if an axis block is one of those,
+    else [Array_block] when both axis blocks are array blocks. *)
+
+val array_efficiency : t -> float
+(** Cell-array area (sub-arrays only, stripes excluded) over die
+    area. *)
+
+val center : t -> int * int -> float * float
+(** Center coordinates of grid cell [(i, j)]; [i] indexes the
+    horizontal list.  Raises [Invalid_argument] on out-of-range
+    coordinates. *)
+
+val route_length : t -> int * int -> int * int -> float
+(** Manhattan center-to-center distance between two grid cells. *)
+
+val inside_length : t -> int * int -> frac:float -> dir:[ `H | `V ] -> float
+(** Length of a wire segment inside one block: [frac] of the block's
+    extent along direction [dir]. *)
+
+val find_block : t -> [ `H | `V ] -> string -> int option
+(** Index of a named block along an axis. *)
+
+val bank_cells : t -> (int * int) list
+(** Grid coordinates of the array-block cells, row-major, one per
+    bank position. *)
+
+val center_cell : t -> int * int
+(** The grid cell at the die center (on the center stripe). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(* Channel-level link power. *)
+
+module Config = Vdram_core.Config
+module Spec = Vdram_core.Spec
+module Node = Vdram_tech.Node
+
+type t = {
+  link : Termination.t;
+  dq_pins : int;
+  strobe_pins : int;
+  ca_pins : int;
+  datarate : float;
+}
+
+let v ?(dq_pins = 64) ?(strobe_pins = 18) ?(ca_pins = 25) ~link ~datarate
+    () =
+  if dq_pins <= 0 || datarate <= 0.0 then
+    invalid_arg "Channel.v: pins and datarate must be positive";
+  { link; dq_pins; strobe_pins; ca_pins; datarate }
+
+let for_config (cfg : Config.t) =
+  let standard = Node.standard cfg.Config.node in
+  v
+    ~link:(Termination.for_standard standard)
+    ~datarate:cfg.Config.spec.Spec.datarate ()
+
+let bandwidth t = float_of_int t.dq_pins *. t.datarate
+
+let power t ~utilization =
+  if utilization < 0.0 || utilization > 1.0 then
+    invalid_arg "Channel.power: utilization outside [0, 1]";
+  let pin_active = Termination.active_power t.link ~bitrate:t.datarate in
+  let data =
+    float_of_int (t.dq_pins + t.strobe_pins) *. pin_active *. utilization
+  in
+  (* Command/address lines run at the command clock with lower
+     activity. *)
+  let ca =
+    float_of_int t.ca_pins *. pin_active *. 0.25 *. utilization
+  in
+  data +. ca
+
+let energy_per_bit t ~utilization =
+  if utilization <= 0.0 then
+    invalid_arg "Channel.energy_per_bit: utilization must be positive";
+  power t ~utilization /. (bandwidth t *. utilization)
+
+let pp ppf t =
+  Format.fprintf ppf "%dx DQ + %d strobe + %d CA at %s, %a" t.dq_pins
+    t.strobe_pins t.ca_pins
+    (Vdram_units.Si.format_eng ~unit_symbol:"bps" t.datarate)
+    Termination.pp t.link

@@ -1,0 +1,34 @@
+(** A memory channel: the 64-bit data bus, strobes and
+    command/address lines between controller and DIMM. *)
+
+type t = {
+  link : Termination.t;
+  dq_pins : int;       (** data pins, 64 for a standard channel *)
+  strobe_pins : int;   (** DQS pairs etc., toggling with the data *)
+  ca_pins : int;       (** command/address lines *)
+  datarate : float;    (** bit/s per data pin *)
+}
+
+val v :
+  ?dq_pins:int -> ?strobe_pins:int -> ?ca_pins:int ->
+  link:Termination.t -> datarate:float -> unit -> t
+(** Defaults: 64 DQ, 18 strobe lines, 25 CA. *)
+
+val for_config : Vdram_core.Config.t -> t
+(** Channel matching a device: the era-typical link of its interface
+    standard at its per-pin rate. *)
+
+val bandwidth : t -> float
+(** Peak bits per second over the data pins. *)
+
+val power : t -> utilization:float -> float
+(** Link power at a data-bus utilization: data and strobe pins burst
+    for the utilized share; command/address lines toggle at a quarter
+    of the data activity (commands are rarer than data beats). *)
+
+val energy_per_bit : t -> utilization:float -> float
+(** Link energy per transported data bit at a utilization.  Falls as
+    utilization rises for DC-terminated links (the standing current
+    amortizes). *)
+
+val pp : Format.formatter -> t -> unit

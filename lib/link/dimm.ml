@@ -1,0 +1,88 @@
+(* DIMM-level composition of device and link power. *)
+
+module Config = Vdram_core.Config
+module Spec = Vdram_core.Spec
+module Model = Vdram_core.Model
+module Pattern = Vdram_core.Pattern
+module Report = Vdram_core.Report
+
+type organization = {
+  device : Config.t;
+  devices_per_rank : int;
+  ranks : int;
+}
+
+let of_width ~node ~io_width ~capacity_bits =
+  if 64 mod io_width <> 0 then
+    invalid_arg "Dimm.of_width: 64 must be a multiple of the device width";
+  let device = Config.commodity ~io_width ~node () in
+  let devices_per_rank = 64 / io_width in
+  let rank_bits =
+    float_of_int devices_per_rank
+    *. device.Config.spec.Spec.density_bits
+  in
+  let ranks =
+    max 1 (int_of_float (Float.ceil (capacity_bits /. rank_bits)))
+  in
+  { device; devices_per_rank; ranks }
+
+type result = {
+  organization : organization;
+  active_rank_power : float;
+  idle_ranks_power : float;
+  link_power : float;
+  total_power : float;
+  bandwidth : float;
+  energy_per_bit : float;
+}
+
+let evaluate ?(utilization = 0.5) org =
+  if utilization < 0.0 || utilization > 1.0 then
+    invalid_arg "Dimm.evaluate: utilization outside [0, 1]";
+  let device = org.device in
+  let busy =
+    (Model.pattern_power device
+       (Pattern.idd7_mixed device.Config.spec))
+      .Report.power
+  in
+  let standby = Model.state_power device Model.Precharge_standby in
+  (* A device in the active rank interpolates between standby and the
+     random-access mix with the channel utilization. *)
+  let per_active = standby +. (utilization *. (busy -. standby)) in
+  let active_rank_power =
+    float_of_int org.devices_per_rank *. per_active
+  in
+  let idle_ranks_power =
+    float_of_int ((org.ranks - 1) * org.devices_per_rank) *. standby
+  in
+  let channel = Channel.for_config device in
+  let link_power = Channel.power channel ~utilization in
+  let total_power = active_rank_power +. idle_ranks_power +. link_power in
+  let bandwidth = Channel.bandwidth channel *. utilization in
+  {
+    organization = org;
+    active_rank_power;
+    idle_ranks_power;
+    link_power;
+    total_power;
+    bandwidth;
+    energy_per_bit =
+      (if bandwidth > 0.0 then total_power /. bandwidth else 0.0);
+  }
+
+let compare_widths ~node ~capacity_bits ?utilization widths =
+  List.map
+    (fun io_width ->
+      evaluate ?utilization (of_width ~node ~io_width ~capacity_bits))
+    widths
+
+let pp_result ppf r =
+  let spec = r.organization.device.Config.spec in
+  Format.fprintf ppf
+    "x%-3d devices: %d/rank x %d ranks | rank %6.2f W + idle %6.2f W + \
+     link %6.2f W = %6.2f W | %5.2f GB/s | %6.1f pJ/bit"
+    spec.Spec.io_width r.organization.devices_per_rank
+    r.organization.ranks r.active_rank_power r.idle_ranks_power
+    r.link_power r.total_power
+    (r.bandwidth /. 8e9)
+    (r.energy_per_bit *. 1e12)

@@ -1,0 +1,44 @@
+(** DIMM / system view: devices plus the channel link.
+
+    A rank spans the 64-bit channel with [64 / io_width] devices, so
+    narrow devices mean many chips activating per access — the
+    system-level trade-off behind mini-rank (Zheng et al.) and
+    threaded modules (Ware et al.), quantified here by combining the
+    device model with the link model. *)
+
+type organization = {
+  device : Vdram_core.Config.t;
+  devices_per_rank : int;
+  ranks : int;
+}
+
+val of_width :
+  node:Vdram_tech.Node.t -> io_width:int -> capacity_bits:float ->
+  organization
+(** Build a DIMM of at least [capacity_bits] from roadmap devices of
+    the given width.  Raises [Invalid_argument] if 64 is not a
+    multiple of the width. *)
+
+type result = {
+  organization : organization;
+  active_rank_power : float;   (** W, all devices of the busy rank *)
+  idle_ranks_power : float;    (** W, standby ranks *)
+  link_power : float;          (** W *)
+  total_power : float;
+  bandwidth : float;           (** delivered bit/s at the utilization *)
+  energy_per_bit : float;      (** system J per transported bit *)
+}
+
+val evaluate : ?utilization:float -> organization -> result
+(** DIMM power at a channel utilization (default 0.5): the active
+    rank's devices run the random-access (Idd7-like) mix scaled by
+    utilization, other ranks sit in precharge standby, and the link
+    adds its termination and switching power. *)
+
+val compare_widths :
+  node:Vdram_tech.Node.t -> capacity_bits:float -> ?utilization:float ->
+  int list -> result list
+(** The organization study: same capacity and channel, built from x4 /
+    x8 / x16 devices. *)
+
+val pp_result : Format.formatter -> result -> unit

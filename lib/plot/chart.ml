@@ -1,0 +1,154 @@
+(* ASCII charts. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;
+}
+
+let series ~label points = { label; points }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let finite (x, y) = Float.is_finite x && Float.is_finite y
+
+let line ?(width = 64) ?(height = 16) ?(log_y = false) ?(y_unit = "")
+    all_series =
+  let all_series =
+    List.map
+      (fun s -> { s with points = List.filter finite s.points })
+      all_series
+    |> List.filter (fun s -> s.points <> [])
+  in
+  if all_series = [] then "(no data to plot)\n"
+  else begin
+    let transform y = if log_y then log10 (Float.max y 1e-300) else y in
+    let points =
+      List.concat_map
+        (fun s -> List.map (fun (x, y) -> (x, transform y)) s.points)
+        all_series
+    in
+    let xs = List.map fst points and ys = List.map snd points in
+    let fold f = function
+      | [] -> 0.0
+      | v :: rest -> List.fold_left f v rest
+    in
+    let x_min = fold Float.min xs and x_max = fold Float.max xs in
+    let y_min = fold Float.min ys and y_max = fold Float.max ys in
+    let x_span = if x_max = x_min then 1.0 else x_max -. x_min in
+    let y_span = if y_max = y_min then 1.0 else y_max -. y_min in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            let y = transform y in
+            let col =
+              int_of_float
+                ((x -. x_min) /. x_span *. float_of_int (width - 1))
+            and row =
+              height - 1
+              - int_of_float
+                  ((y -. y_min) /. y_span *. float_of_int (height - 1))
+            in
+            if row >= 0 && row < height && col >= 0 && col < width then
+              grid.(row).(col) <- glyph)
+          s.points)
+      all_series;
+    let b = Buffer.create 2048 in
+    let y_of_row row =
+      let v =
+        y_max
+        -. (float_of_int row /. float_of_int (height - 1) *. y_span)
+      in
+      if log_y then 10.0 ** v else v
+    in
+    Array.iteri
+      (fun row cells ->
+        if row mod 4 = 0 || row = height - 1 then
+          Buffer.add_string b (Printf.sprintf "%10.3g |" (y_of_row row))
+        else Buffer.add_string b (String.make 10 ' ' ^ " |");
+        Array.iter (Buffer.add_char b) cells;
+        Buffer.add_char b '\n')
+      grid;
+    Buffer.add_string b (String.make 11 ' ' ^ String.make width '-');
+    Buffer.add_char b '\n';
+    Buffer.add_string b
+      (Printf.sprintf "%10s  %.4g%s%.4g%s\n" "" x_min
+         (String.make (max 1 (width - 16)) ' ')
+         x_max
+         (if y_unit = "" then "" else "  [y: " ^ y_unit ^ "]"));
+    List.iteri
+      (fun si s ->
+        Buffer.add_string b
+          (Printf.sprintf "%12s %s\n"
+             (String.make 1 glyphs.(si mod Array.length glyphs))
+             s.label))
+      all_series;
+    Buffer.contents b
+  end
+
+let bars ?(width = 50) ?(positive_only = false) entries =
+  if entries = [] then "(no data to plot)\n"
+  else begin
+    let magnitude =
+      List.fold_left (fun acc (_, v) -> Float.max acc (Float.abs v)) 0.0
+        entries
+    in
+    let magnitude = if magnitude = 0.0 then 1.0 else magnitude in
+    let label_width =
+      List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+    in
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun (label, v) ->
+        if positive_only then begin
+          let cells =
+            int_of_float
+              (Float.abs v /. magnitude *. float_of_int width +. 0.5)
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%-*s |%-*s %+.2f\n" label_width label width
+               (String.make cells '#') v)
+        end
+        else begin
+          (* Centre axis: bars scale to the half width; negatives
+             extend left. *)
+          let half = width / 2 in
+          let cells =
+            min half
+              (int_of_float
+                 (Float.abs v /. magnitude *. float_of_int half +. 0.5))
+          in
+          let left, right =
+            if v < 0.0 then (String.make cells '#', "")
+            else ("", String.make cells '#')
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%-*s %*s|%-*s %+.2f\n" label_width label half
+               left half right v)
+        end)
+      entries;
+    Buffer.contents b
+  end
+
+let blocks = [| " "; "_"; "."; ":"; "-"; "="; "+"; "*"; "#" |]
+
+let sparkline values =
+  match List.filter Float.is_finite values with
+  | [] -> ""
+  | finite_values ->
+    let lo = List.fold_left Float.min (List.hd finite_values) finite_values
+    and hi =
+      List.fold_left Float.max (List.hd finite_values) finite_values
+    in
+    let span = if hi = lo then 1.0 else hi -. lo in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let idx =
+             int_of_float
+               ((v -. lo) /. span *. float_of_int (Array.length blocks - 1))
+           in
+           blocks.(max 0 (min (Array.length blocks - 1) idx)))
+         values)

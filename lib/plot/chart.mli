@@ -1,0 +1,29 @@
+(** Terminal charts for the benchmark harness: the paper's figures as
+    ASCII, no plotting dependency required. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y) pairs *)
+}
+
+val series : label:string -> (float * float) list -> series
+
+val line :
+  ?width:int -> ?height:int -> ?log_y:bool -> ?y_unit:string ->
+  series list -> string
+(** A scatter/line chart.  Each series draws with its own glyph
+    ([*], [+], [o], [x], [#], [@] cycling); the legend maps glyphs to
+    labels; axis ticks are printed at the left edge and below.
+    [log_y] uses a log10 vertical scale (energy-per-bit trends).
+    Defaults: 64 x 16 plot cells.  Series with no finite points are
+    skipped; an empty chart renders a note instead. *)
+
+val bars :
+  ?width:int -> ?positive_only:bool -> (string * float) list -> string
+(** Horizontal bars, one row per entry, scaled to the largest
+    magnitude — the Figure 10 tornado.  Negative values (with
+    [positive_only] false, the default) extend left of a centre
+    axis. *)
+
+val sparkline : float list -> string
+(** One-line trend using block glyphs, e.g. [▇▆▅▃▂▁]. *)

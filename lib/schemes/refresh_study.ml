@@ -1,0 +1,54 @@
+(* Refresh-interval sweep. *)
+
+module Config = Vdram_core.Config
+module Model = Vdram_core.Model
+module Domains = Vdram_circuits.Domains
+
+type point = {
+  interval_scale : float;
+  self_refresh_power : float;
+  idd5b : float;
+  standby_charge_per_day : float;
+}
+
+let sweep (cfg : Config.t) ~scales =
+  let d = cfg.Config.domains in
+  List.map
+    (fun interval_scale ->
+      if interval_scale <= 0.0 then
+        invalid_arg "Refresh_study.sweep: non-positive scale";
+      (* A longer interval divides the average refresh power; the
+         burst-refresh current is unchanged (same rows per command),
+         only its duty cycle moves. *)
+      let refresh = Model.refresh_power cfg /. interval_scale in
+      let self_refresh_power = Model.powerdown_power cfg +. refresh in
+      let day = 24.0 *. 3600.0 in
+      {
+        interval_scale;
+        self_refresh_power;
+        idd5b = Model.idd5b cfg;
+        standby_charge_per_day =
+          self_refresh_power /. d.Domains.vdd *. day;
+      })
+    scales
+
+let at_temperatures cfg ~celsius =
+  List.map
+    (fun t ->
+      let scale = Vdram_tech.Retention.interval_scale ~celsius:t in
+      match sweep cfg ~scales:[ scale ] with
+      | [ p ] -> (t, p)
+      | _ -> assert false)
+    celsius
+
+let pp ppf points =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf
+        "tREFI x%-5.2f  self-refresh %7.2f mW  Idd5B %6.1f mA  %6.0f C/day@,"
+        p.interval_scale
+        (p.self_refresh_power *. 1e3)
+        (p.idd5b *. 1e3) p.standby_charge_per_day)
+    points;
+  Format.fprintf ppf "@]"

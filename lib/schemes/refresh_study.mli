@@ -1,0 +1,25 @@
+(** Refresh-rate study (Emma et al., IEEE Micro 2008, cited in
+    Section V): adaptively relaxing the refresh interval cuts the
+    standby/self-refresh floor, which matters most for cache-like and
+    mobile uses of DRAM. *)
+
+type point = {
+  interval_scale : float;
+      (** multiple of the nominal 7.8 us refresh interval *)
+  self_refresh_power : float;  (** W *)
+  idd5b : float;               (** burst-refresh current, A *)
+  standby_charge_per_day : float;
+      (** coulombs per day in self-refresh — the battery-life view *)
+}
+
+val sweep : Vdram_core.Config.t -> scales:float list -> point list
+(** Evaluate relaxed (scale > 1) or tightened (scale < 1, e.g. high
+    temperature) refresh intervals. *)
+
+val at_temperatures :
+  Vdram_core.Config.t -> celsius:float list -> (float * point) list
+(** The same study driven by operating temperature through the
+    retention model ({!Vdram_tech.Retention}): each temperature maps
+    to its allowed refresh-interval scale. *)
+
+val pp : Format.formatter -> point list -> unit

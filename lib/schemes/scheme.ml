@@ -1,0 +1,213 @@
+(* Power-reduction schemes as configuration transforms. *)
+
+module Config = Vdram_core.Config
+module Spec = Vdram_core.Spec
+module Bus = Vdram_circuits.Bus
+module Domains = Vdram_circuits.Domains
+module Params = Vdram_tech.Params
+module G = Vdram_floorplan.Array_geometry
+
+type t = {
+  name : string;
+  reference : string;
+  description : string;
+  transform : Config.t -> Config.t;
+  area_factor : float;
+  area_note : string;
+}
+
+(* One cache line (64 B = 512 bits) of sub-arrays: the activation
+   fraction that raises only the local wordlines holding the line. *)
+let cache_line_fraction cfg =
+  let g = Config.geometry cfg in
+  let line_subarrays =
+    max 1 (512 / g.G.bits_per_lwl)
+  in
+  float_of_int (line_subarrays * g.G.bits_per_lwl)
+  /. float_of_int (Config.page_bits cfg)
+
+let selective_bitline_activation =
+  {
+    name = "selective bitline activation";
+    reference = "Udipi et al., ISCA 2010";
+    description =
+      "Post the activate until the column address is known, then raise \
+       only the local wordline segments that hold the requested cache \
+       line.";
+    transform =
+      (fun cfg ->
+        Config.with_activation_fraction cfg
+          (Float.min 1.0 (cache_line_fraction cfg)));
+    area_factor = 1.03;
+    area_note =
+      "needs per-segment local wordline selects in the on-pitch driver \
+       stripes and posted-activate latching; modest but on-pitch";
+  }
+
+let single_subarray_access =
+  {
+    name = "single sub-array access";
+    reference = "Udipi et al., ISCA 2010";
+    description =
+      "Fetch the whole cache line from one sub-array: minimum \
+       activation and an 8:1 column-select to master-data-line ratio \
+       so the dense M3 tracks become data lines.";
+    transform =
+      (fun cfg ->
+        let g = Config.geometry cfg in
+        let one =
+          float_of_int g.G.bits_per_lwl
+          /. float_of_int (Config.page_bits cfg)
+        in
+        let cfg = Config.with_activation_fraction cfg (Float.min 1.0 one) in
+        (* Eight times more bits move per column select line. *)
+        Config.with_tech cfg
+          {
+            cfg.Config.tech with
+            Params.bits_per_csl = cfg.Config.tech.Params.bits_per_csl * 8;
+          });
+    area_factor = 1.12;
+    area_note =
+      "fundamentally changes the array block data path: wider \
+       sense-amplifier stripe data switches and re-purposed M3 \
+       wiring; the paper flags this as the costly direction";
+  }
+
+let segmented_data_lines =
+  {
+    name = "segmented data lines";
+    reference = "Jeong et al., ISSCC 2009";
+    description =
+      "Cut-off switches in the center-stripe data buses limit the \
+       toggled wire length to the segment holding the addressed bank.";
+    transform =
+      (fun cfg ->
+        Config.map_buses cfg (fun bus ->
+            match bus.Bus.role with
+            | Bus.Write_data | Bus.Read_data ->
+              {
+                bus with
+                Bus.segments =
+                  List.map
+                    (fun s -> { s with Bus.length = s.Bus.length *. 0.55 })
+                    bus.Bus.segments;
+              }
+            | _ -> bus));
+    area_factor = 1.005;
+    area_note =
+      "cut-off switches live in the off-pitch center stripe: nearly \
+       free in area";
+  }
+
+let mini_rank =
+  {
+    name = "mini-rank";
+    reference = "Zheng et al., MICRO 2008";
+    description =
+      "Break the rank's data path into narrower portions so fewer \
+       devices activate per access; per device, half the IO width \
+       serves a longer burst.";
+    transform =
+      (fun cfg ->
+        let spec = cfg.Config.spec in
+        let spec =
+          {
+            spec with
+            Spec.io_width = max 4 (spec.Spec.io_width / 2);
+            burst_length = spec.Spec.burst_length * 2;
+          }
+        in
+        Config.with_spec cfg spec);
+    area_factor = 1.0;
+    area_note =
+      "device unchanged; the mini-rank buffer sits on the module";
+  }
+
+let tsv_3d =
+  {
+    name = "3D stacking with TSV";
+    reference = "Kang et al., JSSC 2010";
+    description =
+      "Through-silicon vias bring the interface to a base die: the \
+       long center-stripe runs shrink and the off-chip driver loads \
+       are replaced by short vertical hops.";
+    transform =
+      (fun cfg ->
+        let cfg =
+          Config.map_buses cfg (fun bus ->
+              {
+                bus with
+                Bus.segments =
+                  List.map
+                    (fun s -> { s with Bus.length = s.Bus.length *. 0.35 })
+                    bus.Bus.segments;
+              })
+        in
+        {
+          cfg with
+          Config.io_predriver_cap = cfg.Config.io_predriver_cap *. 0.4;
+          io_receiver_cap = cfg.Config.io_receiver_cap *. 0.4;
+        });
+    area_factor = 1.02;
+    area_note =
+      "TSV keep-out area on every die plus a base logic die; wiring \
+       savings are on-die, cost moves to the stack";
+  }
+
+let low_voltage =
+  {
+    name = "low-voltage operation";
+    reference = "Moon et al., ISSCC 2009";
+    description =
+      "Run the DRAM at 1.2 V external with a more advanced logic \
+       process (thinner oxides, better transistors).";
+    transform =
+      (fun cfg ->
+        let d = cfg.Config.domains in
+        let scale = 1.2 /. d.Domains.vdd in
+        let cfg =
+          Config.with_domains cfg
+            (Domains.v
+               ~i_constant:d.Domains.i_constant
+               ~vdd:1.2
+               ~vint:(Float.min (d.Domains.vint *. scale) 1.1)
+               ~vbl:(Float.min d.Domains.vbl 1.0)
+               ~vpp:(Float.max (d.Domains.vpp *. scale) 2.4)
+               ())
+        in
+        Config.with_tech cfg
+          {
+            cfg.Config.tech with
+            Params.tox_logic = cfg.Config.tech.Params.tox_logic *. 0.85;
+          });
+    area_factor = 1.0;
+    area_note =
+      "process cost, not area: extra oxide and implant steps trade \
+       power for wafer cost";
+  }
+
+let threaded_module =
+  {
+    name = "threaded memory module";
+    reference = "Ware and Hampel, ICCD 2006";
+    description =
+      "Extra addressing granularity on the module lets each request \
+       activate half the page at a given data rate.";
+    transform =
+      (fun cfg -> Config.with_activation_fraction cfg 0.5);
+    area_factor = 1.01;
+    area_note =
+      "one more column address bit and duplicated wordline select per \
+       half-page; mostly off-pitch";
+  }
+
+let all =
+  [
+    selective_bitline_activation;
+    single_subarray_access;
+    segmented_data_lines;
+    mini_rank;
+    tsv_3d;
+    low_voltage;
+    threaded_module;
+  ]

@@ -1,0 +1,52 @@
+(** DRAM power-reduction schemes (Section V).
+
+    Each scheme is a configuration transform plus the area/feasibility
+    assessment the paper insists on: any change inside the bitline
+    sense-amplifier or local wordline driver stripes is expensive;
+    center-stripe changes are cheap. *)
+
+type t = {
+  name : string;
+  reference : string;
+      (** who proposed it, e.g. ["Udipi et al., ISCA 2010"] *)
+  description : string;
+  transform : Vdram_core.Config.t -> Vdram_core.Config.t;
+  area_factor : float;
+      (** estimated die-area multiplier of the modification *)
+  area_note : string;
+      (** where the area/feasibility cost lands *)
+}
+
+val selective_bitline_activation : t
+(** Udipi et al.: post the activate until the column command is known
+    and raise only the needed local wordline segments; modelled as an
+    activation fraction of one cache line's worth of sub-arrays. *)
+
+val single_subarray_access : t
+(** Udipi et al.: fetch the whole cache line from one sub-array; the
+    smallest possible activation plus an 8:1 column-select to master
+    data line ratio (more bits per CSL). *)
+
+val segmented_data_lines : t
+(** Jeong et al.: cut-off switches shorten the active length of the
+    center-stripe data buses. *)
+
+val mini_rank : t
+(** Zheng et al.: narrower data path per device so fewer devices serve
+    an access; modelled at device level as halved IO width at the same
+    per-pin rate. *)
+
+val tsv_3d : t
+(** Kang et al.: 3-D stacking with through-silicon vias shortens the
+    center-stripe wiring and shrinks the off-chip driver loads. *)
+
+val low_voltage : t
+(** Moon et al.: run the device at 1.2 V with a more advanced logic
+    process. *)
+
+val threaded_module : t
+(** Ware and Hampel: added addressing granularity halves the activated
+    page per request. *)
+
+val all : t list
+(** All seven schemes above. *)

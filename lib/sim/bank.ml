@@ -1,0 +1,76 @@
+(* Bank FSM with timing bookkeeping. *)
+
+exception Timing_violation of string
+
+type state =
+  | Idle
+  | Active of int
+
+type t = {
+  timing : Timing.t;
+  mutable bank_state : state;
+  mutable next_activate : int;
+  mutable next_column : int;
+  mutable next_precharge : int;
+}
+
+let create timing =
+  {
+    timing;
+    bank_state = Idle;
+    next_activate = 0;
+    next_column = 0;
+    next_precharge = 0;
+  }
+
+let state t = t.bank_state
+
+let earliest_activate t = t.next_activate
+
+let earliest_column t = t.next_column
+
+let earliest_precharge t = t.next_precharge
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Timing_violation m)) fmt
+
+let activate t ~at ~row =
+  (match t.bank_state with
+   | Idle -> ()
+   | Active _ -> fail "activate at %d: bank not idle" at);
+  if at < t.next_activate then
+    fail "activate at %d before tRC/tRP allows (%d)" at t.next_activate;
+  t.bank_state <- Active row;
+  t.next_column <- at + t.timing.Timing.trcd;
+  t.next_precharge <- at + t.timing.Timing.tras;
+  t.next_activate <- at + t.timing.Timing.trc
+
+let column t ~at ~write =
+  (match t.bank_state with
+   | Active _ -> ()
+   | Idle -> fail "column command at %d: no open row" at);
+  if at < t.next_column then
+    fail "column at %d before tRCD/tCCD allows (%d)" at t.next_column;
+  t.next_column <- at + t.timing.Timing.tccd;
+  let release =
+    if write then
+      at + t.timing.Timing.twl + t.timing.Timing.tccd + t.timing.Timing.twr
+    else at + t.timing.Timing.trtp
+  in
+  t.next_precharge <- max t.next_precharge release
+
+let precharge t ~at =
+  (match t.bank_state with
+   | Active _ -> ()
+   | Idle -> fail "precharge at %d: bank already idle" at);
+  if at < t.next_precharge then
+    fail "precharge at %d before tRAS/tWR allows (%d)" at t.next_precharge;
+  t.bank_state <- Idle;
+  t.next_activate <- max t.next_activate (at + t.timing.Timing.trp)
+
+let refresh t ~at =
+  (match t.bank_state with
+   | Idle -> ()
+   | Active _ -> fail "refresh at %d: bank not precharged" at);
+  if at < t.next_activate then
+    fail "refresh at %d before tRP allows (%d)" at t.next_activate;
+  t.next_activate <- at + t.timing.Timing.trfc

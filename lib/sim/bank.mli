@@ -1,0 +1,39 @@
+(** Per-bank state machine with timing enforcement.
+
+    The controller asks a bank when a command may issue and notifies
+    it when one does; the bank tracks its row state and the earliest
+    legal cycle of each next command.  Issuing a command before its
+    earliest cycle raises [Timing_violation] — the property tests
+    drive schedulers through this interface to prove they respect the
+    constraints. *)
+
+exception Timing_violation of string
+
+type state =
+  | Idle
+  | Active of int  (** open row *)
+
+type t
+
+val create : Timing.t -> t
+
+val state : t -> state
+
+val earliest_activate : t -> int
+val earliest_column : t -> int
+(** Meaningful only while a row is open. *)
+
+val earliest_precharge : t -> int
+
+val activate : t -> at:int -> row:int -> unit
+(** Raises [Timing_violation] if the bank is not idle or [at] is
+    before {!earliest_activate}. *)
+
+val column : t -> at:int -> write:bool -> unit
+(** A read or write to the open row; writes push the earliest
+    precharge out by the write recovery time. *)
+
+val precharge : t -> at:int -> unit
+
+val refresh : t -> at:int -> unit
+(** All-bank refresh component: requires idle, occupies tRFC. *)

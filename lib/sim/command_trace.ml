@@ -1,0 +1,191 @@
+(* Command-trace replay against the bank FSMs + energy integration. *)
+
+module Config = Vdram_core.Config
+module Spec = Vdram_core.Spec
+
+type command =
+  | Act of int * int
+  | Pre of int
+  | Prea
+  | Rd of int
+  | Wr of int
+  | Ref
+  | Nop
+
+type entry = {
+  cycle : int;
+  command : command;
+}
+
+type violation = {
+  at : int;
+  message : string;
+}
+
+type result = {
+  stats : Stats.t;
+  energy : Energy_model.report;
+  violations : violation list;
+}
+
+let run ?(strict = true) (cfg : Config.t) entries =
+  let timing = Timing.of_config cfg in
+  let nbanks = cfg.Config.spec.Spec.banks in
+  let banks = Array.init nbanks (fun _ -> Bank.create timing) in
+  let stats = ref Stats.zero in
+  let violations = ref [] in
+  let last_cycle = ref (-1) in
+  let bump f = stats := f !stats in
+  let check_bank at b =
+    if b < 0 || b >= nbanks then
+      raise (Bank.Timing_violation (Printf.sprintf "bad bank %d at %d" b at))
+  in
+  let apply { cycle; command } =
+    if cycle <= !last_cycle && command <> Nop then
+      raise
+        (Bank.Timing_violation
+           (Printf.sprintf "command bus conflict at %d" cycle));
+    (match command with
+     | Act (b, row) ->
+       check_bank cycle b;
+       Bank.activate banks.(b) ~at:cycle ~row;
+       bump (fun s -> { s with Stats.activates = s.Stats.activates + 1 })
+     | Pre b ->
+       check_bank cycle b;
+       Bank.precharge banks.(b) ~at:cycle;
+       bump (fun s -> { s with Stats.precharges = s.Stats.precharges + 1 })
+     | Prea ->
+       Array.iter
+         (fun bank ->
+           match Bank.state bank with
+           | Bank.Active _ ->
+             Bank.precharge bank ~at:cycle;
+             bump (fun s ->
+                 { s with Stats.precharges = s.Stats.precharges + 1 })
+           | Bank.Idle -> ())
+         banks
+     | Rd b ->
+       check_bank cycle b;
+       Bank.column banks.(b) ~at:cycle ~write:false;
+       bump (fun s ->
+           {
+             s with
+             Stats.reads = s.Stats.reads + 1;
+             requests = s.Stats.requests + 1;
+           })
+     | Wr b ->
+       check_bank cycle b;
+       Bank.column banks.(b) ~at:cycle ~write:true;
+       bump (fun s ->
+           {
+             s with
+             Stats.writes = s.Stats.writes + 1;
+             requests = s.Stats.requests + 1;
+           })
+     | Ref ->
+       Array.iter (fun bank -> Bank.refresh bank ~at:cycle) banks;
+       bump (fun s ->
+           {
+             s with
+             Stats.refreshes = s.Stats.refreshes + 1;
+             refresh_row_cycles =
+               s.Stats.refresh_row_cycles + timing.Timing.trfc;
+           })
+     | Nop -> ());
+    if command <> Nop then last_cycle := cycle
+  in
+  List.iter
+    (fun entry ->
+      try apply entry
+      with Bank.Timing_violation message ->
+        if strict then
+          invalid_arg
+            (Printf.sprintf "Command_trace.run: %s (cycle %d)" message
+               entry.cycle)
+        else
+          violations := { at = entry.cycle; message } :: !violations)
+    entries;
+  let end_cycle =
+    List.fold_left (fun acc e -> max acc e.cycle) 0 entries + timing.Timing.trc
+  in
+  stats := { !stats with Stats.cycles = end_cycle };
+  {
+    stats = !stats;
+    energy = Energy_model.of_stats cfg !stats;
+    violations = List.rev !violations;
+  }
+
+let command_words = function
+  | Act (b, r) -> Printf.sprintf "ACT %d %d" b r
+  | Pre b -> Printf.sprintf "PRE %d" b
+  | Prea -> "PREA"
+  | Rd b -> Printf.sprintf "RD %d" b
+  | Wr b -> Printf.sprintf "WR %d" b
+  | Ref -> "REF"
+  | Nop -> "NOP"
+
+let to_string entries =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# vdram command trace\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %s\n" e.cycle (command_words e.command)))
+    entries;
+  Buffer.contents b
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let parse_line lineno line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok None
+    else
+      let words =
+        String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+      in
+      let int_of w =
+        match int_of_string_opt w with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "line %d: bad number %S" lineno w)
+      in
+      let ( let* ) = Result.bind in
+      match words with
+      | cycle :: rest ->
+        let* cycle = int_of cycle in
+        let* command =
+          match rest with
+          | [ "ACT"; b; r ] ->
+            let* b = int_of b in
+            let* r = int_of r in
+            Ok (Act (b, r))
+          | [ "PRE"; b ] ->
+            let* b = int_of b in
+            Ok (Pre b)
+          | [ "PREA" ] -> Ok Prea
+          | [ "RD"; b ] ->
+            let* b = int_of b in
+            Ok (Rd b)
+          | [ "WR"; b ] ->
+            let* b = int_of b in
+            Ok (Wr b)
+          | [ "REF" ] -> Ok Ref
+          | [ "NOP" ] -> Ok Nop
+          | _ -> Error (Printf.sprintf "line %d: bad command" lineno)
+        in
+        Ok (Some { cycle; command })
+      | [] -> Ok None
+  in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      (match parse_line lineno line with
+       | Ok (Some e) -> go (e :: acc) (lineno + 1) rest
+       | Ok None -> go acc (lineno + 1) rest
+       | Error _ as e -> e)
+  in
+  go [] 1 lines
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | source -> parse source
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,56 @@
+(** Command-level power interface (DRAMPower-style).
+
+    Memory-system simulators usually produce DRAM *command* traces
+    (activate/precharge/read/write/refresh with cycle stamps), not
+    request streams.  This module validates such a trace against the
+    device's timing constraints with the bank state machines and
+    integrates its energy with the analytical model — the paper's
+    model driven by an external simulator. *)
+
+type command =
+  | Act of int * int   (** bank, row *)
+  | Pre of int         (** bank *)
+  | Prea               (** precharge all *)
+  | Rd of int          (** bank *)
+  | Wr of int          (** bank *)
+  | Ref
+  | Nop
+
+type entry = {
+  cycle : int;
+  command : command;
+}
+
+type violation = {
+  at : int;
+  message : string;
+}
+
+type result = {
+  stats : Stats.t;
+  energy : Energy_model.report;
+  violations : violation list;
+}
+
+val run :
+  ?strict:bool ->
+  Vdram_core.Config.t ->
+  entry list ->
+  result
+(** Replay a command trace.  Entries must be sorted by cycle; at most
+    one command per cycle (the command bus).  With [strict] (default)
+    the first timing violation raises [Invalid_argument]; without it
+    violations are collected and the offending command is dropped.
+    The returned energy covers the trace duration with background
+    power for every cycle. *)
+
+val parse : string -> (entry list, string) Stdlib.result
+(** Parse a textual command trace, one command per line:
+    [<cycle> ACT <bank> <row>], [<cycle> PRE <bank>], [<cycle> PREA],
+    [<cycle> RD <bank>], [<cycle> WR <bank>], [<cycle> REF].
+    [#] starts a comment. *)
+
+val load_file : string -> (entry list, string) Stdlib.result
+
+val to_string : entry list -> string
+(** Inverse of {!parse}. *)

@@ -1,0 +1,325 @@
+(* FR-FCFS controller over bank FSMs. *)
+
+module Config = Vdram_core.Config
+module Spec = Vdram_core.Spec
+
+type page_policy = Open_page | Closed_page | Adaptive_page of int
+
+type power_down =
+  | No_power_down
+  | Precharge_power_down of int
+  | Self_refresh_power_down of int * int
+
+let page_policy_name = function
+  | Open_page -> "open page"
+  | Closed_page -> "closed page"
+  | Adaptive_page n -> Printf.sprintf "adaptive page (idle > %d)" n
+
+let power_down_name = function
+  | No_power_down -> "no power-down"
+  | Precharge_power_down n -> Printf.sprintf "power-down (idle > %d)" n
+  | Self_refresh_power_down (pd, sr) ->
+    Printf.sprintf "power-down (> %d) + self-refresh (> %d)" pd sr
+
+type state = {
+  timing : Timing.t;
+  banks : Bank.t array;
+  page_policy : page_policy;
+  power_down : power_down;
+  mutable now : int;
+  mutable bus_next : int;       (* next free command-bus cycle *)
+  mutable data_next : int;      (* next free data-bus cycle *)
+  mutable act_history : int list;  (* recent activates, newest first *)
+  group_last_column : int array;   (* per bank group, for tCCD_L *)
+  mutable next_refresh : int;
+  mutable stats : Stats.t;
+}
+
+let group_of st bank =
+  bank * st.timing.Timing.bank_groups / Array.length st.banks
+
+let issue_cycle st candidates =
+  List.fold_left max st.bus_next candidates
+
+(* tFAW / tRRD gating over the recent activate history. *)
+let activate_gate st =
+  let trrd_gate =
+    match st.act_history with
+    | [] -> 0
+    | last :: _ -> last + st.timing.Timing.trrd
+  in
+  let tfaw_gate =
+    match List.nth_opt st.act_history 3 with
+    | Some fourth -> fourth + st.timing.Timing.tfaw
+    | None -> 0
+  in
+  max trrd_gate tfaw_gate
+
+let record_activate st at =
+  st.act_history <- at :: st.act_history;
+  (match st.act_history with
+   | a :: b :: c :: d :: _ -> st.act_history <- [ a; b; c; d ]
+   | _ -> ());
+  st.stats <- { st.stats with Stats.activates = st.stats.Stats.activates + 1 }
+
+let do_precharge st bank at =
+  Bank.precharge bank ~at;
+  st.bus_next <- max st.bus_next (at + 1);
+  st.stats <-
+    { st.stats with Stats.precharges = st.stats.Stats.precharges + 1 }
+
+(* Issue any pending refresh periods that are due before [horizon].
+   JEDEC allows at most 8 postponed refreshes, so a long idle gap
+   does not produce an unbounded catch-up storm. *)
+let maybe_refresh st horizon =
+  let max_postponed = 8 in
+  if horizon - st.next_refresh > max_postponed * st.timing.Timing.trefi
+  then
+    st.next_refresh <-
+      horizon - (max_postponed * st.timing.Timing.trefi);
+  while st.next_refresh <= horizon do
+    let at = max st.next_refresh st.bus_next in
+    (* Precharge all open banks first. *)
+    Array.iter
+      (fun b ->
+        match Bank.state b with
+        | Bank.Active _ ->
+          let t = max at (Bank.earliest_precharge b) in
+          do_precharge st b t
+        | Bank.Idle -> ())
+      st.banks;
+    let start =
+      Array.fold_left
+        (fun acc b -> max acc (Bank.earliest_activate b))
+        at st.banks
+    in
+    Array.iter (fun b -> Bank.refresh b ~at:start) st.banks;
+    st.bus_next <- max st.bus_next (start + 1);
+    st.stats <-
+      {
+        st.stats with
+        Stats.refreshes = st.stats.Stats.refreshes + 1;
+        refresh_row_cycles =
+          st.stats.Stats.refresh_row_cycles + st.timing.Timing.trfc;
+      };
+    st.next_refresh <- st.next_refresh + st.timing.Timing.trefi
+  done
+
+let serve st (r : Trace.request) =
+  let bank = st.banks.(r.Trace.bank) in
+  let hit =
+    match Bank.state bank with
+    | Bank.Active row when row = r.Trace.row -> true
+    | _ -> false
+  in
+  (* Close a conflicting row. *)
+  (match Bank.state bank with
+   | Bank.Active row when row <> r.Trace.row ->
+     let at =
+       issue_cycle st [ Bank.earliest_precharge bank; r.Trace.arrival ]
+     in
+     do_precharge st bank at
+   | _ -> ());
+  (* Open the row if needed. *)
+  (match Bank.state bank with
+   | Bank.Idle ->
+     let at =
+       issue_cycle st
+         [ Bank.earliest_activate bank; r.Trace.arrival; activate_gate st ]
+     in
+     Bank.activate bank ~at ~row:r.Trace.row;
+     record_activate st at;
+     st.bus_next <- max st.bus_next (at + 1)
+   | Bank.Active _ -> ());
+  (* Column command; same-group commands respect the long tCCD. *)
+  let group = group_of st r.Trace.bank in
+  let group_gate =
+    st.group_last_column.(group) + st.timing.Timing.tccd_l
+  in
+  let at =
+    issue_cycle st
+      [ Bank.earliest_column bank; st.data_next; r.Trace.arrival;
+        group_gate ]
+  in
+  Bank.column bank ~at ~write:r.Trace.is_write;
+  st.group_last_column.(group) <- at;
+  st.bus_next <- max st.bus_next (at + 1);
+  st.data_next <- at + st.timing.Timing.tccd;
+  let latency_base =
+    if r.Trace.is_write then st.timing.Timing.twl else st.timing.Timing.cl
+  in
+  let completion = at + latency_base + st.timing.Timing.tccd in
+  st.stats <-
+    {
+      st.stats with
+      Stats.reads = (st.stats.Stats.reads + if r.Trace.is_write then 0 else 1);
+      writes = (st.stats.Stats.writes + if r.Trace.is_write then 1 else 0);
+      row_hits = (st.stats.Stats.row_hits + if hit then 1 else 0);
+      row_misses = (st.stats.Stats.row_misses + if hit then 0 else 1);
+      requests = st.stats.Stats.requests + 1;
+      latency_sum =
+        st.stats.Stats.latency_sum + (completion - r.Trace.arrival);
+      latency_max =
+        max st.stats.Stats.latency_max (completion - r.Trace.arrival);
+    };
+  (* Closed-page policy precharges immediately. *)
+  (match st.page_policy with
+   | Closed_page ->
+     let at = issue_cycle st [ Bank.earliest_precharge bank ] in
+     do_precharge st bank at
+   | Open_page | Adaptive_page _ -> ());
+  st.now <- max st.now at
+
+(* Adaptive policy: close rows that have sat idle past the threshold.
+   Run when time advances to a new request. *)
+let close_stale_rows st horizon =
+  match st.page_policy with
+  | Adaptive_page threshold ->
+    Array.iteri
+      (fun b bank ->
+        match Bank.state bank with
+        | Bank.Active _ ->
+          (* A row untouched since its last column command has its
+             earliest-precharge time in the past; close it once the
+             idle threshold has elapsed beyond that point. *)
+          let stale_at = Bank.earliest_precharge bank + threshold in
+          if stale_at <= horizon then begin
+            let at = max stale_at st.bus_next in
+            if at <= horizon then do_precharge st bank at
+          end;
+          ignore b
+        | Bank.Idle -> ())
+      st.banks
+  | Open_page | Closed_page -> ()
+
+(* Power-down bookkeeping between the current time and the next
+   arrival. *)
+let close_all_banks st =
+  Array.iter
+    (fun b ->
+      match Bank.state b with
+      | Bank.Active _ ->
+        let t = max st.now (Bank.earliest_precharge b) in
+        do_precharge st b t
+      | Bank.Idle -> ())
+    st.banks
+
+let enter_sleep st ~next_arrival ~exit_latency ~self_refresh =
+  close_all_banks st;
+  let sleep = next_arrival - st.now - exit_latency in
+  if self_refresh then begin
+    st.stats <-
+      {
+        st.stats with
+        Stats.selfrefresh_cycles = st.stats.Stats.selfrefresh_cycles + sleep;
+      };
+    (* Refresh is internal while asleep; resume the external refresh
+       schedule at wake-up. *)
+    let wake = next_arrival in
+    while st.next_refresh <= wake do
+      st.next_refresh <- st.next_refresh + st.timing.Timing.trefi
+    done
+  end
+  else begin
+    (* Plain power-down still needs external refresh: the controller
+       wakes every tREFI, refreshes, and drops back to sleep.  The
+       wake overhead is booked as ordinary awake time. *)
+    let refreshes = sleep / st.timing.Timing.trefi in
+    let wake_overhead =
+      refreshes * (st.timing.Timing.trfc + st.timing.Timing.txp)
+    in
+    let asleep = max 0 (sleep - wake_overhead) in
+    st.stats <-
+      {
+        st.stats with
+        Stats.powerdown_cycles = st.stats.Stats.powerdown_cycles + asleep;
+        refreshes = st.stats.Stats.refreshes + refreshes;
+        refresh_row_cycles =
+          st.stats.Stats.refresh_row_cycles
+          + (refreshes * st.timing.Timing.trfc);
+      };
+    let wake = next_arrival in
+    while st.next_refresh <= wake do
+      st.next_refresh <- st.next_refresh + st.timing.Timing.trefi
+    done
+  end;
+  st.now <- next_arrival
+
+let maybe_power_down st next_arrival =
+  let idle = next_arrival - st.now in
+  match st.power_down with
+  | No_power_down -> ()
+  | Precharge_power_down threshold ->
+    if idle > threshold + st.timing.Timing.txp then
+      enter_sleep st ~next_arrival ~exit_latency:st.timing.Timing.txp
+        ~self_refresh:false
+  | Self_refresh_power_down (pd, sr) ->
+    let txsr = st.timing.Timing.trfc + st.timing.Timing.txp in
+    if idle > sr + txsr then
+      enter_sleep st ~next_arrival ~exit_latency:txsr ~self_refresh:true
+    else if idle > pd + st.timing.Timing.txp then
+      enter_sleep st ~next_arrival ~exit_latency:st.timing.Timing.txp
+        ~self_refresh:false
+
+let run ?(page_policy = Open_page) ?(power_down = No_power_down)
+    ?(window = 16) (cfg : Config.t) trace =
+  let timing = Timing.of_config cfg in
+  let banks =
+    Array.init cfg.Config.spec.Spec.banks (fun _ -> Bank.create timing)
+  in
+  let st =
+    {
+      timing;
+      banks;
+      page_policy;
+      power_down;
+      now = 0;
+      bus_next = 0;
+      data_next = 0;
+      act_history = [];
+      group_last_column =
+        Array.make (max 1 timing.Timing.bank_groups)
+          (- timing.Timing.tccd - timing.Timing.tccd);
+      next_refresh = timing.Timing.trefi;
+      stats = Stats.zero;
+    }
+  in
+  (* FR-FCFS over a sliding window: prefer the first row hit among the
+     oldest [window] pending requests. *)
+  let pending = ref trace in
+  let rec pick_hit taken = function
+    | [] -> None
+    | r :: rest when List.length taken >= window -> ignore (r :: rest); None
+    | r :: rest ->
+      if r.Trace.arrival > st.now then None
+      else
+        let bank = st.banks.(r.Trace.bank) in
+        (match Bank.state bank with
+         | Bank.Active row when row = r.Trace.row ->
+           Some (r, List.rev_append taken rest)
+         | _ -> pick_hit (r :: taken) rest)
+  in
+  while !pending <> [] do
+    maybe_refresh st st.now;
+    close_stale_rows st st.now;
+    let next =
+      match pick_hit [] !pending with
+      | Some (r, rest) ->
+        pending := rest;
+        r
+      | None ->
+        (match !pending with
+         | r :: rest ->
+           (* Idle time until the next arrival: stale rows close and
+              power-down may engage before it. *)
+           close_stale_rows st (max st.now r.Trace.arrival);
+           maybe_power_down st r.Trace.arrival;
+           if r.Trace.arrival > st.now then st.now <- r.Trace.arrival;
+           pending := rest;
+           r
+         | [] -> assert false)
+    in
+    serve st next
+  done;
+  let final = max st.now (max st.bus_next st.data_next) in
+  { st.stats with Stats.cycles = final }

@@ -1,0 +1,34 @@
+(** Memory controller: FR-FCFS scheduling over the bank state
+    machines, page policy, refresh and power-down management
+    (the system-side knobs of Hur et al., Section V). *)
+
+type page_policy =
+  | Open_page    (** leave rows open, bet on row hits *)
+  | Closed_page  (** precharge right after every access *)
+  | Adaptive_page of int
+      (** leave the row open, but precharge it once it has been idle
+          this many cycles — the middle ground real controllers use *)
+
+type power_down =
+  | No_power_down
+  | Precharge_power_down of int
+      (** enter precharge power-down when the queue is empty and the
+          next arrival is more than this many cycles away *)
+  | Self_refresh_power_down of int * int
+      (** [(pd_threshold, sr_threshold)]: precharge power-down beyond
+          the first threshold, full self-refresh beyond the second
+          (clock stopped, refresh handled internally) *)
+
+val page_policy_name : page_policy -> string
+val power_down_name : power_down -> string
+
+val run :
+  ?page_policy:page_policy ->
+  ?power_down:power_down ->
+  ?window:int ->
+  Vdram_core.Config.t ->
+  Trace.t ->
+  Stats.t
+(** Simulate a request trace to completion.  [window] is the FR-FCFS
+    reorder depth (default 16).  Requests must be sorted by arrival.
+    Defaults: open page, no power-down. *)

@@ -1,0 +1,89 @@
+(* Stats x per-operation energies -> energy report. *)
+
+module Config = Vdram_core.Config
+module Spec = Vdram_core.Spec
+module Model = Vdram_core.Model
+module Operation = Vdram_core.Operation
+module Domains = Vdram_circuits.Domains
+
+type report = {
+  config_name : string;
+  duration : float;
+  energy : float;
+  average_power : float;
+  energy_per_bit : float;
+  breakdown : (string * float) list;
+  stats : Stats.t;
+}
+
+let powerdown_power (cfg : Config.t) = Model.powerdown_power cfg
+
+let of_stats (cfg : Config.t) (stats : Stats.t) =
+  let spec = cfg.Config.spec in
+  let tck = 1.0 /. spec.Spec.control_clock in
+  let duration = float_of_int stats.Stats.cycles *. tck in
+  let e op = Operation.energy cfg op in
+  let act_pre =
+    float_of_int stats.Stats.activates *. e Operation.Activate
+    +. float_of_int stats.Stats.precharges *. e Operation.Precharge
+  in
+  let read = float_of_int stats.Stats.reads *. e Operation.Read in
+  let write = float_of_int stats.Stats.writes *. e Operation.Write in
+  (* A refresh command cycles [rows/8192] rows in every bank. *)
+  let rows_per_bank =
+    spec.Spec.density_bits
+    /. float_of_int (spec.Spec.banks * Config.page_bits cfg)
+  in
+  let rows_per_refresh =
+    Float.max 1.0 (rows_per_bank /. 8192.0) *. float_of_int spec.Spec.banks
+  in
+  let refresh =
+    float_of_int stats.Stats.refreshes *. rows_per_refresh
+    *. (e Operation.Activate +. e Operation.Precharge)
+  in
+  let pd_time = float_of_int stats.Stats.powerdown_cycles *. tck in
+  let sr_time = float_of_int stats.Stats.selfrefresh_cycles *. tck in
+  let awake_time = Float.max 0.0 (duration -. pd_time -. sr_time) in
+  let background = Model.background_power cfg *. awake_time in
+  let powerdown = powerdown_power cfg *. pd_time in
+  let selfrefresh = Model.state_power cfg Model.Self_refresh *. sr_time in
+  let energy =
+    act_pre +. read +. write +. refresh +. background +. powerdown
+    +. selfrefresh
+  in
+  let bits =
+    Stats.bits_transferred stats
+      ~bits_per_command:(Spec.bits_per_column_command spec)
+  in
+  {
+    config_name = cfg.Config.name;
+    duration;
+    energy;
+    average_power = (if duration > 0.0 then energy /. duration else 0.0);
+    energy_per_bit = (if bits > 0.0 then energy /. bits else 0.0);
+    breakdown =
+      [
+        ("activate/precharge", act_pre);
+        ("read", read);
+        ("write", write);
+        ("refresh", refresh);
+        ("background", background);
+        ("power-down", powerdown);
+        ("self-refresh", selfrefresh);
+      ];
+    stats;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %s over %s (avg %s, %.1f pJ/bit)@,  %a@,  %a@]" r.config_name
+    (Vdram_units.Si.format_eng ~unit_symbol:"J" r.energy)
+    (Vdram_units.Si.format_eng ~unit_symbol:"s" r.duration)
+    (Vdram_units.Si.format_eng ~unit_symbol:"W" r.average_power)
+    (r.energy_per_bit *. 1e12)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (k, v) ->
+         Format.fprintf ppf "%s %s" k
+           (Vdram_units.Si.format_eng ~unit_symbol:"J" v)))
+    r.breakdown Stats.pp r.stats

@@ -1,0 +1,49 @@
+(* Simulation front-end. *)
+
+module Config = Vdram_core.Config
+module Spec = Vdram_core.Spec
+
+type run = {
+  policy : string;
+  stats : Stats.t;
+  energy : Energy_model.report;
+  bandwidth : float;
+  average_latency : float;
+}
+
+let simulate ?(page_policy = Controller.Open_page)
+    ?(power_down = Controller.No_power_down) (cfg : Config.t) trace =
+  let stats = Controller.run ~page_policy ~power_down cfg trace in
+  let energy = Energy_model.of_stats cfg stats in
+  let spec = cfg.Config.spec in
+  let tck = 1.0 /. spec.Spec.control_clock in
+  let bits =
+    Stats.bits_transferred stats
+      ~bits_per_command:(Spec.bits_per_column_command spec)
+  in
+  {
+    policy =
+      Printf.sprintf "%s, %s"
+        (Controller.page_policy_name page_policy)
+        (Controller.power_down_name power_down);
+    stats;
+    energy;
+    bandwidth =
+      (if energy.Energy_model.duration > 0.0 then
+         bits /. energy.Energy_model.duration
+       else 0.0);
+    average_latency = Stats.average_latency stats *. tck;
+  }
+
+let compare_policies cfg trace policies =
+  List.map
+    (fun (page_policy, power_down) ->
+      simulate ~page_policy ~power_down cfg trace)
+    policies
+
+let pp_run ppf r =
+  Format.fprintf ppf
+    "@[<v>[%s]@,  %a@,  bandwidth %s, avg latency %s@]" r.policy
+    Energy_model.pp r.energy
+    (Vdram_units.Si.format_eng ~unit_symbol:"bps" r.bandwidth)
+    (Vdram_units.Si.format_eng ~unit_symbol:"s" r.average_latency)

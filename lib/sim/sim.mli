@@ -1,0 +1,27 @@
+(** Convenience front-end: trace in, energy and performance report
+    out. *)
+
+type run = {
+  policy : string;
+  stats : Stats.t;
+  energy : Energy_model.report;
+  bandwidth : float;        (** delivered bits per second *)
+  average_latency : float;  (** seconds *)
+}
+
+val simulate :
+  ?page_policy:Controller.page_policy ->
+  ?power_down:Controller.power_down ->
+  Vdram_core.Config.t ->
+  Trace.t ->
+  run
+
+val compare_policies :
+  Vdram_core.Config.t ->
+  Trace.t ->
+  (Controller.page_policy * Controller.power_down) list ->
+  run list
+(** The Hur-et-al.-style study: the same trace under different
+    controller policies, trading power against latency. *)
+
+val pp_run : Format.formatter -> run -> unit

@@ -1,0 +1,56 @@
+(* Simulation counters. *)
+
+type t = {
+  cycles : int;
+  activates : int;
+  precharges : int;
+  reads : int;
+  writes : int;
+  refreshes : int;
+  refresh_row_cycles : int;
+  row_hits : int;
+  row_misses : int;
+  powerdown_cycles : int;
+  selfrefresh_cycles : int;
+  requests : int;
+  latency_sum : int;
+  latency_max : int;
+}
+
+let zero =
+  {
+    cycles = 0;
+    activates = 0;
+    precharges = 0;
+    reads = 0;
+    writes = 0;
+    refreshes = 0;
+    refresh_row_cycles = 0;
+    row_hits = 0;
+    row_misses = 0;
+    powerdown_cycles = 0;
+    selfrefresh_cycles = 0;
+    requests = 0;
+    latency_sum = 0;
+    latency_max = 0;
+  }
+
+let row_hit_rate t =
+  let total = t.row_hits + t.row_misses in
+  if total = 0 then 0.0 else float_of_int t.row_hits /. float_of_int total
+
+let average_latency t =
+  if t.requests = 0 then 0.0
+  else float_of_int t.latency_sum /. float_of_int t.requests
+
+let bits_transferred t ~bits_per_command =
+  float_of_int ((t.reads + t.writes) * bits_per_command)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d cycles: %d act, %d pre, %d rd, %d wr, %d ref; row hit %.0f%%; \
+     %d pd-cycles; avg latency %.1f (max %d)"
+    t.cycles t.activates t.precharges t.reads t.writes t.refreshes
+    (100.0 *. row_hit_rate t)
+    (t.powerdown_cycles + t.selfrefresh_cycles)
+    (average_latency t) t.latency_max

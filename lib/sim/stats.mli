@@ -1,0 +1,28 @@
+(** Counters accumulated by a simulation run. *)
+
+type t = {
+  cycles : int;             (** total simulated cycles *)
+  activates : int;
+  precharges : int;
+  reads : int;
+  writes : int;
+  refreshes : int;          (** refresh commands issued *)
+  refresh_row_cycles : int; (** internal row cycles spent refreshing *)
+  row_hits : int;
+  row_misses : int;
+  powerdown_cycles : int;
+  selfrefresh_cycles : int;
+  requests : int;
+  latency_sum : int;        (** sum of request latencies, cycles *)
+  latency_max : int;
+}
+
+val zero : t
+
+val row_hit_rate : t -> float
+val average_latency : t -> float
+(** Cycles; 0 when no requests completed. *)
+
+val bits_transferred : t -> bits_per_command:int -> float
+
+val pp : Format.formatter -> t -> unit

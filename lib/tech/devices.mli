@@ -1,0 +1,24 @@
+(** Device capacitance calculators.
+
+    Device loads are the sum of gate capacitance (gate area over
+    equivalent oxide thickness) and junction capacitance (junction
+    width times specific junction capacitance), per Section III.B.2. *)
+
+val eps_ox : float
+(** Permittivity of SiO2, [3.9 * 8.854e-12] F/m. *)
+
+val gate_cap : tox:float -> w:float -> l:float -> float
+(** Gate capacitance of a transistor of width [w], length [l] and
+    equivalent oxide thickness [tox] (all metres), in farads. *)
+
+type mos_class = Logic | High_voltage | Cell
+(** Which oxide / junction parameters apply to a device. *)
+
+val device_cap : Params.t -> mos_class -> w:float -> l:float -> float
+(** Gate plus junction capacitance of one transistor. *)
+
+val gate_cap_of : Params.t -> mos_class -> w:float -> l:float -> float
+(** Gate capacitance only (load seen by whoever drives the gate). *)
+
+val junction_cap_of : Params.t -> mos_class -> w:float -> float
+(** Junction capacitance only (load seen on source/drain nodes). *)

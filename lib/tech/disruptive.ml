@@ -1,0 +1,59 @@
+(* Table II: disruptive DRAM technology changes. *)
+
+type t = {
+  transition : string;
+  change : string;
+  background : string;
+}
+
+let all =
+  [ { transition = "250nm to 110nm (range)";
+      change = "Stitched wordline to segmented wordline";
+      background =
+        "Minimum feature size of aluminium wiring no longer feasible; \
+         the time when different vendors did this transition has a \
+         large spread" };
+    { transition = "110nm to 90nm";
+      change = "Increase in number of cells per bitline and/or local \
+                wordline";
+      background =
+        "Leads to smaller die size; better control of technology and \
+         design makes the step possible" };
+    { transition = "110nm to 90nm";
+      change = "Introduction of dual gate oxide";
+      background =
+        "Allows lower voltage operation and better performance of \
+         standard logic transistors" };
+    { transition = "90nm to 75nm";
+      change = "Introduction of p+ gate doping of PMOS transistors";
+      background =
+        "Buried-channel pFET performance not sufficient for standard \
+         logic of high data rate DRAMs" };
+    { transition = "90nm to 75nm";
+      change = "Introduction of 3-dimensional access transistor";
+      background =
+        "Planar transistor device length got too short for threshold \
+         voltage control" };
+    { transition = "75nm to 65nm";
+      change = "Cell architecture 8F2 folded bitline to 6F2 open bitline";
+      background =
+        "Leads to smaller die size; better control of technology and \
+         design makes the step possible" };
+    { transition = "55nm to 44nm";
+      change = "Cu metallization";
+      background =
+        "Lower resistance and/or capacitance in wiring for improved \
+         performance and/or power reduction" };
+    { transition = "40nm to 36nm";
+      change = "Cell architecture 6F2 to 4F2 with vertical access \
+                transistor";
+      background =
+        "Leads to smaller die size; better control of technology and \
+         design expected to make the step possible" };
+    { transition = "36nm to 31nm";
+      change = "High-k dielectric gate oxide";
+      background =
+        "Better subthreshold behaviour and reduced gate leakage" } ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %s (%s)" t.transition t.change t.background

@@ -1,0 +1,13 @@
+(** Disruptive DRAM technology changes (Table II). *)
+
+type t = {
+  transition : string;   (** e.g. ["110nm to 90nm"] *)
+  change : string;       (** the disruptive change *)
+  background : string;   (** why the industry made the change *)
+}
+
+val all : t list
+(** The eight transitions of Table II, oldest first. *)
+
+val pp : Format.formatter -> t -> unit
+(** One row rendered as ["<transition>: <change> (<background>)"]. *)

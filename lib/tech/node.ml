@@ -1,0 +1,62 @@
+(* Technology nodes of the DRAM roadmap, 170 nm (2000) to 16 nm (2018). *)
+
+type standard = Sdr | Ddr | Ddr2 | Ddr3 | Ddr4 | Ddr5
+
+let standard_name = function
+  | Sdr -> "SDR"
+  | Ddr -> "DDR"
+  | Ddr2 -> "DDR2"
+  | Ddr3 -> "DDR3"
+  | Ddr4 -> "DDR4"
+  | Ddr5 -> "DDR5"
+
+type t =
+  | N170 | N140 | N110 | N90 | N75 | N65 | N55
+  | N44 | N36 | N31 | N25 | N20 | N18 | N16
+
+let all =
+  [ N170; N140; N110; N90; N75; N65; N55; N44; N36; N31; N25; N20; N18; N16 ]
+
+let feature_nm = function
+  | N170 -> 170.0 | N140 -> 140.0 | N110 -> 110.0 | N90 -> 90.0
+  | N75 -> 75.0 | N65 -> 65.0 | N55 -> 55.0 | N44 -> 44.0
+  | N36 -> 36.0 | N31 -> 31.0 | N25 -> 25.0 | N20 -> 20.0
+  | N18 -> 18.0 | N16 -> 16.0
+
+let feature_size n = feature_nm n *. 1e-9
+
+let year = function
+  | N170 -> 2000 | N140 -> 2001 | N110 -> 2003 | N90 -> 2004
+  | N75 -> 2006 | N65 -> 2007 | N55 -> 2008 | N44 -> 2010
+  | N36 -> 2012 | N31 -> 2013 | N25 -> 2014 | N20 -> 2016
+  | N18 -> 2017 | N16 -> 2018
+
+let standard = function
+  | N170 | N140 -> Sdr
+  | N110 -> Ddr
+  | N90 | N75 -> Ddr2
+  | N65 | N55 | N44 -> Ddr3
+  | N36 | N31 | N25 -> Ddr4
+  | N20 | N18 | N16 -> Ddr5
+
+let index n =
+  let rec find i = function
+    | [] -> assert false
+    | x :: rest -> if x = n then i else find (i + 1) rest
+  in
+  find 0 all
+
+let generations_from a b = index b - index a
+
+let of_nm nm =
+  let closer best candidate =
+    let d x = Float.abs (feature_nm x -. nm) in
+    if d candidate < d best then candidate else best
+  in
+  match all with
+  | [] -> assert false
+  | first :: rest -> List.fold_left closer first rest
+
+let name n = Printf.sprintf "%gnm" (feature_nm n)
+
+let pp ppf n = Format.pp_print_string ppf (name n)

@@ -1,0 +1,44 @@
+(** Technology nodes and interface standards of the DRAM roadmap.
+
+    The paper spans fourteen generations from 170 nm (year 2000, SDR)
+    to 16 nm (year 2018, DDR5), with an average feature-size shrink of
+    16 % per generation. *)
+
+type standard = Sdr | Ddr | Ddr2 | Ddr3 | Ddr4 | Ddr5
+
+val standard_name : standard -> string
+(** e.g. ["DDR3"]. *)
+
+type t =
+  | N170 | N140 | N110 | N90 | N75 | N65 | N55
+  | N44 | N36 | N31 | N25 | N20 | N18 | N16
+
+val all : t list
+(** All nodes, oldest (largest feature size) first. *)
+
+val feature_size : t -> float
+(** Minimum feature size in metres, e.g. [55e-9] for [N55]. *)
+
+val feature_nm : t -> float
+(** Feature size in nanometres. *)
+
+val year : t -> int
+(** Approximate year of peak high-volume usage. *)
+
+val standard : t -> standard
+(** Mainstream commodity interface at the node's time of peak usage. *)
+
+val index : t -> int
+(** Generation index, 0 for [N170] through 13 for [N16]. *)
+
+val generations_from : t -> t -> int
+(** [generations_from a b] = [index b - index a]; positive when [b] is
+    newer than [a]. *)
+
+val of_nm : float -> t
+(** Nearest node to a feature size given in nanometres. *)
+
+val name : t -> string
+(** e.g. ["55nm"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+(* Arrhenius-style retention scaling. *)
+
+let reference_celsius = 85.0
+
+let doubling_celsius = 10.0
+
+let interval_scale ~celsius =
+  2.0 ** ((reference_celsius -. celsius) /. doubling_celsius)
+
+let trefi ~celsius = 7.8e-6 *. interval_scale ~celsius

@@ -1,0 +1,160 @@
+(* Roadmap of commodity DRAM generations: interface, voltages, timings
+   and density per node (Section IV.C of the paper). *)
+
+type t = {
+  node : Node.t;
+  standard : Node.standard;
+  density_bits : float;
+  io_width : int;
+  datarate : float;
+  prefetch : int;
+  burst_length : int;
+  banks : int;
+  vdd : float;
+  vint : float;
+  vbl : float;
+  vpp : float;
+  trc : float;
+  trcd : float;
+  trp : float;
+  bits_per_bitline : int;
+  bits_per_lwl : int;
+  page_bits : int;
+  cell_factor : float;
+  array_efficiency : float;
+}
+
+(* Interface roadmap (Fig 12): pin data rate doubles per interface
+   transition; core frequency stays ~200 MHz so prefetch doubles. *)
+let datarate_of = function
+  | Node.N170 -> 166e6 | Node.N140 -> 200e6 | Node.N110 -> 400e6
+  | Node.N90 -> 667e6 | Node.N75 -> 800e6 | Node.N65 -> 1066e6
+  | Node.N55 -> 1333e6 | Node.N44 -> 1600e6 | Node.N36 -> 2133e6
+  | Node.N31 -> 2667e6 | Node.N25 -> 3200e6 | Node.N20 -> 4266e6
+  | Node.N18 -> 5333e6 | Node.N16 -> 6400e6
+
+let prefetch_of node =
+  match Node.standard node with
+  | Node.Sdr -> 1
+  | Node.Ddr -> 2
+  | Node.Ddr2 -> 4
+  | Node.Ddr3 -> 8
+  | Node.Ddr4 -> 16
+  | Node.Ddr5 -> 32
+
+(* Voltage roadmap (Fig 11), following ITRS. *)
+let voltages_of = function
+  (*                 vdd   vint  vbl   vpp *)
+  | Node.N170 -> (3.30, 3.30, 2.00, 3.90)
+  | Node.N140 -> (3.30, 3.00, 1.80, 3.70)
+  | Node.N110 -> (2.50, 2.50, 1.60, 3.40)
+  | Node.N90 -> (1.80, 1.80, 1.50, 3.20)
+  | Node.N75 -> (1.80, 1.70, 1.40, 3.00)
+  | Node.N65 -> (1.50, 1.50, 1.30, 2.90)
+  | Node.N55 -> (1.50, 1.40, 1.20, 2.80)
+  | Node.N44 -> (1.50, 1.35, 1.10, 2.70)
+  | Node.N36 -> (1.20, 1.20, 1.05, 2.60)
+  | Node.N31 -> (1.20, 1.15, 1.00, 2.50)
+  | Node.N25 -> (1.20, 1.10, 1.00, 2.50)
+  | Node.N20 -> (1.10, 1.05, 0.95, 2.40)
+  | Node.N18 -> (1.10, 1.00, 0.90, 2.40)
+  | Node.N16 -> (1.10, 1.00, 0.90, 2.30)
+
+(* Row cycle time (Fig 12): improves early, then nearly flat. *)
+let trc_of = function
+  | Node.N170 -> 70e-9 | Node.N140 -> 68e-9 | Node.N110 -> 65e-9
+  | Node.N90 -> 60e-9 | Node.N75 -> 57e-9 | Node.N65 -> 55e-9
+  | Node.N55 -> 50e-9 | Node.N44 -> 48e-9 | Node.N36 -> 47e-9
+  | Node.N31 -> 46e-9 | Node.N25 -> 46e-9 | Node.N20 -> 45e-9
+  | Node.N18 -> 45e-9 | Node.N16 -> 45e-9
+
+let cell_factor_of node =
+  let i = Node.index node in
+  if i <= Node.index Node.N75 then 8.0
+  else if i <= Node.index Node.N44 then 6.0
+  else 4.0
+
+let array_efficiency_of node =
+  (* Declining from 0.62 to 0.45: interface complexity grows faster
+     than peripheral circuits shrink. *)
+  0.62 -. 0.17 *. float_of_int (Node.index node) /. 13.0
+
+let banks_of standard =
+  match standard with
+  | Node.Sdr | Node.Ddr -> 4
+  | Node.Ddr2 | Node.Ddr3 -> 8
+  | Node.Ddr4 -> 16
+  | Node.Ddr5 -> 32
+
+let page_bits_of standard =
+  match standard with
+  | Node.Sdr -> 8192
+  | Node.Ddr -> 8192
+  | Node.Ddr2 | Node.Ddr3 | Node.Ddr4 | Node.Ddr5 -> 16384
+
+(* Density: the largest power of two whose estimated die stays within
+   the good-yield window (<= ~62 mm^2), clamped to [128 Mb, 16 Gb]. *)
+let density_of node =
+  let f = Node.feature_size node in
+  let cell = cell_factor_of node *. f *. f in
+  let eff = array_efficiency_of node in
+  let limit = 62e-6 (* m^2 *) in
+  let rec grow bits =
+    let next = bits *. 2.0 in
+    if next *. cell /. eff <= limit && next <= 16.0 *. 2.0 ** 30.0 then
+      grow next
+    else bits
+  in
+  grow (2.0 ** 27.0)
+
+let generation node =
+  let standard = Node.standard node in
+  let vdd, vint, vbl, vpp = voltages_of node in
+  let trc = trc_of node in
+  let prefetch = prefetch_of node in
+  let old_array = Node.index node < Node.index Node.N90 in
+  {
+    node;
+    standard;
+    density_bits = density_of node;
+    io_width = 16;
+    datarate = datarate_of node;
+    prefetch;
+    burst_length = max prefetch 4;
+    banks = banks_of standard;
+    vdd;
+    vint;
+    vbl;
+    vpp;
+    trc;
+    trcd = 0.3 *. trc;
+    trp = 0.3 *. trc;
+    bits_per_bitline = (if old_array then 256 else 512);
+    bits_per_lwl = (if old_array then 256 else 512);
+    page_bits = page_bits_of standard;
+    cell_factor = cell_factor_of node;
+    array_efficiency = array_efficiency_of node;
+  }
+
+let all = List.map generation Node.all
+
+let core_frequency t = t.datarate /. float_of_int t.prefetch
+
+let cell_area t =
+  let f = Node.feature_size t.node in
+  t.cell_factor *. f *. f
+
+let die_area_estimate t = t.density_bits *. cell_area t /. t.array_efficiency
+
+let log2i n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 n
+
+let rows_per_bank t =
+  int_of_float (t.density_bits /. float_of_int (t.banks * t.page_bits))
+
+let row_address_bits t = log2i (rows_per_bank t)
+
+let column_address_bits t = log2i (t.page_bits / t.io_width)
+
+let bank_address_bits t = log2i t.banks

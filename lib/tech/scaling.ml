@@ -1,0 +1,146 @@
+(* Per-generation scaling factors (Figs 5-7) with disruptive steps
+   (Table II).  Factors are cumulative products of per-transition rates
+   walked along the node list, normalised to 1.0 at the 55 nm
+   reference. *)
+
+type family =
+  | F_feature
+  | F_tox
+  | F_lmin_logic
+  | F_junction
+  | F_cell_transistor
+  | F_c_bitline
+  | F_c_cell
+  | F_wire_cap
+  | F_stripe_width
+  | F_logic_width
+  | F_core_device
+
+let families =
+  [ (F_feature, "minimum feature size");
+    (F_tox, "gate oxide thickness");
+    (F_lmin_logic, "minimum gate length logic");
+    (F_junction, "junction capacitance per width");
+    (F_cell_transistor, "cell access transistor W/L");
+    (F_c_bitline, "bitline capacitance");
+    (F_c_cell, "cell capacitance");
+    (F_wire_cap, "specific wire capacitance");
+    (F_stripe_width, "SA / LWD stripe width");
+    (F_logic_width, "average logic device width");
+    (F_core_device, "core device width") ]
+
+(* Rate applied when stepping from one node to the next newer node.
+   [target] is the newer node of the transition, so disruptive changes
+   from Table II land at the node that introduced them. *)
+let step_rate family (target : Node.t) =
+  let base =
+    match family with
+    | F_feature -> 0.84
+    | F_tox -> 0.95
+    | F_lmin_logic -> 0.90
+    | F_junction -> 0.93
+    | F_cell_transistor -> 0.90
+    | F_c_bitline -> 0.92
+    | F_c_cell -> 1.0
+    | F_wire_cap ->
+      (* Wire capacitance per length stops improving once Cu is in
+         (beyond 44 nm): tighter pitch cancels lower dielectrics. *)
+      if Node.index target > Node.index Node.N44 then 1.0 else 0.98
+    | F_stripe_width -> 0.90
+    | F_logic_width -> 0.90
+    | F_core_device -> 0.87
+  in
+  let disruptive =
+    match (family, target) with
+    (* Dual gate oxide at 90 nm lets logic oxides thin faster. *)
+    | F_tox, Node.N90 -> 0.92
+    (* High-k gate dielectric at 31 nm. *)
+    | F_tox, Node.N31 -> 0.90
+    (* 3-D access transistor introduced at 75 nm keeps drive without
+       planar length scaling. *)
+    | F_cell_transistor, Node.N75 -> 1.15
+    (* 4F2 vertical access transistor at 36 nm. *)
+    | F_cell_transistor, Node.N36 -> 0.80
+    (* More cells per bitline at 90 nm (256 -> 512). *)
+    | F_c_bitline, Node.N90 -> 1.30
+    (* 6F2 open-bitline cell at 65 nm shortens the bitline. *)
+    | F_c_bitline, Node.N65 -> 0.92
+    (* Cu metallization at 44 nm. *)
+    | F_c_bitline, Node.N44 -> 0.90
+    | F_wire_cap, Node.N44 -> 0.90
+    (* 4F2 at 36 nm shortens bitlines again. *)
+    | F_c_bitline, Node.N36 -> 0.92
+    | _ -> 1.0
+  in
+  base *. disruptive
+
+let factor family node =
+  let ref_i = Node.index Params.reference_node
+  and i = Node.index node in
+  let nodes = Array.of_list Node.all in
+  if i = ref_i then 1.0
+  else if i > ref_i then begin
+    (* Newer than reference: multiply step rates going forward. *)
+    let f = ref 1.0 in
+    for k = ref_i + 1 to i do
+      f := !f *. step_rate family nodes.(k)
+    done;
+    !f
+  end
+  else begin
+    (* Older than reference: divide out the rates between [node] and
+       the reference. *)
+    let f = ref 1.0 in
+    for k = i + 1 to ref_i do
+      f := !f /. step_rate family nodes.(k)
+    done;
+    !f
+  end
+
+let params_at node =
+  let r = Params.reference in
+  let s fam v = v *. factor fam node in
+  {
+    r with
+    tox_logic = s F_tox r.tox_logic;
+    tox_hv = s F_tox r.tox_hv;
+    tox_cell = s F_tox r.tox_cell;
+    lmin_logic = s F_lmin_logic r.lmin_logic;
+    cj_logic = s F_junction r.cj_logic;
+    lmin_hv = s F_lmin_logic r.lmin_hv;
+    cj_hv = s F_junction r.cj_hv;
+    l_cell = s F_cell_transistor r.l_cell;
+    w_cell = s F_cell_transistor r.w_cell;
+    c_bitline = s F_c_bitline r.c_bitline;
+    c_cell = s F_c_cell r.c_cell;
+    c_wire_mwl = s F_wire_cap r.c_wire_mwl;
+    c_wire_lwl = s F_wire_cap r.c_wire_lwl;
+    c_wire_signal = s F_wire_cap r.c_wire_signal;
+    w_mwl_dec_n = s F_core_device r.w_mwl_dec_n;
+    w_mwl_dec_p = s F_core_device r.w_mwl_dec_p;
+    w_wlctl_load_n = s F_core_device r.w_wlctl_load_n;
+    w_wlctl_load_p = s F_core_device r.w_wlctl_load_p;
+    w_lwd_n = s F_core_device r.w_lwd_n;
+    w_lwd_p = s F_core_device r.w_lwd_p;
+    w_lwd_restore = s F_core_device r.w_lwd_restore;
+    w_sa_n = s F_core_device r.w_sa_n;
+    l_sa_n = s F_lmin_logic r.l_sa_n;
+    w_sa_p = s F_core_device r.w_sa_p;
+    l_sa_p = s F_lmin_logic r.l_sa_p;
+    w_sa_eq = s F_core_device r.w_sa_eq;
+    l_sa_eq = s F_lmin_logic r.l_sa_eq;
+    w_sa_bitswitch = s F_core_device r.w_sa_bitswitch;
+    l_sa_bitswitch = s F_lmin_logic r.l_sa_bitswitch;
+    w_sa_mux = s F_core_device r.w_sa_mux;
+    l_sa_mux = s F_lmin_logic r.l_sa_mux;
+    w_sa_nset = s F_core_device r.w_sa_nset;
+    l_sa_nset = s F_lmin_logic r.l_sa_nset;
+    w_sa_pset = s F_core_device r.w_sa_pset;
+    l_sa_pset = s F_lmin_logic r.l_sa_pset;
+  }
+
+let sa_stripe_width node = 8.0e-6 *. factor F_stripe_width node
+
+let lwd_stripe_width node = 3.0e-6 *. factor F_stripe_width node
+
+let logic_gate_width node = 0.5e-6 *. factor F_logic_width node

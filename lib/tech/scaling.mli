@@ -1,0 +1,45 @@
+(** Technology scaling across generations (Figures 5, 6 and 7).
+
+    Parameters shrink more slowly than the feature size (16 % per
+    generation on average); disruptive changes (Table II) modify some
+    loads step-wise at specific transitions.  All factors are relative
+    to the 55 nm reference node ({!Params.reference_node}), where every
+    factor is 1.0. *)
+
+type family =
+  | F_feature          (** minimum feature size itself *)
+  | F_tox              (** gate oxide thicknesses (Fig 5) *)
+  | F_lmin_logic       (** minimum logic / HV gate length (Fig 5) *)
+  | F_junction         (** junction capacitance per width (Fig 5) *)
+  | F_cell_transistor  (** cell access transistor W and L (Fig 5) *)
+  | F_c_bitline        (** bitline capacitance (Fig 6) *)
+  | F_c_cell           (** cell capacitance, held ~constant (Fig 6) *)
+  | F_wire_cap         (** specific wire capacitances (Fig 6) *)
+  | F_stripe_width     (** SA / LWD stripe widths (Fig 6) *)
+  | F_logic_width      (** average width of miscellaneous logic (Fig 6) *)
+  | F_core_device      (** sense-amp / on-pitch row device W (Fig 7) *)
+
+val families : (family * string) list
+(** All families with display names, in Figs 5–7 order. *)
+
+val factor : family -> Node.t -> float
+(** [factor fam node] is the multiplicative scale of family [fam] at
+    [node] relative to the 55 nm reference.  Monotonically
+    non-increasing towards newer nodes for all families except
+    [F_c_cell] (constant). *)
+
+val params_at : Node.t -> Params.t
+(** The full technology parameter set at a node: the 55 nm reference
+    with every field scaled by its family factor. *)
+
+val sa_stripe_width : Node.t -> float
+(** Width of the bitline sense-amplifier stripe (metres); 8 um at the
+    reference node. *)
+
+val lwd_stripe_width : Node.t -> float
+(** Width of the local wordline driver stripe (metres); 3 um at the
+    reference node. *)
+
+val logic_gate_width : Node.t -> float
+(** Average transistor width in miscellaneous peripheral logic
+    (metres); 0.5 um at the reference node. *)

@@ -1,0 +1,152 @@
+(* Parsing and printing of unit-suffixed literals. *)
+
+type dim =
+  | Length
+  | Voltage
+  | Capacitance
+  | Cap_per_length
+  | Frequency
+  | Datarate
+  | Time
+  | Current
+  | Power
+  | Energy
+  | Fraction
+  | Scalar
+
+let dim_name = function
+  | Length -> "length"
+  | Voltage -> "voltage"
+  | Capacitance -> "capacitance"
+  | Cap_per_length -> "capacitance per length"
+  | Frequency -> "frequency"
+  | Datarate -> "data rate"
+  | Time -> "time"
+  | Current -> "current"
+  | Power -> "power"
+  | Energy -> "energy"
+  | Fraction -> "fraction"
+  | Scalar -> "scalar"
+
+let unit_symbol = function
+  | Length -> "m"
+  | Voltage -> "V"
+  | Capacitance -> "F"
+  | Cap_per_length -> "F/m"
+  | Frequency -> "Hz"
+  | Datarate -> "bps"
+  | Time -> "s"
+  | Current -> "A"
+  | Power -> "W"
+  | Energy -> "J"
+  | Fraction -> ""
+  | Scalar -> ""
+
+let base_units =
+  [ ("m", Length); ("V", Voltage); ("F", Capacitance); ("Hz", Frequency);
+    ("bps", Datarate); ("b/s", Datarate); ("s", Time); ("A", Current);
+    ("W", Power); ("J", Energy) ]
+
+(* Interpret a unit suffix (without the numeric part) as a multiplier
+   and dimension.  Handles the composite "F/m" style for specific wire
+   capacitance. *)
+let interpret_unit s =
+  if s = "" then Ok (1.0, Scalar)
+  else if s = "%" then Ok (0.01, Fraction)
+  else
+    match String.index_opt s '/' with
+    | Some i when String.sub s (i + 1) (String.length s - i - 1) <> "s" ->
+      let num = String.sub s 0 i
+      and den = String.sub s (i + 1) (String.length s - i - 1) in
+      let part u =
+        match Si.split_prefix u with
+        | None -> Error (Printf.sprintf "empty unit in %S" s)
+        | Some (mult, base) ->
+          (match List.assoc_opt base base_units with
+           | Some d -> Ok (mult, d)
+           | None -> Error (Printf.sprintf "unknown unit %S in %S" base s))
+      in
+      (match part num, part den with
+       | Ok (mn, Capacitance), Ok (md, Length) ->
+         Ok (mn /. md, Cap_per_length)
+       | Ok _, Ok _ ->
+         Error (Printf.sprintf "unsupported compound unit %S" s)
+       | (Error _ as e), _ | _, (Error _ as e) -> e)
+    | _ ->
+      (* A plain or prefixed base unit; "b/s" ends with "/s" and is
+         looked up whole first. *)
+      (match List.assoc_opt s base_units with
+       | Some d -> Ok (1.0, d)
+       | None ->
+         (match Si.split_prefix s with
+          | None -> Ok (1.0, Scalar)
+          | Some (mult, base) ->
+            (match List.assoc_opt base base_units with
+             | Some d -> Ok (mult, d)
+             | None -> Error (Printf.sprintf "unknown unit %S" s))))
+
+let is_number_char c =
+  (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e'
+  || c = 'E'
+
+(* Split "165nm" into ("165", "nm").  The numeric part is the longest
+   prefix of number characters, taking care that an 'e' only counts as
+   part of the number when followed by a digit or sign (exponent). *)
+let split_literal s =
+  let n = String.length s in
+  let rec scan i =
+    if i >= n then i
+    else
+      let c = s.[i] in
+      if c = 'e' || c = 'E' then
+        if
+          i + 1 < n
+          && (s.[i + 1] = '+' || s.[i + 1] = '-'
+              || (s.[i + 1] >= '0' && s.[i + 1] <= '9'))
+        then scan (i + 2)
+        else i
+      else if is_number_char c then scan (i + 1)
+      else i
+  in
+  let cut = scan 0 in
+  (* Allow whitespace between number and unit ("42 fF"). *)
+  let rec skip i = if i < n && s.[i] = ' ' then skip (i + 1) else i in
+  let start = skip cut in
+  (String.sub s 0 cut, String.sub s start (n - start))
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Error "empty literal"
+  else
+    let num, suffix = split_literal s in
+    if num = "" then Error (Printf.sprintf "no numeric part in %S" s)
+    else
+      match float_of_string_opt num with
+      | None -> Error (Printf.sprintf "malformed number %S" num)
+      | Some v ->
+        (match interpret_unit suffix with
+         | Ok (mult, d) -> Ok (v *. mult, d)
+         | Error _ as e -> e)
+
+let compatible expected actual =
+  expected = actual
+  || (expected = Fraction && actual = Scalar)
+  || (expected = Scalar && actual = Fraction)
+
+let parse_dim d s =
+  match parse s with
+  | Error _ as e -> e
+  | Ok (v, actual) ->
+    if compatible d actual then Ok v
+    else
+      Error
+        (Printf.sprintf "expected %s but %S is a %s" (dim_name d) s
+           (dim_name actual))
+
+let to_string ?digits d v =
+  match d with
+  | Fraction -> Printf.sprintf "%g%%" (v *. 100.0)
+  | Scalar -> Printf.sprintf "%g" v
+  | _ -> Si.format_eng ?digits ~unit_symbol:(unit_symbol d) v
+
+let pp d ppf v = Format.pp_print_string ppf (to_string d v)

@@ -1,0 +1,46 @@
+(** Dimensioned literal parsing and printing.
+
+    The DRAM description language attaches unit suffixes to numbers
+    ([165nm], [1.6Gbps], [25%], [19.2]).  This module parses such
+    literals into base-SI floats tagged with a dimension, and renders
+    base-SI floats back with an appropriate unit. *)
+
+type dim =
+  | Length          (** metres *)
+  | Voltage         (** volts *)
+  | Capacitance     (** farads *)
+  | Cap_per_length  (** farads per metre, e.g. [fF/um] *)
+  | Frequency       (** hertz *)
+  | Datarate        (** bits per second, e.g. [Gbps] *)
+  | Time            (** seconds *)
+  | Current         (** amperes *)
+  | Power           (** watts *)
+  | Energy          (** joules *)
+  | Fraction        (** dimensionless; [%] divides by 100 *)
+  | Scalar          (** dimensionless plain number *)
+
+val dim_name : dim -> string
+(** Human-readable dimension name, e.g. ["length"]. *)
+
+val unit_symbol : dim -> string
+(** Canonical unit symbol for a dimension, e.g. ["m"]; empty for
+    [Scalar] and [Fraction]. *)
+
+val parse : string -> (float * dim, string) result
+(** [parse s] parses a literal with optional unit suffix.  The float is
+    returned in base SI units.  ["25%"] parses to [(0.25, Fraction)];
+    a bare number parses to [Scalar].  [Error msg] describes the
+    malformed input. *)
+
+val parse_dim : dim -> string -> (float, string) result
+(** [parse_dim d s] parses [s] and checks it against expected dimension
+    [d].  A [Scalar] literal is accepted where a [Fraction] is expected
+    (e.g. [0.25] for [25%]), and vice versa; any other mismatch is an
+    error naming both dimensions. *)
+
+val to_string : ?digits:int -> dim -> float -> string
+(** Render a base-SI value with an engineering prefix and the
+    dimension's canonical unit. *)
+
+val pp : dim -> Format.formatter -> float -> unit
+(** Formatter version of {!to_string}. *)

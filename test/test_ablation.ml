@@ -1,0 +1,81 @@
+(* Design-choice ablations. *)
+
+open Vdram_analysis
+module Node = Vdram_tech.Node
+
+let node = Node.N55
+
+let test_activation_granularity () =
+  let pts =
+    Ablation.page_size ~node ~pages:[ 2048; 4096; 8192; 16384 ]
+  in
+  Alcotest.(check int) "four points" 4 (List.length pts);
+  (* Activate energy grows with activation size; die area is
+     untouched (same structure). *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Helpers.check_true "activate energy grows with activation"
+        (b.Ablation.activate_energy > a.Ablation.activate_energy);
+      Helpers.close "area unchanged" a.Ablation.die_area b.Ablation.die_area;
+      check rest
+    | _ -> ()
+  in
+  check pts;
+  let first = List.hd pts and last = List.nth pts 3 in
+  Helpers.check_true "small activation cheaper on random access"
+    (first.Ablation.power < last.Ablation.power)
+
+let test_bitline_length () =
+  let pts = Ablation.bitline_length ~node ~bits:[ 256; 512; 1024 ] in
+  let p256 = List.nth pts 0 and p512 = List.nth pts 1
+  and p1024 = List.nth pts 2 in
+  (* Energy versus area: short bitlines cost stripes (lower array
+     efficiency) but save activate energy. *)
+  Helpers.check_true "short bitlines save activate energy"
+    (p256.Ablation.activate_energy < p512.Ablation.activate_energy
+    && p512.Ablation.activate_energy < p1024.Ablation.activate_energy);
+  Helpers.check_true "short bitlines cost array efficiency"
+    (p256.Ablation.array_efficiency < p512.Ablation.array_efficiency
+    && p512.Ablation.array_efficiency < p1024.Ablation.array_efficiency)
+
+let test_bitline_style () =
+  match Ablation.bitline_style ~node with
+  | [ open_bl; folded ] ->
+    (* Table II: the move to 6F2 open bitline "leads to smaller die
+       size". *)
+    Helpers.check_true "open (6F2) die smaller"
+      (open_bl.Ablation.die_area < folded.Ablation.die_area);
+    Helpers.check_true "folded not cheaper in power"
+      (folded.Ablation.power >= open_bl.Ablation.power *. 0.98)
+  | _ -> Alcotest.fail "expected two style points"
+
+let test_prefetch () =
+  let pts = Ablation.prefetch ~node ~prefetches:[ 2; 4; 8; 16 ] in
+  Alcotest.(check int) "four points" 4 (List.length pts);
+  (* Higher prefetch at the same pin rate moves more bits per row
+     cycle: random-access energy per bit falls. *)
+  let epb i = (List.nth pts i).Ablation.energy_per_bit in
+  Helpers.check_true "energy per bit falls with prefetch"
+    (epb 3 < epb 0)
+
+let test_subarray_height () =
+  let pts = Ablation.subarray_height ~node ~bits:[ 256; 512; 1024 ] in
+  (* Wordline segmentation is an area choice, nearly energy-neutral:
+     local wordline capacitance per page is constant. *)
+  let p256 = List.nth pts 0 and p1024 = List.nth pts 2 in
+  Helpers.check_true "nearly energy-neutral"
+    (Float.abs (p256.Ablation.power -. p1024.Ablation.power)
+     /. p256.Ablation.power
+    < 0.05);
+  Helpers.check_true "but costs area"
+    (p256.Ablation.array_efficiency < p1024.Ablation.array_efficiency)
+
+let suite =
+  [
+    Alcotest.test_case "activation granularity" `Slow
+      test_activation_granularity;
+    Alcotest.test_case "bitline length trade-off" `Slow test_bitline_length;
+    Alcotest.test_case "open vs folded bitline" `Slow test_bitline_style;
+    Alcotest.test_case "prefetch choice" `Slow test_prefetch;
+    Alcotest.test_case "wordline segmentation" `Slow test_subarray_height;
+  ]

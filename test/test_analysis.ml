@@ -1,0 +1,314 @@
+(* Analysis: lenses, sensitivity (Fig 10 / Table III), trends
+   (Figs 11-13), sweeps. *)
+
+open Vdram_analysis
+module Config = Vdram_core.Config
+module Node = Vdram_tech.Node
+
+let test_lenses_roundtrip () =
+  let cfg = Lazy.force Helpers.ddr3_1g in
+  List.iter
+    (fun lens ->
+      match lens.Lenses.name with
+      | "number of logic gates" | "width NFET logic" | "width PFET logic"
+      | "logic device density" | "logic wiring density"
+      | "transistors per logic gate" ->
+        () (* aggregates report scale 1.0, not a value *)
+      | name ->
+        let v = lens.Lenses.get cfg in
+        let cfg' = lens.Lenses.set cfg (v *. 2.0) in
+        Helpers.close (name ^ " set doubles get") (2.0 *. v)
+          (lens.Lenses.get cfg'))
+    Lenses.all
+
+let test_lens_count () =
+  (* 38 technology + 8 voltage-ish + 6 logic + 4 interface lenses. *)
+  Alcotest.(check int) "lens inventory" 56 (List.length Lenses.all);
+  Helpers.check_true "find works"
+    (Lenses.find "internal voltage Vint" <> None);
+  Helpers.check_true "find missing" (Lenses.find "warp drive" = None)
+
+let test_sensitivity_ddr3 () =
+  let s = Sensitivity.run (Lazy.force Helpers.ddr3_2g) in
+  (match s.Sensitivity.entries with
+   | first :: _ ->
+     Alcotest.(check string) "Vint ranks first (Table III)"
+       "internal voltage Vint" first.Sensitivity.lens_name
+   | [] -> Alcotest.fail "no entries");
+  (* Raising a capacitance raises power; thinning oxide raises power
+     (thicker oxide lowers gate cap). *)
+  let span name =
+    (List.find (fun e -> e.Sensitivity.lens_name = name)
+       s.Sensitivity.entries)
+      .Sensitivity.span_percent
+  in
+  Helpers.check_true "bitline cap span positive" (span "bitline capacitance" > 0.0);
+  Helpers.check_true "oxide span negative"
+    (span "gate oxide thickness logic" < 0.0);
+  Helpers.check_true "efficiency span negative"
+    (span "generator efficiency Vint" < 0.0);
+  Helpers.check_true "Vdd excluded by default"
+    (not
+       (List.exists
+          (fun e -> e.Sensitivity.lens_name = "external voltage Vdd")
+          s.Sensitivity.entries))
+
+let test_table3_vint_first () =
+  List.iter
+    (fun cfg ->
+      let s = Sensitivity.run cfg in
+      match Sensitivity.top 1 s with
+      | [ e ] ->
+        Alcotest.(check string)
+          (cfg.Config.name ^ ": Vint first")
+          "internal voltage Vint" e.Sensitivity.lens_name
+      | _ -> Alcotest.fail "no top entry")
+    Vdram_configs.Devices.table3_devices
+
+let rank_of s name =
+  let rec go i = function
+    | [] -> None
+    | e :: rest ->
+      if e.Sensitivity.lens_name = name then Some i else go (i + 1) rest
+  in
+  go 1 s.Sensitivity.entries
+
+let test_table3_shift () =
+  (* The paper's Table III narrative: importance shifts from array
+     parameters to wiring and logic across generations. *)
+  let old_dev = Sensitivity.run (Lazy.force Helpers.sdr_128m) in
+  let new_dev = Sensitivity.run (Lazy.force Helpers.ddr5_16g) in
+  let r s n = Option.value ~default:99 (rank_of s n) in
+  Helpers.check_true "bitline voltage falls in rank"
+    (r old_dev "bitline voltage" < r new_dev "bitline voltage");
+  Helpers.check_true "wire capacitance rises in rank"
+    (r new_dev "specific wire capacitance signaling"
+    <= r old_dev "specific wire capacitance signaling");
+  (* Top-10 membership per the paper's table. *)
+  List.iter
+    (fun name ->
+      Helpers.check_true (name ^ " in DDR5 top 10")
+        (r new_dev name <= 10))
+    [ "internal voltage Vint"; "number of logic gates";
+      "specific wire capacitance signaling"; "width NFET logic";
+      "width PFET logic" ]
+
+let test_sensitivity_variation () =
+  let cfg = Lazy.force Helpers.ddr3_1g in
+  let s = Sensitivity.run ~variation:0.10 cfg in
+  let s20 = Sensitivity.run ~variation:0.20 cfg in
+  let top10 = List.hd s.Sensitivity.entries
+  and top20 = List.hd s20.Sensitivity.entries in
+  Helpers.check_true "larger variation, larger span"
+    (Float.abs top20.Sensitivity.span_percent
+    > Float.abs top10.Sensitivity.span_percent)
+
+let test_trends () =
+  let pts = Trends.all () in
+  Alcotest.(check int) "14 generations" 14 (List.length pts);
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.iter
+    (fun ((a : Trends.point), (b : Trends.point)) ->
+      Helpers.check_true "Fig 11: vdd non-increasing"
+        (b.Trends.vdd <= a.Trends.vdd +. 1e-9);
+      Helpers.check_true "Fig 12: datarate non-decreasing"
+        (b.Trends.datarate >= a.Trends.datarate);
+      Helpers.check_true "Fig 13: energy/bit falls"
+        (b.Trends.energy_per_bit_idd7 < a.Trends.energy_per_bit_idd7))
+    (pairs pts);
+  List.iter
+    (fun (p : Trends.point) ->
+      let mm2 = p.Trends.die_area *. 1e6 in
+      Helpers.check_true
+        (Printf.sprintf "die area %s plausible (%.1f mm2)"
+           (Node.name p.Trends.node) mm2)
+        (mm2 > 15.0 && mm2 < 75.0);
+      Helpers.check_true "idd4 energy below idd7 energy"
+        (p.Trends.energy_per_bit_idd4 < p.Trends.energy_per_bit_idd7))
+    pts
+
+let test_reduction_factors () =
+  let pts = Trends.all () in
+  let early =
+    Trends.reduction_factor pts (fun n ->
+        Node.index n <= Node.index Node.N44)
+  and late =
+    Trends.reduction_factor pts (fun n ->
+        Node.index n >= Node.index Node.N44)
+  in
+  (* Paper: ~1.5x per generation 2000-2010, ~1.2x forecast. *)
+  Helpers.check_true
+    (Printf.sprintf "early reduction strong (%.2f)" early)
+    (early > 1.25 && early < 1.6);
+  Helpers.check_true
+    (Printf.sprintf "late reduction weak (%.2f)" late)
+    (late > 1.1 && late < 1.35);
+  Helpers.check_true "the curve flattens (paper's headline)" (late < early)
+
+let test_category_shares_shift () =
+  let shares = Trends.category_shares () in
+  Alcotest.(check int) "all generations" 14 (List.length shares);
+  let share node cat =
+    match List.assoc_opt cat (List.assq node shares) with
+    | Some s -> s
+    | None -> 0.0
+  in
+  (* Section VI: array share falls, clocking/interface/data rise. *)
+  Helpers.check_true "array share falls 170nm -> 16nm"
+    (share Node.N16 Vdram_core.Report.Array
+    < share Node.N170 Vdram_core.Report.Array);
+  Helpers.check_true "clocking share rises"
+    (share Node.N16 Vdram_core.Report.Clocking
+    > share Node.N170 Vdram_core.Report.Clocking);
+  (* Shares are a partition of unity. *)
+  List.iter
+    (fun (node, cats) ->
+      let sum = List.fold_left (fun a (_, s) -> a +. s) 0.0 cats in
+      Helpers.close_rel ~rel:1e-6
+        (Node.name node ^ " shares sum to 1")
+        1.0 sum)
+    shares
+
+let test_sweep () =
+  let cfg = Lazy.force Helpers.ddr3_1g in
+  let lens = Option.get (Lenses.find "bitline voltage") in
+  let sweep =
+    Sweep.run_relative ~lens ~factors:[ 0.8; 1.0; 1.2 ] cfg
+  in
+  (match sweep.Sweep.samples with
+   | [ a; b; c ] ->
+     Helpers.check_true "monotone sweep"
+       (a.Sweep.power < b.Sweep.power && b.Sweep.power < c.Sweep.power)
+   | _ -> Alcotest.fail "expected three samples");
+  Alcotest.(check string) "sweep names lens" "bitline voltage"
+    sweep.Sweep.lens_name
+
+let test_corners () =
+  let cfg = Lazy.force Helpers.ddr3_1g in
+  let d = Corners.run ~samples:60 ~spread:0.10 ~seed:7 cfg in
+  let nominal = Vdram_core.Model.idd cfg (Vdram_core.Pattern.idd4r cfg.Config.spec) in
+  Helpers.check_true "mean near nominal"
+    (Float.abs (d.Corners.mean -. nominal) /. nominal < 0.08);
+  Helpers.check_true "ordered summary"
+    (d.Corners.min <= d.Corners.p05
+    && d.Corners.p05 <= d.Corners.mean +. d.Corners.std
+    && d.Corners.p95 <= d.Corners.max);
+  Helpers.check_true "nominal covered" (Corners.covers d nominal);
+  (* Deterministic: same seed, same distribution. *)
+  let d2 = Corners.run ~samples:60 ~spread:0.10 ~seed:7 cfg in
+  Helpers.close "reproducible mean" d.Corners.mean d2.Corners.mean;
+  (* Wider spread, wider distribution. *)
+  let wide = Corners.run ~samples:60 ~spread:0.20 ~seed:7 cfg in
+  Helpers.check_true "spread widens range"
+    (wide.Corners.max -. wide.Corners.min
+    > d.Corners.max -. d.Corners.min)
+
+let test_corners_explain_vendor_spread () =
+  (* The paper's story: technology + implementation differences explain
+     the datasheet spread.  A +-12% parameter band must cover the whole
+     vendor range of a representative Fig 9 point. *)
+  let family = Vdram_datasheets.Idd.ddr3_1g in
+  let point =
+    List.find
+      (fun (p : Vdram_datasheets.Idd.point) ->
+        p.Vdram_datasheets.Idd.test = Vdram_datasheets.Idd.Idd4r
+        && p.Vdram_datasheets.Idd.datarate_mbps = 1066
+        && p.Vdram_datasheets.Idd.io_width = 16)
+      family.Vdram_datasheets.Idd.points
+  in
+  let cfg =
+    Vdram_configs.Devices.ddr3_1g ~io_width:16 ~datarate:1.066e9
+      ~node:Node.N65 ()
+  in
+  let d = Corners.run ~samples:120 ~spread:0.12 ~seed:3 cfg in
+  let spread_ratio =
+    (d.Corners.max -. d.Corners.min) /. d.Corners.mean
+  in
+  let vendor_ratio =
+    (Vdram_datasheets.Idd.max_ma point -. Vdram_datasheets.Idd.min_ma point)
+    /. Vdram_datasheets.Idd.mean_ma point
+  in
+  Helpers.check_true
+    (Printf.sprintf "parameter spread (%.2f) reaches vendor spread (%.2f)"
+       spread_ratio vendor_ratio)
+    (spread_ratio > 0.7 *. vendor_ratio)
+
+let count_lines s =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+let test_csv () =
+  let pts = Trends.all () in
+  let csv = Csv.trends pts in
+  Alcotest.(check int) "trends rows" (1 + List.length pts) (count_lines csv);
+  Helpers.check_true "trends header"
+    (String.length csv > 7 && String.sub csv 0 7 = "node_nm");
+  let s = Sensitivity.run ~lenses:[ Option.get (Lenses.find "bitline voltage") ]
+      (Lazy.force Helpers.ddr3_1g)
+  in
+  Alcotest.(check int) "sensitivity rows" 2 (count_lines (Csv.sensitivity s));
+  let rows = Vdram_datasheets.Compare.fig9 () in
+  Alcotest.(check int) "verification rows" (1 + List.length rows)
+    (count_lines (Csv.verification rows));
+  let abl = Ablation.bitline_style ~node:Node.N55 in
+  Alcotest.(check int) "ablation rows" 3 (count_lines (Csv.ablation abl));
+  (* write_file round trip *)
+  let path = Filename.temp_file "vdram_csv" ".csv" in
+  Csv.write_file path csv;
+  let read = In_channel.with_open_text path In_channel.input_all in
+  Alcotest.(check string) "file round trip" csv read;
+  Sys.remove path
+
+let sensitivity_antisymmetric =
+  QCheck.Test.make ~name:"spans change sign with direction" ~count:10
+    QCheck.(int_range 0 9)
+    (fun idx ->
+      let cfg = Lazy.force Helpers.ddr3_1g in
+      let lens = List.nth Lenses.voltages (idx mod List.length Lenses.voltages) in
+      if lens.Lenses.name = "external voltage Vdd" then true
+      else begin
+        let s = Sensitivity.run ~lenses:[ lens ] cfg in
+        match s.Sensitivity.entries with
+        | [ e ] ->
+          (* power(+20%) and power(-20%) must bracket nominal. *)
+          (e.Sensitivity.power_plus -. s.Sensitivity.nominal_power)
+          *. (e.Sensitivity.power_minus -. s.Sensitivity.nominal_power)
+          <= 1e-12
+        | _ -> false
+      end)
+
+let corners_always_finite =
+  QCheck.Test.make ~name:"corner samples are finite and positive" ~count:8
+    QCheck.(pair (int_range 1 10000) (float_range 0.02 0.25))
+    (fun (seed, spread) ->
+      let cfg = Lazy.force Helpers.ddr3_1g in
+      let d = Corners.run ~samples:25 ~spread ~seed cfg in
+      Float.is_finite d.Corners.mean
+      && d.Corners.min > 0.0
+      && d.Corners.max >= d.Corners.min)
+
+let suite =
+  [
+    Alcotest.test_case "lens get/set" `Quick test_lenses_roundtrip;
+    Alcotest.test_case "lens inventory" `Quick test_lens_count;
+    Alcotest.test_case "DDR3 sensitivity signs" `Slow test_sensitivity_ddr3;
+    Alcotest.test_case "Table III: Vint first on all devices" `Slow
+      test_table3_vint_first;
+    Alcotest.test_case "Table III: array-to-wiring shift" `Slow
+      test_table3_shift;
+    Alcotest.test_case "variation scaling" `Slow test_sensitivity_variation;
+    Alcotest.test_case "trends (Figs 11-13)" `Slow test_trends;
+    Alcotest.test_case "Fig 13 reduction factors" `Slow
+      test_reduction_factors;
+    Alcotest.test_case "category shares shift (Section VI)" `Slow
+      test_category_shares_shift;
+    Alcotest.test_case "parameter sweep" `Quick test_sweep;
+    Alcotest.test_case "process corners" `Slow test_corners;
+    Alcotest.test_case "corners explain vendor spread" `Slow
+      test_corners_explain_vendor_spread;
+    Alcotest.test_case "CSV emitters" `Slow test_csv;
+    Helpers.qcheck sensitivity_antisymmetric;
+    Helpers.qcheck corners_always_finite;
+  ]

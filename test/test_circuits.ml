@@ -1,0 +1,246 @@
+(* Circuits: domains, contributions, sense-amp, wordline, column,
+   logic blocks, buses. *)
+
+open Vdram_circuits
+module P = Vdram_tech.Params
+module G = Vdram_floorplan.Array_geometry
+
+let domains_ddr3 () =
+  Domains.v ~vdd:1.5 ~vint:1.4 ~vbl:1.2 ~vpp:2.8 ()
+
+let geometry () =
+  G.derive ~style:G.Open ~bank_bits:(2.0 ** 27.0) ~page_bits:16384
+    ~bits_per_bitline:512 ~bits_per_lwl:512 ~wl_pitch:195e-9
+    ~bl_pitch:130e-9 ~sa_stripe:9e-6 ~lwd_stripe:3.4e-6 ()
+
+let test_domains () =
+  let d = domains_ddr3 () in
+  Helpers.close "linear efficiency" (1.4 /. 1.5)
+    (Domains.efficiency d Domains.Vint);
+  Helpers.close "vdd lossless" 1.0 (Domains.efficiency d Domains.Vdd);
+  Helpers.check_true "pump efficiency below 1"
+    (Domains.efficiency d Domains.Vpp < 1.0);
+  Helpers.close "at_vdd divides by efficiency"
+    (1.0 /. Domains.efficiency d Domains.Vbl)
+    (Domains.at_vdd d Domains.Vbl 1.0);
+  Alcotest.check_raises "negative voltage rejected"
+    (Invalid_argument "Domains.v: voltages must be positive") (fun () ->
+      ignore (Domains.v ~vdd:(-1.0) ~vint:1.0 ~vbl:1.0 ~vpp:2.0 ()))
+
+let test_pump_efficiency () =
+  (* A 2.9 V pump from 1.5 V doubles once: high ideal efficiency. *)
+  let e1 = Domains.pump_efficiency ~vdd:1.5 ~vout:2.9 in
+  Helpers.check_true "DDR3-era pump decent" (e1 > 0.7 && e1 < 0.9);
+  (* A 3.9 V pump from 3.3 V wastes most of the doubled charge. *)
+  let e2 = Domains.pump_efficiency ~vdd:3.3 ~vout:3.9 in
+  Helpers.check_true "SDR-era pump poor" (e2 < 0.55)
+
+let test_contribution () =
+  Helpers.close "half CV^2" (0.5 *. 1e-12 *. 1.44)
+    (Contribution.event ~cap:1e-12 ~voltage:1.2);
+  Helpers.close "events scale" (3.0 *. Contribution.event ~cap:1e-12 ~voltage:1.2)
+    (Contribution.events ~count:3.0 ~cap:1e-12 ~voltage:1.2);
+  let d = domains_ddr3 () in
+  let cs =
+    [ Contribution.v ~label:"a" ~domain:Domains.Vdd ~energy:1.0;
+      Contribution.v ~label:"b" ~domain:Domains.Vint ~energy:1.0 ]
+  in
+  Helpers.close "total at vdd"
+    (1.0 +. (1.0 /. Domains.efficiency d Domains.Vint))
+    (Contribution.total_at_vdd d cs);
+  match Contribution.by_label (cs @ cs) with
+  | [ (_, e1); (_, e2) ] ->
+    Helpers.close "by_label merges" 2.0 e1;
+    Helpers.close "by_label merges b" 2.0 e2
+  | other ->
+    Alcotest.failf "expected 2 labels, got %d" (List.length other)
+
+let energy_of contributions =
+  List.fold_left
+    (fun acc (c : Contribution.t) -> acc +. c.Contribution.energy)
+    0.0 contributions
+
+let test_sense_amp () =
+  let p = P.reference and d = domains_ddr3 () and g = geometry () in
+  Alcotest.(check int) "9 transistors per open pair" 9
+    (Sense_amp.transistors_per_pair g);
+  Alcotest.(check int) "11 transistors per folded pair" 11
+    (Sense_amp.transistors_per_pair { g with G.style = G.Folded });
+  let e_full = energy_of (Sense_amp.activate p d ~geometry:g ~page_bits:16384)
+  and e_half = energy_of (Sense_amp.activate p d ~geometry:g ~page_bits:8192) in
+  Helpers.close ~eps:1e-9 "activate linear in page" 2.0 (e_full /. e_half);
+  Helpers.check_true "precharge cheaper than activate"
+    (energy_of (Sense_amp.precharge p d ~geometry:g ~page_bits:16384) < e_full);
+  (* Bitline term dominates and scales with c_bitline. *)
+  let p2 = { p with P.c_bitline = p.P.c_bitline *. 2.0 } in
+  let e2 = energy_of (Sense_amp.activate p2 d ~geometry:g ~page_bits:16384) in
+  Helpers.check_true "more bitline cap, more energy" (e2 > e_full *. 1.3)
+
+let test_write_back () =
+  let p = P.reference and d = domains_ddr3 () in
+  let e0 = energy_of (Sense_amp.write_back p d ~bits:128 ~toggle:0.0)
+  and e5 = energy_of (Sense_amp.write_back p d ~bits:128 ~toggle:0.5)
+  and e1 = energy_of (Sense_amp.write_back p d ~bits:128 ~toggle:1.0) in
+  Helpers.close "no toggles, no overwrite energy" 0.0 e0;
+  Helpers.close ~eps:1e-9 "linear in toggle" 2.0 (e1 /. e5)
+
+let test_wordline () =
+  let p = P.reference and d = domains_ddr3 () and g = geometry () in
+  Helpers.check_positive "MWL capacitance" (Wordline.mwl_capacitance p ~geometry:g);
+  Helpers.check_positive "LWL capacitance" (Wordline.lwl_capacitance p ~geometry:g);
+  (* The local wordline carries the cell gates: zeroing the cell width
+     reduces it. *)
+  let p0 = { p with P.w_cell = 1e-12 } in
+  Helpers.check_true "cell gates load the LWL"
+    (Wordline.lwl_capacitance p0 ~geometry:g
+    < Wordline.lwl_capacitance p ~geometry:g);
+  let act = energy_of (Wordline.activate p d ~geometry:g ~page_bits:16384)
+  and pre = energy_of (Wordline.precharge p d ~geometry:g ~page_bits:16384) in
+  Helpers.check_positive "wordline activate energy" act;
+  Helpers.check_true "activate >= precharge (adds decode)" (act >= pre)
+
+let test_column () =
+  let p = P.reference and d = domains_ddr3 () and g = geometry () in
+  let e r = energy_of (Column.access p d ~geometry:g ~bits:r ~write:false) in
+  Helpers.close ~eps:1e-9 "column linear in bits" 2.0 (e 256 /. e 128);
+  let er = energy_of (Column.access p d ~geometry:g ~bits:128 ~write:false)
+  and ew = energy_of (Column.access p d ~geometry:g ~bits:128 ~write:true) in
+  Helpers.check_true "write adds driver energy" (ew > er);
+  Helpers.check_positive "CSL capacitance" (Column.csl_capacitance p ~geometry:g)
+
+let test_logic_block () =
+  let p = P.reference and d = domains_ddr3 () in
+  let b =
+    Logic_block.v ~name:"test" ~gates:1000.0 ~trigger:Logic_block.Always ()
+  in
+  let e1 = Logic_block.energy_per_fire p d b in
+  Helpers.check_positive "block energy" e1;
+  let b2 = { b with Logic_block.gates = 2000.0 } in
+  Helpers.close ~eps:1e-9 "linear in gates" 2.0
+    (Logic_block.energy_per_fire p d b2 /. e1);
+  let wide = Logic_block.scale_widths 2.0 b in
+  Helpers.check_true "wider devices, more energy"
+    (Logic_block.energy_per_fire p d wide > e1);
+  Helpers.check_positive "block area" (Logic_block.area p b);
+  Alcotest.check_raises "negative gates rejected"
+    (Invalid_argument "Logic_block.v: negative gate count") (fun () ->
+      ignore
+        (Logic_block.v ~name:"bad" ~gates:(-1.0) ~trigger:Logic_block.Always ()))
+
+let test_bus () =
+  let p = P.reference and d = domains_ddr3 () in
+  let seg l = Bus.segment ~name:"s" ~length:l () in
+  let bus n = Bus.v ~name:"b" ~role:Bus.Read_data ~wires:8 (List.map seg n) in
+  let e1 = Bus.energy_per_bit p d (bus [ 1e-3 ])
+  and e2 = Bus.energy_per_bit p d (bus [ 1e-3; 1e-3 ]) in
+  Helpers.close ~eps:1e-9 "segments add" 2.0 (e2 /. e1);
+  Helpers.close ~eps:1e-9 "event = wires x bit" 8.0
+    (Bus.energy_per_event p d (bus [ 1e-3 ]) /. e1);
+  let buffered =
+    Bus.v ~name:"b" ~role:Bus.Read_data ~wires:8
+      [ Bus.segment ~name:"s" ~length:1e-3 ~buffer:(5e-6, 10e-6) () ]
+  in
+  Helpers.check_true "buffer adds load"
+    (Bus.energy_per_bit p d buffered > e1);
+  Helpers.close "total length" 2e-3 (Bus.total_length (bus [ 1e-3; 1e-3 ]));
+  Alcotest.check_raises "zero wires rejected"
+    (Invalid_argument "Bus.v: wires must be positive") (fun () ->
+      ignore (Bus.v ~name:"b" ~role:Bus.Clock ~wires:0 []))
+
+let test_lwl_cap_hand_check () =
+  let p = P.reference and g = geometry () in
+  let expected_wire = p.P.c_wire_lwl *. (512.0 *. 130e-9) in
+  let cell_gate =
+    Vdram_tech.Devices.gate_cap_of p Vdram_tech.Devices.Cell ~w:p.P.w_cell
+      ~l:p.P.l_cell
+  in
+  let coupling =
+    512.0 *. p.P.bl_wl_coupling *. p.P.c_bitline /. 512.0
+  in
+  let restore =
+    Vdram_tech.Devices.junction_cap_of p Vdram_tech.Devices.High_voltage
+      ~w:p.P.w_lwd_restore
+  in
+  Helpers.close_rel ~rel:1e-9 "LWL capacitance formula"
+    (expected_wire +. (512.0 *. cell_gate) +. coupling +. restore)
+    (Wordline.lwl_capacitance p ~geometry:g)
+
+let test_csl_grows_with_sharing () =
+  let p = P.reference and g = geometry () in
+  let shared = { g with G.csl_blocks = 2 } in
+  Helpers.check_true "CSL over two blocks is longer"
+    (Column.csl_capacitance p ~geometry:shared
+    > 1.5 *. Column.csl_capacitance p ~geometry:g)
+
+let test_bus_toggle_scaling () =
+  let p = P.reference and d = domains_ddr3 () in
+  let seg t = Bus.segment ~name:"s" ~length:1e-3 ~toggle:t () in
+  let bus t = Bus.v ~name:"b" ~role:Bus.Command ~wires:4 [ seg t ] in
+  Helpers.close ~eps:1e-9 "toggle scales energy"
+    (0.5 *. Bus.energy_per_event p d (bus 1.0))
+    (Bus.energy_per_event p d (bus 0.5))
+
+let test_logic_density_effects () =
+  let p = P.reference and d = domains_ddr3 () in
+  let base =
+    Logic_block.v ~name:"b" ~gates:1000.0 ~trigger:Logic_block.Always ()
+  in
+  let dense = { base with Logic_block.layout_density = 0.6 } in
+  (* Denser layout, shorter local wiring, less energy. *)
+  Helpers.check_true "density reduces wiring energy"
+    (Logic_block.energy_per_fire p d dense
+    < Logic_block.energy_per_fire p d base);
+  Helpers.check_true "density reduces area"
+    (Logic_block.area p dense < Logic_block.area p base)
+
+let test_domains_at_vdd_each () =
+  let d = domains_ddr3 () in
+  List.iter
+    (fun dom ->
+      Helpers.check_true
+        (Domains.domain_name dom ^ " at_vdd >= energy")
+        (Domains.at_vdd d dom 1.0 >= 1.0))
+    [ Domains.Vdd; Domains.Vint; Domains.Vbl; Domains.Vpp ]
+
+let test_folded_carries_more_devices () =
+  let p = P.reference and d = domains_ddr3 () in
+  let g = geometry () in
+  let folded = { g with G.style = G.Folded } in
+  let e s = 
+    List.fold_left (fun a (c : Contribution.t) -> a +. c.Contribution.energy)
+      0.0 (Sense_amp.activate p d ~geometry:s ~page_bits:16384)
+  in
+  Helpers.check_true "folded activate costs at least open"
+    (e folded >= e g)
+
+let contribution_scaling =
+  QCheck.Test.make ~name:"contribution energy quadratic in voltage"
+    ~count:300
+    QCheck.(pair (float_range 0.1 5.0) (float_range 1e-15 1e-9))
+    (fun (v, cap) ->
+      let e1 = Contribution.event ~cap ~voltage:v
+      and e2 = Contribution.event ~cap ~voltage:(2.0 *. v) in
+      Float.abs ((e2 /. e1) -. 4.0) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "voltage domains" `Quick test_domains;
+    Alcotest.test_case "pump efficiencies" `Quick test_pump_efficiency;
+    Alcotest.test_case "contributions" `Quick test_contribution;
+    Alcotest.test_case "sense amplifier (Fig 2)" `Quick test_sense_amp;
+    Alcotest.test_case "write-back" `Quick test_write_back;
+    Alcotest.test_case "wordline path (Fig 3)" `Quick test_wordline;
+    Alcotest.test_case "column path" `Quick test_column;
+    Alcotest.test_case "logic blocks" `Quick test_logic_block;
+    Alcotest.test_case "signal buses" `Quick test_bus;
+    Alcotest.test_case "LWL capacitance formula" `Quick
+      test_lwl_cap_hand_check;
+    Alcotest.test_case "CSL sharing" `Quick test_csl_grows_with_sharing;
+    Alcotest.test_case "bus toggle scaling" `Quick test_bus_toggle_scaling;
+    Alcotest.test_case "logic density effects" `Quick
+      test_logic_density_effects;
+    Alcotest.test_case "at_vdd per domain" `Quick test_domains_at_vdd_each;
+    Alcotest.test_case "folded device load" `Quick
+      test_folded_carries_more_devices;
+    Helpers.qcheck contribution_scaling;
+  ]

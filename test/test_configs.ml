@@ -1,0 +1,111 @@
+(* Predefined devices, generations and architecture variants. *)
+
+module Config = Vdram_core.Config
+module Model = Vdram_core.Model
+module Pattern = Vdram_core.Pattern
+module Spec = Vdram_core.Spec
+module Node = Vdram_tech.Node
+open Vdram_configs
+
+let test_devices_inventory () =
+  Alcotest.(check int) "three Table III devices" 3
+    (List.length Devices.table3_devices);
+  Helpers.close "128M density" (Devices.mb 128.0)
+    Devices.sdr_128m.Config.spec.Spec.density_bits;
+  Helpers.close "16G density" (Devices.mb 16384.0)
+    Devices.ddr5_16g.Config.spec.Spec.density_bits;
+  Alcotest.(check int) "DDR5 banks" 32
+    Devices.ddr5_16g.Config.spec.Spec.banks
+
+let test_page_per_width () =
+  let x4 = Devices.ddr3_1g ~io_width:4 ~node:Node.N65 ()
+  and x16 = Devices.ddr3_1g ~io_width:16 ~node:Node.N65 () in
+  Alcotest.(check int) "x4 1KB page" 8192 (Config.page_bits x4);
+  Alcotest.(check int) "x16 2KB page" 16384 (Config.page_bits x16)
+
+let test_generations () =
+  Alcotest.(check int) "14 generation configs" 14
+    (List.length Generations.all);
+  List.iter
+    (fun cfg ->
+      Helpers.check_positive
+        (cfg.Config.name ^ " idle power")
+        (Model.background_power cfg);
+      Helpers.check_positive
+        (cfg.Config.name ^ " Idd7 power")
+        (Helpers.power cfg (Pattern.idd7 cfg.Config.spec)))
+    Generations.all
+
+let test_graphics_variant () =
+  let node = Node.N55 in
+  let gddr = Variants.graphics ~node ()
+  and base = Generations.at node in
+  Alcotest.(check int) "x32 interface" 32 gddr.Config.spec.Spec.io_width;
+  Helpers.check_true "much higher pin rate"
+    (gddr.Config.spec.Spec.datarate > 3.0 *. base.Config.spec.Spec.datarate);
+  Alcotest.(check int) "twice the banks"
+    (2 * base.Config.spec.Spec.banks)
+    gddr.Config.spec.Spec.banks;
+  (* More partitioned: the column select lines are shorter. *)
+  Helpers.check_true "shorter CSL"
+    (Vdram_floorplan.Array_geometry.csl_length (Config.geometry gddr)
+    < Vdram_floorplan.Array_geometry.csl_length (Config.geometry base));
+  (* Optimised for total data rate: much higher absolute power, lower
+     energy per streamed bit. *)
+  let epb cfg =
+    Option.get
+      (Model.energy_per_bit cfg (Pattern.idd4r cfg.Config.spec))
+  in
+  Helpers.check_true "burns more power"
+    (Helpers.power gddr (Pattern.idd4r gddr.Config.spec)
+    > Helpers.power base (Pattern.idd4r base.Config.spec));
+  Helpers.check_true "cheaper per streamed bit" (epb gddr < epb base)
+
+let test_mobile_variant () =
+  let node = Node.N55 in
+  let lp = Variants.mobile ~node ()
+  and base = Generations.at node in
+  (* The whole point: far lower standby power. *)
+  Helpers.check_true "standby at least 3x lower"
+    (Model.state_power lp Model.Precharge_standby
+    < Model.state_power base Model.Precharge_standby /. 3.0);
+  Helpers.check_true "self-refresh lower too"
+    (Model.state_power lp Model.Self_refresh
+    < Model.state_power base Model.Self_refresh);
+  Helpers.check_true "no DLL"
+    (not
+       (List.exists
+          (fun b ->
+            b.Vdram_circuits.Logic_block.name = "DLL / clock synchronisation")
+          lp.Config.logic));
+  (* Edge pads add an extra data-bus segment. *)
+  let segs cfg =
+    match Config.bus cfg Vdram_circuits.Bus.Read_data with
+    | Some b -> List.length b.Vdram_circuits.Bus.segments
+    | None -> 0
+  in
+  Alcotest.(check int) "edge-pad segment" (segs base + 1) (segs lp)
+
+let test_standby_comparison () =
+  let rows =
+    Variants.standby_comparison
+      [ Devices.ddr3_2g; Variants.mobile ~node:Node.N55 () ]
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun (_, standby, selfref) ->
+      Helpers.check_positive "standby" standby;
+      Helpers.check_positive "self-refresh" selfref)
+    rows
+
+let suite =
+  [
+    Alcotest.test_case "device inventory" `Quick test_devices_inventory;
+    Alcotest.test_case "page per width" `Quick test_page_per_width;
+    Alcotest.test_case "generation configs" `Slow test_generations;
+    Alcotest.test_case "graphics variant (Section II)" `Quick
+      test_graphics_variant;
+    Alcotest.test_case "mobile variant (Section II)" `Quick
+      test_mobile_variant;
+    Alcotest.test_case "standby comparison" `Quick test_standby_comparison;
+  ]

@@ -1,0 +1,462 @@
+(* Core model: spec, config, operations, patterns, power. *)
+
+open Vdram_core
+module Node = Vdram_tech.Node
+
+let ddr3 () = Lazy.force Helpers.ddr3_1g
+
+let test_spec () =
+  let spec = (ddr3 ()).Config.spec in
+  Helpers.close "two bits per clock (DDR)" 2.0 (Spec.bits_per_clock spec);
+  Alcotest.(check int) "bits per column command" (16 * 8)
+    (Spec.bits_per_column_command spec);
+  Alcotest.(check int) "burst occupies 4 clocks" 4
+    (Spec.clocks_per_column_command spec);
+  Helpers.close "core clock = datarate / prefetch"
+    (spec.Spec.datarate /. 8.0)
+    (Spec.core_clock spec);
+  Alcotest.check_raises "bad io width"
+    (Invalid_argument "Spec.v: io_width") (fun () ->
+      ignore
+        (Spec.v ~io_width:0 ~datarate:1e9 ~control_clock:5e8 ~bank_bits:3
+           ~row_bits:13 ~col_bits:10 ~prefetch:8 ~burst_length:8 ~banks:8
+           ~density_bits:1e9 ~trc:5e-8 ~trcd:1.5e-8 ~trp:1.5e-8 ()))
+
+let test_config_structure () =
+  let cfg = ddr3 () in
+  Alcotest.(check int) "page = 2KB" 16384 (Config.page_bits cfg);
+  Alcotest.(check int) "full activation by default" 16384
+    (Config.activated_bits cfg);
+  Helpers.check_true "all bus roles present"
+    (List.for_all
+       (fun role -> Config.bus cfg role <> None)
+       [ Vdram_circuits.Bus.Write_data; Vdram_circuits.Bus.Read_data;
+         Vdram_circuits.Bus.Row_address; Vdram_circuits.Bus.Column_address;
+         Vdram_circuits.Bus.Bank_address; Vdram_circuits.Bus.Command;
+         Vdram_circuits.Bus.Clock ]);
+  Helpers.check_true "has a DLL (DDR3)"
+    (List.exists
+       (fun b ->
+         b.Vdram_circuits.Logic_block.name = "DLL / clock synchronisation")
+       cfg.Config.logic);
+  Helpers.check_true "SDR has no DLL"
+    (not
+       (List.exists
+          (fun b ->
+            b.Vdram_circuits.Logic_block.name = "DLL / clock synchronisation")
+          (Lazy.force Helpers.sdr_128m).Config.logic))
+
+let test_activation_fraction () =
+  let cfg = ddr3 () in
+  let quarter = Config.with_activation_fraction cfg 0.25 in
+  Alcotest.(check int) "quarter page" 4096 (Config.activated_bits quarter);
+  Helpers.check_true "activate energy shrinks"
+    (Operation.energy quarter Operation.Activate
+    < Operation.energy cfg Operation.Activate);
+  Helpers.close "read energy unchanged"
+    (Operation.energy cfg Operation.Read)
+    (Operation.energy quarter Operation.Read);
+  Alcotest.check_raises "fraction validated"
+    (Invalid_argument "Config.with_activation_fraction: outside (0, 1]")
+    (fun () -> ignore (Config.with_activation_fraction cfg 0.0))
+
+let test_operation_energies () =
+  let cfg = ddr3 () in
+  List.iter
+    (fun op ->
+      Helpers.check_positive (Operation.name op) (Operation.energy cfg op);
+      Helpers.check_true
+        (Operation.name op ^ " efficiency costs energy")
+        (Operation.energy cfg op >= Operation.energy_internal cfg op))
+    Operation.all;
+  Helpers.check_true "activate > precharge"
+    (Operation.energy cfg Operation.Activate
+    > Operation.energy cfg Operation.Precharge);
+  Helpers.check_true "write > read (adds overwrite)"
+    (Operation.energy cfg Operation.Write
+    > Operation.energy cfg Operation.Read *. 0.8);
+  Helpers.check_true "nop is the smallest"
+    (List.for_all
+       (fun op ->
+         op = Operation.Nop
+         || Operation.energy cfg op > Operation.energy cfg Operation.Nop)
+       Operation.all)
+
+let test_pattern_basics () =
+  let p = Pattern.v ~name:"t" [ (Pattern.Act, 1); (Pattern.Nop, 3) ] in
+  Alcotest.(check int) "cycles" 4 (Pattern.cycles p);
+  Alcotest.(check int) "act count" 1 (Pattern.count p Pattern.Act);
+  Alcotest.(check int) "nop count" 3 (Pattern.count p Pattern.Nop);
+  Alcotest.check_raises "empty loop rejected"
+    (Invalid_argument "Pattern.v: empty loop") (fun () ->
+      ignore (Pattern.v ~name:"e" []))
+
+let test_pattern_parse () =
+  (match Pattern.parse ~name:"p" "act nop wrt nop rd nop pre nop" with
+   | Ok p ->
+     Alcotest.(check int) "8 slots" 8 (Pattern.cycles p);
+     Alcotest.(check string) "round trip" "act nop wrt nop rd nop pre nop"
+       (Pattern.to_string p)
+   | Error e -> Alcotest.fail e);
+  (match Pattern.parse ~name:"p" "act bogus" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bogus command accepted");
+  match Pattern.parse ~name:"p" "   " with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty pattern accepted"
+
+let test_idd_loops () =
+  let spec = (ddr3 ()).Config.spec in
+  let idd0 = Pattern.idd0 spec in
+  Alcotest.(check int) "Idd0 one activate" 1 (Pattern.count idd0 Pattern.Act);
+  Alcotest.(check int) "Idd0 one precharge" 1 (Pattern.count idd0 Pattern.Pre);
+  Helpers.check_true "Idd0 loop covers tRC"
+    (float_of_int (Pattern.cycles idd0)
+     >= spec.Spec.trc *. spec.Spec.control_clock -. 1.0);
+  let idd4r = Pattern.idd4r spec in
+  Alcotest.(check int) "Idd4R gapless" (Spec.clocks_per_column_command spec)
+    (Pattern.cycles idd4r);
+  let idd7 = Pattern.idd7 spec in
+  Alcotest.(check int) "Idd7 activates every bank" spec.Spec.banks
+    (Pattern.count idd7 Pattern.Act);
+  let mixed = Pattern.idd7_mixed spec in
+  Alcotest.(check int) "mixed pattern half writes" (spec.Spec.banks / 2)
+    (Pattern.count mixed Pattern.Wr)
+
+let test_pattern_power () =
+  let cfg = ddr3 () in
+  let spec = cfg.Config.spec in
+  let p_idle = Helpers.power cfg Pattern.idle in
+  Helpers.close "idle = background" (Model.background_power cfg) p_idle;
+  let p_idd0 = Helpers.power cfg (Pattern.idd0 spec) in
+  let p_idd4r = Helpers.power cfg (Pattern.idd4r spec) in
+  let p_idd4w = Helpers.power cfg (Pattern.idd4w spec) in
+  let p_idd7 = Helpers.power cfg (Pattern.idd7 spec) in
+  Helpers.check_true "Idd0 > idle" (p_idd0 > p_idle);
+  Helpers.check_true "Idd4R > Idd0" (p_idd4r > p_idd0);
+  Helpers.check_true "Idd4R > Idd4W - tolerance"
+    (p_idd4r > p_idd4w *. 0.9);
+  Helpers.check_true "Idd7 the largest"
+    (p_idd7 > p_idd4r && p_idd7 > p_idd0);
+  Helpers.close "idd = power / vdd" (p_idd7 /. 1.5)
+    (Model.idd cfg (Pattern.idd7 spec))
+
+let test_report () =
+  let cfg = ddr3 () in
+  let r = Model.pattern_power cfg (Pattern.idd7_mixed cfg.Config.spec) in
+  Helpers.check_true "breakdown sums to total"
+    (let sum = List.fold_left (fun a (_, w) -> a +. w) 0.0 r.Report.breakdown in
+     Float.abs (sum -. r.Report.power) /. r.Report.power < 1e-6);
+  Helpers.check_true "breakdown sorted"
+    (let rec sorted = function
+       | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+       | _ -> true
+     in
+     sorted r.Report.breakdown);
+  (match r.Report.energy_per_bit with
+   | Some e -> Helpers.check_positive "energy per bit" e
+   | None -> Alcotest.fail "mixed pattern moves data");
+  Helpers.check_true "idle has no energy per bit"
+    ((Model.pattern_power cfg Pattern.idle).Report.energy_per_bit = None)
+
+let test_states () =
+  let cfg = ddr3 () in
+  Helpers.close "precharge standby = background"
+    (Model.background_power cfg)
+    (Model.state_power cfg Model.Precharge_standby);
+  Helpers.close "active standby equals it (no leakage model)"
+    (Model.state_power cfg Model.Precharge_standby)
+    (Model.state_power cfg Model.Active_standby);
+  Helpers.check_true "power-down far below standby"
+    (Model.state_power cfg Model.Power_down
+    < 0.5 *. Model.state_power cfg Model.Precharge_standby);
+  Helpers.close "self-refresh = power-down + refresh"
+    (Model.state_power cfg Model.Power_down +. Model.refresh_power cfg)
+    (Model.state_power cfg Model.Self_refresh);
+  Helpers.check_true "refresh power small vs active"
+    (Model.refresh_power cfg < 0.2 *. Model.background_power cfg)
+
+let test_idd5b () =
+  let cfg = ddr3 () in
+  let idd5 = Model.idd5b cfg in
+  let idd2n = Model.idd cfg Pattern.idle in
+  let idd0 = Model.idd cfg (Pattern.idd0 cfg.Config.spec) in
+  Helpers.check_true "Idd5B above standby" (idd5 > idd2n);
+  Helpers.check_true "Idd5B above Idd0 (many banks refresh at once)"
+    (idd5 > idd0)
+
+let test_categories () =
+  let cfg = ddr3 () in
+  let r = Model.pattern_power cfg (Pattern.idd7_mixed cfg.Config.spec) in
+  let cats = Report.by_category r in
+  let sum = List.fold_left (fun a (_, w) -> a +. w) 0.0 cats in
+  Helpers.close_rel ~rel:1e-6 "categories sum to total" r.Report.power sum;
+  let share c =
+    match List.assoc_opt c cats with
+    | Some w -> w /. r.Report.power
+    | None -> 0.0
+  in
+  Helpers.check_true "array share significant on DDR3"
+    (share Report.Array > 0.10);
+  (* The paper's shift: the new device has a smaller array share than
+     the old one. *)
+  let share_of cfg c =
+    let r = Model.pattern_power cfg (Pattern.idd7_mixed cfg.Config.spec) in
+    match List.assoc_opt c (Report.by_category r) with
+    | Some w -> w /. r.Report.power
+    | None -> 0.0
+  in
+  Helpers.check_true "array share falls towards DDR5"
+    (share_of (Lazy.force Helpers.ddr5_16g) Report.Array
+    < share_of (Lazy.force Helpers.sdr_128m) Report.Array +. 0.1)
+
+let test_operation_power () =
+  let cfg = ddr3 () in
+  Helpers.close "nop operation power = background"
+    (Model.background_power cfg)
+    (Model.operation_power cfg Operation.Nop);
+  Helpers.check_true "read op power above background"
+    (Model.operation_power cfg Operation.Read > Model.background_power cfg)
+
+let test_commodity_variants () =
+  (* x4 parts move fewer bits per command: lower Idd4R. *)
+  let x16 = Vdram_configs.Devices.ddr3_1g ~io_width:16 ~node:Node.N65 ()
+  and x4 = Vdram_configs.Devices.ddr3_1g ~io_width:4 ~node:Node.N65 () in
+  Helpers.check_true "x16 Idd4R above x4"
+    (Model.idd x16 (Pattern.idd4r x16.Config.spec)
+    > Model.idd x4 (Pattern.idd4r x4.Config.spec));
+  (* Higher data rate costs current. *)
+  let slow = Vdram_configs.Devices.ddr3_1g ~datarate:800e6 ~node:Node.N65 ()
+  and fast = Vdram_configs.Devices.ddr3_1g ~datarate:1333e6 ~node:Node.N65 () in
+  Helpers.check_true "faster part draws more in Idd4R"
+    (Model.idd fast (Pattern.idd4r fast.Config.spec)
+    > Model.idd slow (Pattern.idd4r slow.Config.spec));
+  (* A DDR2 part keeps its 1.8 V supply even on a newer node. *)
+  let shrunk = Vdram_configs.Devices.ddr2_1g ~node:Node.N65 () in
+  Helpers.close "DDR2 stays at 1.8 V" 1.8
+    shrunk.Config.domains.Vdram_circuits.Domains.vdd
+
+let test_monotone_in_voltage () =
+  let cfg = ddr3 () in
+  let d = cfg.Config.domains in
+  let higher =
+    Config.with_domains cfg { d with Vdram_circuits.Domains.vint = 1.6 }
+  in
+  Helpers.check_true "higher Vint, more power"
+    (Helpers.power higher (Pattern.idd7 cfg.Config.spec)
+    > Helpers.power cfg (Pattern.idd7 cfg.Config.spec))
+
+let test_idd7_respects_tfaw () =
+  let spec = (ddr3 ()).Config.spec in
+  let p = Pattern.idd7 spec in
+  let window = float_of_int (Pattern.cycles p) /. spec.Spec.control_clock in
+  (* 8 banks = two tFAW windows minimum. *)
+  Helpers.check_true "window covers banks/4 x tFAW"
+    (window >= float_of_int (spec.Spec.banks / 4) *. spec.Spec.tfaw *. 0.99)
+
+let test_contribution_labels () =
+  let cfg = ddr3 () in
+  List.iter
+    (fun op ->
+      let cs = Operation.contributions cfg op in
+      Helpers.check_true
+        (Operation.name op ^ " has contributions")
+        (cs <> []);
+      List.iter
+        (fun (c : Vdram_circuits.Contribution.t) ->
+          Helpers.check_true "label non-empty"
+            (String.length c.Vdram_circuits.Contribution.label > 0);
+          Helpers.check_true "energy non-negative"
+            (c.Vdram_circuits.Contribution.energy >= 0.0))
+        cs)
+    Operation.all
+
+let test_activation_floor () =
+  (* Even a tiny fraction activates at least one local wordline. *)
+  let cfg = ddr3 () in
+  let tiny = Config.with_activation_fraction cfg 0.0001 in
+  Alcotest.(check int) "one LWL minimum" 512 (Config.activated_bits tiny)
+
+let test_data_toggle_monotone () =
+  let cfg = ddr3 () in
+  let quiet = Config.with_data_toggle cfg 0.1
+  and busy = Config.with_data_toggle cfg 0.9 in
+  Helpers.check_true "toggle raises write energy"
+    (Operation.energy busy Operation.Write
+    > Operation.energy quiet Operation.Write);
+  Helpers.check_true "toggle raises read energy"
+    (Operation.energy busy Operation.Read
+    > Operation.energy quiet Operation.Read)
+
+let test_banks_override () =
+  let four =
+    Config.commodity ~node:Node.N65 ~density_bits:(2.0 ** 30.0) ~banks:4 ()
+  in
+  Alcotest.(check int) "banks override" 4 four.Config.spec.Spec.banks;
+  Alcotest.(check int) "bank bits follow" 2 four.Config.spec.Spec.bank_bits
+
+let test_category_classifier () =
+  List.iter
+    (fun (label, expected) ->
+      Alcotest.(check string) label
+        (Report.category_name expected)
+        (Report.category_name (Report.category_of_label label)))
+    [ ("bitline sensing", Report.Array);
+      ("cell restore", Report.Array);
+      ("sense amplifier set", Report.Array);
+      ("master wordline", Report.Row_path);
+      ("logic: row command logic", Report.Row_path);
+      ("column select line", Report.Column_path);
+      ("master array data lines", Report.Column_path);
+      ("read data bus", Report.Data_path);
+      ("DQ pre-drivers", Report.Interface);
+      ("logic: DLL / clock synchronisation", Report.Clocking);
+      ("constant current sink", Report.Static);
+      ("logic: central control logic", Report.Peripheral_logic) ]
+
+let test_peak_currents () =
+  let cfg = ddr3 () in
+  let peaks = Peak.all cfg in
+  Alcotest.(check int) "five operations" 5 (List.length peaks);
+  (* Descending order. *)
+  let rec desc = function
+    | (a : Peak.t) :: (b :: _ as rest) ->
+      a.Peak.current >= b.Peak.current && desc rest
+    | _ -> true
+  in
+  Helpers.check_true "sorted by current" (desc peaks);
+  let act = Peak.of_operation cfg Operation.Activate in
+  Helpers.close_rel ~rel:1e-9 "current = charge / window"
+    (act.Peak.charge /. act.Peak.window)
+    act.Peak.current;
+  Helpers.check_true "worst case above any single op"
+    (List.for_all
+       (fun (p : Peak.t) -> Peak.worst_case cfg > p.Peak.current)
+       peaks);
+  (* Peak currents dwarf the averages: the activate-window current
+     exceeds the row-cycling increment spread over the whole tRC. *)
+  let idd0_increment =
+    Model.idd cfg (Pattern.idd0 cfg.Config.spec)
+    -. Model.idd cfg Pattern.idle
+  in
+  Helpers.check_true "activate window current above the Idd0 increment"
+    (act.Peak.current > idd0_increment)
+
+let test_peak_scales_with_activation () =
+  let cfg = ddr3 () in
+  let small = Config.with_activation_fraction cfg 0.25 in
+  let act c = (Peak.of_operation c Operation.Activate).Peak.current in
+  Helpers.check_true "smaller activation, lower peak"
+    (act small < act cfg)
+
+let test_validate () =
+  List.iter
+    (fun cfg ->
+      Helpers.check_true
+        (cfg.Config.name ^ " validates clean")
+        (Validate.check cfg = []))
+    (Vdram_configs.Generations.all
+    @ Vdram_configs.Devices.table3_devices);
+  let cfg = ddr3 () in
+  let d = cfg.Config.domains in
+  let broken name mutated expect_error =
+    let findings = Validate.check mutated in
+    Helpers.check_true (name ^ " flagged") (findings <> []);
+    if expect_error then
+      Helpers.check_true (name ^ " is an error")
+        (not (Validate.is_clean mutated))
+  in
+  broken "vpp without headroom"
+    (Config.with_domains cfg { d with Vdram_circuits.Domains.vpp = 1.3 })
+    true;
+  broken "vint above vdd"
+    (Config.with_domains cfg { d with Vdram_circuits.Domains.vint = 1.8 })
+    true;
+  broken "burst below prefetch"
+    (Config.with_spec cfg
+       { cfg.Config.spec with Spec.burst_length = 4; prefetch = 8 })
+    true;
+  broken "bad data toggle" { cfg with Config.data_toggle = 1.5 } true;
+  broken "density mismatch"
+    (Config.with_spec cfg { cfg.Config.spec with Spec.row_bits = 11 })
+    false
+
+let power_monotone_in_bitline_cap =
+  QCheck.Test.make ~name:"power monotone in bitline capacitance" ~count:40
+    QCheck.(float_range 1.0 3.0)
+    (fun factor ->
+      let cfg = ddr3 () in
+      let t = cfg.Config.tech in
+      let bigger =
+        Config.with_tech cfg
+          {
+            t with
+            Vdram_tech.Params.c_bitline =
+              t.Vdram_tech.Params.c_bitline *. factor;
+          }
+      in
+      let p = Pattern.idd0 cfg.Config.spec in
+      Helpers.power bigger p >= Helpers.power cfg p)
+
+let pattern_roundtrip =
+  QCheck.Test.make ~name:"pattern to_string/parse round trip" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 0 4))
+    (fun commands ->
+      QCheck.assume (commands <> []);
+      let cmd i =
+        List.nth
+          Pattern.[ Act; Pre; Rd; Wr; Nop ]
+          i
+      in
+      let p = Pattern.v ~name:"q" (List.map (fun i -> (cmd i, 1)) commands) in
+      match Pattern.parse ~name:"q" (Pattern.to_string p) with
+      | Ok p' ->
+        Pattern.cycles p = Pattern.cycles p'
+        && List.for_all
+             (fun c -> Pattern.count p c = Pattern.count p' c)
+             Pattern.[ Act; Pre; Rd; Wr; Nop ]
+      | Error e -> QCheck.Test.fail_report e)
+
+let pattern_power_convex =
+  QCheck.Test.make ~name:"adding nops never raises power" ~count:40
+    QCheck.(int_range 1 64)
+    (fun extra_nops ->
+      let cfg = ddr3 () in
+      let base = Pattern.v ~name:"b" [ (Pattern.Rd, 1); (Pattern.Nop, 3) ] in
+      let padded =
+        Pattern.v ~name:"p" [ (Pattern.Rd, 1); (Pattern.Nop, 3 + extra_nops) ]
+      in
+      Helpers.power cfg padded <= Helpers.power cfg base +. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "specification" `Quick test_spec;
+    Alcotest.test_case "config structure" `Quick test_config_structure;
+    Alcotest.test_case "activation fraction" `Quick test_activation_fraction;
+    Alcotest.test_case "operation energies" `Quick test_operation_energies;
+    Alcotest.test_case "pattern basics" `Quick test_pattern_basics;
+    Alcotest.test_case "pattern parsing" `Quick test_pattern_parse;
+    Alcotest.test_case "Idd loops" `Quick test_idd_loops;
+    Alcotest.test_case "pattern power ordering" `Quick test_pattern_power;
+    Alcotest.test_case "report invariants" `Quick test_report;
+    Alcotest.test_case "operation power" `Quick test_operation_power;
+    Alcotest.test_case "standby states" `Quick test_states;
+    Alcotest.test_case "Idd5B refresh current" `Quick test_idd5b;
+    Alcotest.test_case "category breakdown" `Quick test_categories;
+    Alcotest.test_case "commodity variants" `Quick test_commodity_variants;
+    Alcotest.test_case "voltage monotonicity" `Quick test_monotone_in_voltage;
+    Alcotest.test_case "Idd7 respects tFAW" `Quick test_idd7_respects_tfaw;
+    Alcotest.test_case "contribution labels" `Quick test_contribution_labels;
+    Alcotest.test_case "activation floor" `Quick test_activation_floor;
+    Alcotest.test_case "data toggle monotone" `Quick
+      test_data_toggle_monotone;
+    Alcotest.test_case "banks override" `Quick test_banks_override;
+    Alcotest.test_case "category classifier" `Quick test_category_classifier;
+    Alcotest.test_case "validator" `Slow test_validate;
+    Alcotest.test_case "peak currents" `Quick test_peak_currents;
+    Alcotest.test_case "peak follows activation" `Quick
+      test_peak_scales_with_activation;
+    Helpers.qcheck power_monotone_in_bitline_cap;
+    Helpers.qcheck pattern_roundtrip;
+    Helpers.qcheck pattern_power_convex;
+  ]

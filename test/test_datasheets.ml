@@ -1,0 +1,287 @@
+(* Datasheet database and Figure 8/9 verification shapes. *)
+
+open Vdram_datasheets
+
+let test_point_stats () =
+  let p =
+    { Idd.test = Idd.Idd0; datarate_mbps = 533; io_width = 4;
+      vendors_ma = [ 70.0; 75.0; 80.0 ] }
+  in
+  Alcotest.(check string) "label" "Idd0 533 x4" (Idd.label p);
+  Helpers.close "min" 70.0 (Idd.min_ma p);
+  Helpers.close "max" 80.0 (Idd.max_ma p);
+  Helpers.close "mean" 75.0 (Idd.mean_ma p)
+
+let test_families_complete () =
+  Alcotest.(check int) "DDR2 points" 24 (List.length Idd.ddr2_1g.Idd.points);
+  Alcotest.(check int) "DDR3 points" 18 (List.length Idd.ddr3_1g.Idd.points);
+  List.iter
+    (fun (p : Idd.point) ->
+      Alcotest.(check int)
+        (Idd.label p ^ " has five vendors")
+        5
+        (List.length p.Idd.vendors_ma);
+      Helpers.check_true (Idd.label p ^ " spread sane")
+        (Idd.max_ma p < Idd.min_ma p *. 1.5))
+    (Idd.ddr2_1g.Idd.points @ Idd.ddr3_1g.Idd.points)
+
+let test_datasheet_orderings () =
+  (* Within each family: Idd4R >= Idd4W >= ... and x16 >= x4 at the
+     same test and speed; faster grades draw more. *)
+  let find family test speed width =
+    List.find
+      (fun (p : Idd.point) ->
+        p.Idd.test = test && p.Idd.datarate_mbps = speed
+        && p.Idd.io_width = width)
+      family.Idd.points
+  in
+  List.iter
+    (fun (family, speeds) ->
+      List.iter
+        (fun speed ->
+          let r16 = find family Idd.Idd4r speed 16
+          and w16 = find family Idd.Idd4w speed 16
+          and r4 = find family Idd.Idd4r speed 4
+          and i16 = find family Idd.Idd0 speed 16
+          and i4 = find family Idd.Idd0 speed 4 in
+          Helpers.check_true "Idd4R >= Idd4W"
+            (Idd.mean_ma r16 >= Idd.mean_ma w16);
+          Helpers.check_true "x16 >= x4 on Idd4R"
+            (Idd.mean_ma r16 >= Idd.mean_ma r4);
+          Helpers.check_true "Idd4R >= Idd0" (Idd.mean_ma r16 >= Idd.mean_ma i16);
+          Helpers.check_true "Idd0 x16 >= x4"
+            (Idd.mean_ma i16 >= Idd.mean_ma i4))
+        speeds)
+    [ (Idd.ddr2_1g, [ 400; 533; 667; 800 ]); (Idd.ddr3_1g, [ 800; 1066; 1333 ]) ]
+
+let model_shape family rows =
+  (* The model must reproduce the figure's qualitative shapes:
+     currents rise with speed, x16 above x4, Idd4R above Idd0. *)
+  let model (r : Compare.row) = snd (List.hd r.Compare.model_ma) in
+  let find test speed width =
+    List.find
+      (fun (r : Compare.row) ->
+        r.Compare.point.Idd.test = test
+        && r.Compare.point.Idd.datarate_mbps = speed
+        && r.Compare.point.Idd.io_width = width)
+      rows
+  in
+  let speeds =
+    List.sort_uniq compare
+      (List.map (fun (p : Idd.point) -> p.Idd.datarate_mbps)
+         family.Idd.points)
+  in
+  let fastest = List.nth speeds (List.length speeds - 1)
+  and slowest = List.hd speeds in
+  Helpers.check_true "model Idd4R rises with speed"
+    (model (find Idd.Idd4r fastest 16) > model (find Idd.Idd4r slowest 16));
+  Helpers.check_true "model x16 > x4"
+    (model (find Idd.Idd4r fastest 16) > model (find Idd.Idd4r fastest 4));
+  Helpers.check_true "model Idd4R > Idd0"
+    (model (find Idd.Idd4r fastest 16) > model (find Idd.Idd0 fastest 16))
+
+let coverage rows =
+  let in_band = ref 0 and total = ref 0 in
+  List.iter
+    (fun (r : Compare.row) ->
+      List.iter
+        (fun (_, m) ->
+          incr total;
+          if Compare.within_band r.Compare.point m then incr in_band)
+        r.Compare.model_ma)
+    rows;
+  float_of_int !in_band /. float_of_int !total
+
+let mean_ratio rows =
+  let sum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (r : Compare.row) ->
+      List.iter
+        (fun (_, m) ->
+          sum := !sum +. log (m /. Idd.mean_ma r.Compare.point);
+          incr n)
+        r.Compare.model_ma)
+    rows;
+  exp (!sum /. float_of_int !n)
+
+let test_fig8 () =
+  let rows = Compare.fig8 () in
+  model_shape Idd.ddr2_1g rows;
+  let cov = coverage rows in
+  Helpers.check_true
+    (Printf.sprintf "most DDR2 points in band (%.0f%%)" (100.0 *. cov))
+    (cov >= 0.55);
+  let ratio = mean_ratio rows in
+  Helpers.check_true
+    (Printf.sprintf "DDR2 geometric mean ratio sane (%.2f)" ratio)
+    (ratio > 0.6 && ratio < 1.4)
+
+let test_fig9 () =
+  let rows = Compare.fig9 () in
+  model_shape Idd.ddr3_1g rows;
+  let cov = coverage rows in
+  Helpers.check_true
+    (Printf.sprintf "most DDR3 points in band (%.0f%%)" (100.0 *. cov))
+    (cov >= 0.75);
+  let ratio = mean_ratio rows in
+  Helpers.check_true
+    (Printf.sprintf "DDR3 geometric mean ratio sane (%.2f)" ratio)
+    (ratio > 0.7 && ratio < 1.3)
+
+let test_ddr3_below_ddr2 () =
+  (* Lower supply voltage shows: DDR3-800 x16 draws less than
+     DDR2-800 x16 at the same function, in both datasheet and model. *)
+  let d2 =
+    List.find
+      (fun (p : Idd.point) ->
+        p.Idd.test = Idd.Idd4r && p.Idd.datarate_mbps = 800
+        && p.Idd.io_width = 16)
+      Idd.ddr2_1g.Idd.points
+  and d3 =
+    List.find
+      (fun (p : Idd.point) ->
+        p.Idd.test = Idd.Idd4r && p.Idd.datarate_mbps = 800
+        && p.Idd.io_width = 16)
+      Idd.ddr3_1g.Idd.points
+  in
+  Helpers.check_true "datasheet DDR3 < DDR2" (Idd.mean_ma d3 < Idd.mean_ma d2);
+  let m2 =
+    Compare.model_current ~family:Idd.ddr2_1g ~node:Vdram_tech.Node.N75 d2
+  and m3 =
+    Compare.model_current ~family:Idd.ddr3_1g ~node:Vdram_tech.Node.N65 d3
+  in
+  Helpers.check_true "model DDR3 < DDR2" (m3 < m2)
+
+let test_within_band_edges () =
+  let p =
+    { Idd.test = Idd.Idd0; datarate_mbps = 800; io_width = 16;
+      vendors_ma = [ 100.0; 120.0 ] }
+  in
+  Helpers.check_true "inside" (Compare.within_band ~slack:0.0 p 110.0);
+  Helpers.check_true "at min" (Compare.within_band ~slack:0.0 p 100.0);
+  Helpers.check_true "at max" (Compare.within_band ~slack:0.0 p 120.0);
+  Helpers.check_true "below" (not (Compare.within_band ~slack:0.0 p 99.0));
+  Helpers.check_true "slack widens"
+    (Compare.within_band ~slack:0.10 p 91.0)
+
+let test_labels_unique () =
+  let labels family =
+    List.map Idd.label family.Idd.points
+  in
+  List.iter
+    (fun family ->
+      let l = labels family in
+      Alcotest.(check int)
+        (family.Idd.name ^ " labels unique")
+        (List.length l)
+        (List.length (List.sort_uniq compare l)))
+    [ Idd.ddr2_1g; Idd.ddr3_1g ]
+
+let test_model_current_consistency () =
+  (* Compare.model_current is exactly Model.idd of the matching
+     device. *)
+  let p =
+    List.find
+      (fun (q : Idd.point) ->
+        q.Idd.test = Idd.Idd4r && q.Idd.datarate_mbps = 1066
+        && q.Idd.io_width = 16)
+      Idd.ddr3_1g.Idd.points
+  in
+  let via_compare =
+    Compare.model_current ~family:Idd.ddr3_1g ~node:Vdram_tech.Node.N65 p
+  in
+  let cfg =
+    Vdram_configs.Devices.ddr3_1g ~io_width:16 ~datarate:1.066e9
+      ~node:Vdram_tech.Node.N65 ()
+  in
+  let direct =
+    Vdram_core.Model.idd cfg
+      (Vdram_core.Pattern.idd4r cfg.Vdram_core.Config.spec)
+    *. 1e3
+  in
+  Helpers.close_rel ~rel:1e-9 "consistent" direct via_compare
+
+let test_density_dependence () =
+  (* The 2 Gb family: datasheet Idd0 above the 1 Gb family (longer
+     refresh-class rows and more bank area), and the model follows. *)
+  let find family speed test =
+    List.find
+      (fun (p : Idd.point) ->
+        p.Idd.test = test && p.Idd.datarate_mbps = speed
+        && p.Idd.io_width = 16)
+      family.Idd.points
+  in
+  let g1 = find Idd.ddr3_1g 1066 Idd.Idd0
+  and g2 = find Idd.ddr3_2g 1066 Idd.Idd0 in
+  Helpers.check_true "datasheet 2Gb Idd0 above 1Gb"
+    (Idd.mean_ma g2 > Idd.mean_ma g1);
+  let node = Vdram_tech.Node.N55 in
+  let m1 = Compare.model_current ~family:Idd.ddr3_1g ~node g1
+  and m2 = Compare.model_current ~family:Idd.ddr3_2g ~node g2 in
+  Helpers.check_true "model follows (within a few mA)" (m2 >= m1 -. 2.0);
+  (* And the band check holds for the new family too. *)
+  List.iter
+    (fun (p : Idd.point) ->
+      let m = Compare.model_current ~family:Idd.ddr3_2g ~node p in
+      Helpers.check_true
+        (Idd.label p ^ " within widened band")
+        (Compare.within_band ~slack:0.40 p m))
+    Idd.ddr3_2g.Idd.points
+
+let test_micron_method () =
+  let cfg = Lazy.force Helpers.ddr3_2g in
+  let spec = cfg.Vdram_core.Config.spec in
+  (* The datasheet method fed with the model's own Idd set must land
+     on the model's direct answer: the two power-accounting paths are
+     consistent. *)
+  List.iter
+    (fun pattern ->
+      let direct, via_method = Micron_method.cross_check cfg pattern in
+      Helpers.check_true
+        (Printf.sprintf "%s: method within 3%% (%.1f vs %.1f mW)"
+           pattern.Vdram_core.Pattern.name (direct *. 1e3)
+           (via_method *. 1e3))
+        (Float.abs (via_method -. direct) /. direct < 0.03))
+    [ Vdram_core.Pattern.idle; Vdram_core.Pattern.idd0 spec;
+      Vdram_core.Pattern.idd4r spec; Vdram_core.Pattern.idd4w spec;
+      Vdram_core.Pattern.idd7_mixed spec;
+      Vdram_core.Pattern.paper_example ];
+  (* Refresh adds a small positive term. *)
+  let s = Micron_method.of_model cfg in
+  let u =
+    Micron_method.usage_of_pattern cfg (Vdram_core.Pattern.idd0 spec)
+  in
+  Helpers.check_true "refresh term positive"
+    (Micron_method.power s u
+    > Micron_method.power ~include_refresh:false s u);
+  Helpers.check_true "refresh term small"
+    (Micron_method.power s u
+    < Micron_method.power ~include_refresh:false s u *. 1.10)
+
+let test_idd_set_orderings () =
+  let s = Micron_method.of_model (Lazy.force Helpers.ddr3_1g) in
+  Helpers.check_true "Idd4R above Idd0" (s.Micron_method.idd4r > s.Micron_method.idd0);
+  Helpers.check_true "Idd0 above standby" (s.Micron_method.idd0 > s.Micron_method.idd2n);
+  Helpers.check_true "Idd5B the largest"
+    (s.Micron_method.idd5b > s.Micron_method.idd4r
+    || s.Micron_method.idd5b > s.Micron_method.idd0)
+
+let suite =
+  [
+    Alcotest.test_case "point statistics" `Quick test_point_stats;
+    Alcotest.test_case "families complete" `Quick test_families_complete;
+    Alcotest.test_case "datasheet orderings" `Quick test_datasheet_orderings;
+    Alcotest.test_case "Figure 8 (DDR2)" `Slow test_fig8;
+    Alcotest.test_case "Figure 9 (DDR3)" `Slow test_fig9;
+    Alcotest.test_case "DDR3 below DDR2" `Quick test_ddr3_below_ddr2;
+    Alcotest.test_case "band edges" `Quick test_within_band_edges;
+    Alcotest.test_case "labels unique" `Quick test_labels_unique;
+    Alcotest.test_case "model_current consistency" `Quick
+      test_model_current_consistency;
+    Alcotest.test_case "density dependence (2Gb family)" `Slow
+      test_density_dependence;
+    Alcotest.test_case "datasheet method cross-check" `Quick
+      test_micron_method;
+    Alcotest.test_case "model Idd set orderings" `Quick
+      test_idd_set_orderings;
+  ]

@@ -1,0 +1,207 @@
+(* Floorplan: array geometry and block grid. *)
+
+open Vdram_floorplan
+
+let geometry_1g_ddr3 () =
+  Array_geometry.derive ~style:Array_geometry.Open
+    ~bank_bits:(2.0 ** 27.0)
+    ~page_bits:16384 ~bits_per_bitline:512 ~bits_per_lwl:512
+    ~wl_pitch:195e-9 ~bl_pitch:130e-9 ~sa_stripe:9e-6 ~lwd_stripe:3.4e-6 ()
+
+let test_derive () =
+  let g = geometry_1g_ddr3 () in
+  Alcotest.(check int) "32 sub-arrays along WL" 32
+    g.Array_geometry.subarrays_along_wl;
+  Alcotest.(check int) "16 sub-arrays along BL" 16
+    g.Array_geometry.subarrays_along_bl;
+  Helpers.close "cells per bank" (2.0 ** 27.0) (Array_geometry.cells g);
+  Helpers.close "local wordline length" (512.0 *. 130e-9)
+    (Array_geometry.lwl_length g);
+  Helpers.close "bitline length" (512.0 *. 195e-9)
+    (Array_geometry.bitline_length g)
+
+let test_derive_errors () =
+  let bad_page () =
+    ignore
+      (Array_geometry.derive ~bank_bits:(2.0 ** 27.0) ~page_bits:1000
+         ~bits_per_bitline:512 ~bits_per_lwl:512 ~wl_pitch:195e-9
+         ~bl_pitch:130e-9 ~sa_stripe:9e-6 ~lwd_stripe:3.4e-6 ())
+  in
+  Alcotest.check_raises "page not multiple of LWL"
+    (Invalid_argument
+       "Array_geometry.derive: page not a multiple of local WL")
+    bad_page
+
+let test_extents () =
+  let g = geometry_1g_ddr3 () in
+  let bw = Array_geometry.block_width g in
+  Helpers.close "block width"
+    ((32.0 *. 512.0 *. 130e-9) +. (33.0 *. 3.4e-6))
+    bw;
+  Helpers.close "master wordline spans block" bw
+    (Array_geometry.master_wordline_length g);
+  Helpers.close "MADL spans block height"
+    (Array_geometry.block_height g)
+    (Array_geometry.madl_length g);
+  Helpers.close "CSL over one block"
+    (Array_geometry.block_height g)
+    (Array_geometry.csl_length g)
+
+let test_area_shares () =
+  let g = geometry_1g_ddr3 () in
+  let sa = Array_geometry.sa_area_share g
+  and lwd = Array_geometry.lwd_area_share g in
+  (* Paper: SA stripes 8-15 % of die, LWD stripes 5-10 %.  The block
+     shares should land in loosely the same windows. *)
+  Helpers.check_true
+    (Printf.sprintf "SA share plausible (%.3f)" sa)
+    (sa > 0.05 && sa < 0.20);
+  Helpers.check_true
+    (Printf.sprintf "LWD share plausible (%.3f)" lwd)
+    (lwd > 0.02 && lwd < 0.12)
+
+let commodity_plan () =
+  Floorplan.commodity ~geometry:(geometry_1g_ddr3 ()) ~banks:8
+    ~row_logic:200e-6 ~column_logic:200e-6 ~center_stripe:700e-6
+
+let test_commodity () =
+  let fp = commodity_plan () in
+  Alcotest.(check int) "8 bank cells" 8 (List.length (Floorplan.bank_cells fp));
+  let die = Floorplan.die_area fp *. 1e6 in
+  Helpers.check_true
+    (Printf.sprintf "die plausible for 1Gb 65nm (%.1f mm2)" die)
+    (die > 25.0 && die < 75.0);
+  let eff = Floorplan.array_efficiency fp in
+  Helpers.check_true
+    (Printf.sprintf "array efficiency plausible (%.2f)" eff)
+    (eff > 0.35 && eff < 0.75);
+  (* Kind areas tile the die. *)
+  let sum =
+    List.fold_left
+      (fun acc k -> acc +. Floorplan.area_of_kind fp k)
+      0.0
+      [ Floorplan.Array_block; Floorplan.Row_logic; Floorplan.Column_logic;
+        Floorplan.Center_stripe ]
+  in
+  Helpers.close ~eps:1e-6 "kind areas tile the die" (Floorplan.die_area fp) sum
+
+let test_routes () =
+  let fp = commodity_plan () in
+  let a = (0, 1) and b = (2, 3) in
+  Helpers.close "route symmetric"
+    (Floorplan.route_length fp a b)
+    (Floorplan.route_length fp b a);
+  Helpers.close "route to self" 0.0 (Floorplan.route_length fp a a);
+  let cc = Floorplan.center_cell fp in
+  let j = snd cc in
+  Alcotest.(check string) "center cell sits on the center stripe"
+    "center stripe"
+    (Floorplan.kind_name fp.Floorplan.vertical.(j).Floorplan.kind);
+  Helpers.close "inside length fraction"
+    (0.25 *. fp.Floorplan.horizontal.(0).Floorplan.size)
+    (Floorplan.inside_length fp (0, 0) ~frac:0.25 ~dir:`H)
+
+let test_find_block () =
+  let fp = commodity_plan () in
+  Alcotest.(check (option int)) "find A0" (Some 0)
+    (Floorplan.find_block fp `H "A0");
+  Alcotest.(check (option int)) "find missing" None
+    (Floorplan.find_block fp `H "ZZ")
+
+let test_validation () =
+  Alcotest.check_raises "empty axis"
+    (Invalid_argument "Floorplan.v: empty axis") (fun () ->
+      ignore
+        (Floorplan.v ~horizontal:[] ~vertical:[] ~geometry:(geometry_1g_ddr3 ())
+           ~banks:8))
+
+let test_commodity_bank_counts () =
+  let geometry banks page =
+    Array_geometry.derive ~style:Array_geometry.Open
+      ~bank_bits:(2.0 ** 27.0) ~page_bits:page ~bits_per_bitline:512
+      ~bits_per_lwl:512 ~wl_pitch:195e-9 ~bl_pitch:130e-9 ~sa_stripe:9e-6
+      ~lwd_stripe:3.4e-6 ()
+    |> fun g ->
+    Floorplan.commodity ~geometry:g ~banks ~row_logic:200e-6
+      ~column_logic:200e-6 ~center_stripe:600e-6
+  in
+  List.iter
+    (fun banks ->
+      let fp = geometry banks 16384 in
+      Alcotest.(check int)
+        (Printf.sprintf "%d bank cells" banks)
+        banks
+        (List.length (Floorplan.bank_cells fp));
+      (* 16+ banks use four bank rows. *)
+      let array_rows =
+        Array.to_list fp.Floorplan.vertical
+        |> List.filter (fun b -> b.Floorplan.kind = Floorplan.Array_block)
+        |> List.length
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "bank rows for %d banks" banks)
+        (if banks >= 16 then 4 else 2)
+        array_rows)
+    [ 2; 4; 8; 16; 32 ]
+
+let test_route_hand_computed () =
+  let fp = commodity_plan () in
+  (* Horizontal neighbours: distance = half of each block width. *)
+  let w0 = fp.Floorplan.horizontal.(0).Floorplan.size
+  and w1 = fp.Floorplan.horizontal.(1).Floorplan.size in
+  Helpers.close "adjacent route" ((w0 +. w1) /. 2.0)
+    (Floorplan.route_length fp (0, 1) (1, 1));
+  (* Manhattan: both axes add. *)
+  let h1 = fp.Floorplan.vertical.(1).Floorplan.size
+  and h2 = fp.Floorplan.vertical.(2).Floorplan.size in
+  Helpers.close "diagonal route"
+    (((w0 +. w1) /. 2.0) +. ((h1 +. h2) /. 2.0))
+    (Floorplan.route_length fp (0, 1) (1, 2))
+
+let test_area_of_kind_partition () =
+  let fp = commodity_plan () in
+  List.iter
+    (fun k ->
+      Helpers.check_positive (Floorplan.kind_name k)
+        (Floorplan.area_of_kind fp k))
+    [ Floorplan.Array_block; Floorplan.Row_logic; Floorplan.Column_logic;
+      Floorplan.Center_stripe ]
+
+let test_out_of_range_center () =
+  let fp = commodity_plan () in
+  (match Floorplan.center fp (99, 0) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "out-of-range accepted")
+
+let route_triangle =
+  QCheck.Test.make ~name:"routes obey the triangle inequality" ~count:200
+    QCheck.(triple (int_range 0 5) (int_range 0 4) (int_range 0 5))
+    (fun (i1, j1, i2) ->
+      let fp = commodity_plan () in
+      let nh = Array.length fp.Floorplan.horizontal
+      and nv = Array.length fp.Floorplan.vertical in
+      let a = (i1 mod nh, j1 mod nv)
+      and b = (i2 mod nh, j1 mod nv)
+      and c = (i1 mod nh, (j1 + 2) mod nv) in
+      Floorplan.route_length fp a b
+      <= Floorplan.route_length fp a c +. Floorplan.route_length fp c b +. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "derive sub-array grid" `Quick test_derive;
+    Alcotest.test_case "derive validation" `Quick test_derive_errors;
+    Alcotest.test_case "wire extents" `Quick test_extents;
+    Alcotest.test_case "stripe area shares (paper bands)" `Quick
+      test_area_shares;
+    Alcotest.test_case "commodity floorplan" `Quick test_commodity;
+    Alcotest.test_case "routing" `Quick test_routes;
+    Alcotest.test_case "block lookup" `Quick test_find_block;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "bank counts and rows" `Quick
+      test_commodity_bank_counts;
+    Alcotest.test_case "hand-computed routes" `Quick test_route_hand_computed;
+    Alcotest.test_case "kind areas positive" `Quick
+      test_area_of_kind_partition;
+    Alcotest.test_case "center bounds check" `Quick test_out_of_range_center;
+    Helpers.qcheck route_triangle;
+  ]

@@ -1,0 +1,201 @@
+(* Link and DIMM-level power (the Vddq piece the paper delegates to
+   the link properties). *)
+
+open Vdram_link
+module Node = Vdram_tech.Node
+
+let test_termination_validation () =
+  Alcotest.check_raises "bad vddq"
+    (Invalid_argument "Termination.v: vddq must be positive") (fun () ->
+      ignore
+        (Termination.v ~scheme:(Termination.Unterminated { c_load = 1e-12 })
+           ~vddq:0.0 ()));
+  Alcotest.check_raises "bad resistance"
+    (Invalid_argument "Termination.v: resistances must be positive")
+    (fun () ->
+      ignore
+        (Termination.v
+           ~scheme:(Termination.Sstl { rtt = 0.0; r_driver = 34.0 })
+           ~vddq:1.5 ()))
+
+let test_unterminated_scaling () =
+  let mk c =
+    Termination.v ~scheme:(Termination.Unterminated { c_load = c })
+      ~vddq:3.3 ~trace_cap:0.0 ()
+  in
+  let e c = Termination.energy_per_bit (mk c) ~bitrate:166e6 in
+  Helpers.close_rel ~rel:1e-9 "pure CV^2: linear in load" 2.0
+    (e 8e-12 /. e 4e-12);
+  (* No DC component: energy per bit is rate-independent. *)
+  let t = mk 8e-12 in
+  Helpers.close_rel ~rel:1e-9 "rate independent"
+    (Termination.energy_per_bit t ~bitrate:100e6)
+    (Termination.energy_per_bit t ~bitrate:400e6)
+
+let test_dc_amortization () =
+  (* Terminated links amortize their standing current at higher
+     rates: energy per bit falls with bitrate. *)
+  let t = Termination.for_standard Node.Ddr3 in
+  Helpers.check_true "SSTL energy/bit falls with rate"
+    (Termination.energy_per_bit t ~bitrate:1600e6
+    < Termination.energy_per_bit t ~bitrate:800e6);
+  let p = Termination.for_standard Node.Ddr4 in
+  Helpers.check_true "POD too"
+    (Termination.energy_per_bit p ~bitrate:3200e6
+    < Termination.energy_per_bit p ~bitrate:1600e6)
+
+let test_pod_halves_sstl_dc () =
+  (* Same resistances and voltage: POD burns half the SSTL DC power
+     (current only while driving low). *)
+  let sstl =
+    Termination.v ~scheme:(Termination.Sstl { rtt = 40.0; r_driver = 40.0 })
+      ~vddq:1.2 ~trace_cap:0.0 ~toggle:0.0 ()
+  and pod =
+    Termination.v ~scheme:(Termination.Pod { rtt = 40.0; r_driver = 40.0 })
+      ~vddq:1.2 ~trace_cap:0.0 ~toggle:0.0 ()
+  in
+  (* toggle 0: pure DC.  SSTL: (V/2)^2/R; POD: V^2/(2R) = 2x. *)
+  Helpers.close_rel ~rel:1e-9 "POD DC = 2x SSTL quarter-swing DC" 2.0
+    (Termination.active_power pod ~bitrate:1e9
+    /. Termination.active_power sstl ~bitrate:1e9)
+
+let test_era_trend () =
+  (* Link energy per bit falls monotonically across the interface
+     roadmap at each era's data rate. *)
+  let eras =
+    [ (Node.Sdr, 166e6); (Node.Ddr, 400e6); (Node.Ddr2, 800e6);
+      (Node.Ddr3, 1333e6); (Node.Ddr4, 2667e6); (Node.Ddr5, 5333e6) ]
+  in
+  let epbs =
+    List.map
+      (fun (std, rate) ->
+        Termination.energy_per_bit (Termination.for_standard std)
+          ~bitrate:rate)
+      eras
+  in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  Helpers.check_true "era energy/bit decreasing" (decreasing epbs)
+
+let test_channel () =
+  let cfg = Lazy.force Helpers.ddr3_1g in
+  let ch = Channel.for_config cfg in
+  Helpers.close "bandwidth" (64.0 *. 1.066e9) (Channel.bandwidth ch);
+  Helpers.check_positive "busy channel power" (Channel.power ch ~utilization:0.8);
+  Helpers.check_true "utilization scales power"
+    (Channel.power ch ~utilization:0.8 > Channel.power ch ~utilization:0.2);
+  Helpers.close "idle channel burns nothing" 0.0
+    (Channel.power ch ~utilization:0.0);
+  Alcotest.check_raises "bad utilization"
+    (Invalid_argument "Channel.power: utilization outside [0, 1]") (fun () ->
+      ignore (Channel.power ch ~utilization:1.5))
+
+let test_dimm_organizations () =
+  let results =
+    Dimm.compare_widths ~node:Node.N55
+      ~capacity_bits:(64.0 *. (2.0 ** 30.0))
+      [ 4; 8; 16 ]
+  in
+  (match results with
+   | [ x4; x8; x16 ] ->
+     Alcotest.(check int) "x4 rank has 16 devices" 16
+       x4.Dimm.organization.Dimm.devices_per_rank;
+     Alcotest.(check int) "x16 rank has 4 devices" 4
+       x16.Dimm.organization.Dimm.devices_per_rank;
+     (* Mini-rank's motivation: fewer devices per access. *)
+     Helpers.check_true "active rank power falls with width"
+       (x4.Dimm.active_rank_power > x8.Dimm.active_rank_power
+       && x8.Dimm.active_rank_power > x16.Dimm.active_rank_power);
+     Helpers.check_true "same delivered bandwidth"
+       (Float.abs (x4.Dimm.bandwidth -. x16.Dimm.bandwidth)
+        /. x4.Dimm.bandwidth
+       < 1e-9);
+     List.iter
+       (fun r ->
+         Helpers.close_rel ~rel:1e-9 "total adds up"
+           (r.Dimm.active_rank_power +. r.Dimm.idle_ranks_power
+          +. r.Dimm.link_power)
+           r.Dimm.total_power)
+       results
+   | _ -> Alcotest.fail "expected three organizations");
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Dimm.of_width: 64 must be a multiple of the device width")
+    (fun () ->
+      ignore
+        (Dimm.of_width ~node:Node.N55 ~io_width:12
+           ~capacity_bits:(2.0 ** 33.0)))
+
+let test_dimm_utilization () =
+  let org =
+    Dimm.of_width ~node:Node.N55 ~io_width:8
+      ~capacity_bits:(16.0 *. (2.0 ** 30.0))
+  in
+  let low = Dimm.evaluate ~utilization:0.1 org
+  and high = Dimm.evaluate ~utilization:0.9 org in
+  Helpers.check_true "power rises with utilization"
+    (high.Dimm.total_power > low.Dimm.total_power);
+  Helpers.check_true "energy per bit falls with utilization"
+    (high.Dimm.energy_per_bit < low.Dimm.energy_per_bit)
+
+let test_system_above_device () =
+  (* System energy per bit must exceed the bare device's energy per
+     bit (it adds the link and idle ranks). *)
+  let org =
+    Dimm.of_width ~node:Node.N55 ~io_width:16
+      ~capacity_bits:(8.0 *. (2.0 ** 30.0))
+  in
+  let r = Dimm.evaluate ~utilization:0.9 org in
+  let device_epb =
+    Option.get
+      (Vdram_core.Model.energy_per_bit org.Dimm.device
+         (Vdram_core.Pattern.idd7_mixed
+            org.Dimm.device.Vdram_core.Config.spec))
+  in
+  Helpers.check_true "system epb above device epb"
+    (r.Dimm.energy_per_bit > device_epb)
+
+let test_for_config_matches_standard () =
+  (* The channel built for a device uses its era's link and rate. *)
+  let ddr2 = Vdram_configs.Devices.ddr2_1g ~node:Node.N75 () in
+  let ch = Channel.for_config ddr2 in
+  Alcotest.(check string) "SSTL for DDR2" "SSTL"
+    (Termination.scheme_name ch.Channel.link.Termination.scheme);
+  Helpers.close "rate follows the device" 800e6 ch.Channel.datarate;
+  let ddr5 = Lazy.force Helpers.ddr5_16g in
+  Alcotest.(check string) "POD for DDR5" "POD"
+    (Termination.scheme_name
+       (Channel.for_config ddr5).Channel.link.Termination.scheme)
+
+let test_link_share_of_system () =
+  (* At DDR3, the link is a visible but minor share of DIMM power. *)
+  let org =
+    Dimm.of_width ~node:Node.N55 ~io_width:8
+      ~capacity_bits:(16.0 *. (2.0 ** 30.0))
+  in
+  let r = Dimm.evaluate ~utilization:0.5 org in
+  let share = r.Dimm.link_power /. r.Dimm.total_power in
+  Helpers.check_true
+    (Printf.sprintf "link share plausible (%.2f)" share)
+    (share > 0.02 && share < 0.30)
+
+let suite =
+  [
+    Alcotest.test_case "termination validation" `Quick
+      test_termination_validation;
+    Alcotest.test_case "unterminated CV^2" `Quick test_unterminated_scaling;
+    Alcotest.test_case "DC amortization" `Quick test_dc_amortization;
+    Alcotest.test_case "POD vs SSTL DC" `Quick test_pod_halves_sstl_dc;
+    Alcotest.test_case "era trend" `Quick test_era_trend;
+    Alcotest.test_case "channel power" `Quick test_channel;
+    Alcotest.test_case "DIMM organizations (mini-rank view)" `Slow
+      test_dimm_organizations;
+    Alcotest.test_case "DIMM utilization" `Slow test_dimm_utilization;
+    Alcotest.test_case "system above device" `Quick
+      test_system_above_device;
+    Alcotest.test_case "channel follows the standard" `Quick
+      test_for_config_matches_standard;
+    Alcotest.test_case "link share of system" `Quick
+      test_link_share_of_system;
+  ]

@@ -1,0 +1,21 @@
+(* Test entry point: all suites. *)
+
+let () =
+  Alcotest.run "vdram"
+    [
+      ("units", Test_units.suite);
+      ("tech", Test_tech.suite);
+      ("floorplan", Test_floorplan.suite);
+      ("circuits", Test_circuits.suite);
+      ("core", Test_core.suite);
+      ("dsl", Test_dsl.suite);
+      ("datasheets", Test_datasheets.suite);
+      ("configs", Test_configs.suite);
+      ("analysis", Test_analysis.suite);
+      ("ablation", Test_ablation.suite);
+      ("schemes", Test_schemes.suite);
+      ("sim", Test_sim.suite);
+      ("link", Test_link.suite);
+      ("plot", Test_plot.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,125 @@
+(* ASCII chart rendering. *)
+
+open Vdram_plot
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let test_line_dimensions () =
+  let s =
+    Chart.line ~width:40 ~height:10
+      [ Chart.series ~label:"a" [ (0.0, 0.0); (1.0, 1.0); (2.0, 4.0) ] ]
+  in
+  let ls = lines s in
+  (* 10 grid rows + axis + x labels + 1 legend row. *)
+  Alcotest.(check int) "line count" 13 (List.length ls);
+  Helpers.check_true "glyph present" (String.contains s '*');
+  Helpers.check_true "legend present"
+    (List.exists (fun l -> String.length l > 0 && String.contains l 'a')
+       ls)
+
+let test_line_monotone_mapping () =
+  (* A rising series puts its glyph higher (earlier row) for larger
+     x: find the leftmost and rightmost stars. *)
+  let s =
+    Chart.line ~width:20 ~height:8
+      [ Chart.series ~label:"up" [ (0.0, 0.0); (10.0, 10.0) ] ]
+  in
+  let stars = ref [] in
+  List.iteri
+    (fun i row ->
+      String.iteri (fun j c -> if c = '*' then stars := (i, j) :: !stars) row)
+    (lines s);
+  (* Drop the legend's glyph (it sits below the grid, on the last
+     collected rows). *)
+  let grid_stars =
+    List.filter (fun (_, j) -> j > 10) !stars
+  in
+  let leftmost =
+    List.fold_left (fun a (_, j) -> min a j) max_int grid_stars
+  and rightmost =
+    List.fold_left (fun a (_, j) -> max a j) min_int grid_stars
+  in
+  let row_at col =
+    fst (List.find (fun (_, j) -> j = col) grid_stars)
+  in
+  Helpers.check_true "right-side point sits higher"
+    (row_at rightmost < row_at leftmost)
+
+let test_line_log_scale () =
+  let s =
+    Chart.line ~log_y:true
+      [ Chart.series ~label:"decades" [ (0.0, 1.0); (1.0, 1000.0) ] ]
+  in
+  Helpers.check_true "renders" (String.length s > 0);
+  (* Top tick is near 1000, bottom near 1. *)
+  Helpers.check_true "top tick ~1e3"
+    (String.length s > 0 && String.contains s '1')
+
+let test_line_degenerate () =
+  Alcotest.(check string) "empty" "(no data to plot)\n" (Chart.line []);
+  let s =
+    Chart.line [ Chart.series ~label:"nan" [ (Float.nan, 1.0) ] ]
+  in
+  Alcotest.(check string) "all NaN" "(no data to plot)\n" s;
+  let s = Chart.line [ Chart.series ~label:"one" [ (1.0, 2.0) ] ] in
+  Helpers.check_true "single point renders" (String.contains s '*')
+
+let test_bars () =
+  let s = Chart.bars [ ("big", 10.0); ("small", -5.0) ] in
+  let ls = lines s in
+  Alcotest.(check int) "two rows" 2 (List.length ls);
+  let count_hashes l = String.fold_left (fun n c -> if c = '#' then n + 1 else n) 0 l in
+  (match ls with
+   | [ big; small ] ->
+     Helpers.check_true "bars scale with magnitude"
+       (count_hashes big > count_hashes small);
+     Helpers.check_true "negative goes left of the axis"
+       (let axis = String.index small '|' in
+        String.index small '#' < axis)
+   | _ -> Alcotest.fail "rows");
+  Alcotest.(check string) "empty bars" "(no data to plot)\n" (Chart.bars [])
+
+let test_bars_zero () =
+  (* All-zero values must not divide by zero. *)
+  let s = Chart.bars [ ("z", 0.0) ] in
+  Helpers.check_true "renders" (String.length s > 0)
+
+let test_sparkline () =
+  let s = Chart.sparkline [ 1.0; 2.0; 3.0; 2.0; 1.0 ] in
+  Alcotest.(check int) "one cell per value" 5 (String.length s);
+  Alcotest.(check string) "empty" "" (Chart.sparkline []);
+  Alcotest.(check string) "nan filtered" "" (Chart.sparkline [ Float.nan ]);
+  (* Extremes map to the lightest and heaviest glyphs. *)
+  Helpers.check_true "low then high differ"
+    (s.[0] <> s.[2])
+
+let sparkline_length =
+  QCheck.Test.make ~name:"sparkline length equals input" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 40) (float_range (-1e6) 1e6))
+    (fun values ->
+      String.length (Chart.sparkline values) = List.length values)
+
+let bars_never_crash =
+  QCheck.Test.make ~name:"bars never raise" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 20)
+              (pair (string_of_size (Gen.int_range 0 30)) float))
+    (fun entries ->
+      let entries =
+        List.map (fun (l, v) -> (l, if Float.is_finite v then v else 0.0))
+          entries
+      in
+      ignore (Chart.bars entries);
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "line dimensions" `Quick test_line_dimensions;
+    Alcotest.test_case "monotone mapping" `Quick test_line_monotone_mapping;
+    Alcotest.test_case "log scale" `Quick test_line_log_scale;
+    Alcotest.test_case "degenerate inputs" `Quick test_line_degenerate;
+    Alcotest.test_case "bars" `Quick test_bars;
+    Alcotest.test_case "all-zero bars" `Quick test_bars_zero;
+    Alcotest.test_case "sparkline" `Quick test_sparkline;
+    Helpers.qcheck sparkline_length;
+    Helpers.qcheck bars_never_crash;
+  ]

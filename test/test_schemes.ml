@@ -1,0 +1,178 @@
+(* Section V scheme evaluation. *)
+
+open Vdram_schemes
+module Config = Vdram_core.Config
+module Operation = Vdram_core.Operation
+
+let baseline () = Lazy.force Helpers.ddr3_2g
+
+let result scheme = Evaluate.run (baseline ()) scheme
+
+let test_inventory () =
+  Alcotest.(check int) "seven schemes" 7 (List.length Scheme.all);
+  List.iter
+    (fun (s : Scheme.t) ->
+      Helpers.check_true (s.Scheme.name ^ " has a reference")
+        (String.length s.Scheme.reference > 0);
+      Helpers.check_true (s.Scheme.name ^ " area factor >= 1")
+        (s.Scheme.area_factor >= 1.0))
+    Scheme.all
+
+let test_selective_bitline () =
+  let r = result Scheme.selective_bitline_activation in
+  Helpers.check_true "activate energy falls hard"
+    (r.Evaluate.activate_energy_after
+    < r.Evaluate.activate_energy_before *. 0.8);
+  Helpers.check_true "Idd7 saving positive" (r.Evaluate.idd7_saving > 0.0);
+  Helpers.close "column power untouched" 0.0 r.Evaluate.idd4r_saving
+
+let test_single_subarray () =
+  let sba = result Scheme.selective_bitline_activation
+  and ssa = result Scheme.single_subarray_access in
+  Helpers.check_true "SSA activates no more than SBA"
+    (ssa.Evaluate.activate_energy_after
+    <= sba.Evaluate.activate_energy_after *. 1.001);
+  Helpers.check_true "SSA saves at least as much on Idd7"
+    (ssa.Evaluate.idd7_saving >= sba.Evaluate.idd7_saving -. 0.01);
+  Helpers.check_true "but SSA costs the most area"
+    (List.for_all
+       (fun (s : Scheme.t) ->
+         s.Scheme.area_factor
+         <= Scheme.single_subarray_access.Scheme.area_factor)
+       Scheme.all)
+
+let test_segmented_data_lines () =
+  let r = result Scheme.segmented_data_lines in
+  Helpers.check_true "saves on streaming reads" (r.Evaluate.idd4r_saving > 0.0);
+  Helpers.check_true "nearly free in area"
+    (r.Evaluate.die_area_after /. r.Evaluate.die_area_before < 1.01);
+  Helpers.check_true "row power untouched"
+    (Float.abs r.Evaluate.idd0_saving < 0.01)
+
+let test_low_voltage () =
+  let r = result Scheme.low_voltage in
+  Helpers.check_true "saves across the board"
+    (r.Evaluate.idd0_saving > 0.1 && r.Evaluate.idd4r_saving > 0.1
+    && r.Evaluate.idd7_saving > 0.1);
+  (* Quadratic voltage benefit: the largest Idd7 saving of any scheme. *)
+  Helpers.check_true "low voltage wins Idd7"
+    (List.for_all
+       (fun s -> (result s).Evaluate.idd7_saving <= r.Evaluate.idd7_saving)
+       Scheme.all)
+
+let test_tsv () =
+  let r = result Scheme.tsv_3d in
+  Helpers.check_true "TSV saves on the data-heavy pattern"
+    (r.Evaluate.idd4r_saving > 0.05)
+
+let test_threaded_module () =
+  let r = result Scheme.threaded_module in
+  Helpers.check_true "half page, lower activate energy"
+    (r.Evaluate.activate_energy_after < r.Evaluate.activate_energy_before);
+  Helpers.check_true "saving smaller than SBA"
+    (r.Evaluate.idd7_saving
+    <= (result Scheme.selective_bitline_activation).Evaluate.idd7_saving +. 1e-9)
+
+let test_mini_rank () =
+  let r = result Scheme.mini_rank in
+  (* Device-level Idd4 falls (half the pins), but energy per bit
+     rises slightly: the scheme's win is at rank level. *)
+  Helpers.check_true "device Idd4R saving" (r.Evaluate.idd4r_saving > 0.2);
+  Helpers.check_true "energy per bit does not improve much"
+    (r.Evaluate.energy_per_bit_after > r.Evaluate.energy_per_bit_before *. 0.9)
+
+let test_refresh_study () =
+  let pts =
+    Refresh_study.sweep (baseline ()) ~scales:[ 0.5; 1.0; 2.0; 4.0 ]
+  in
+  Alcotest.(check int) "four points" 4 (List.length pts);
+  let p05 = List.nth pts 0 and p1 = List.nth pts 1
+  and p4 = List.nth pts 3 in
+  Helpers.check_true "hot (tight) refresh costs power"
+    (p05.Refresh_study.self_refresh_power
+    > p1.Refresh_study.self_refresh_power);
+  Helpers.check_true "relaxed refresh approaches the power-down floor"
+    (p4.Refresh_study.self_refresh_power
+    < p1.Refresh_study.self_refresh_power
+    && p4.Refresh_study.self_refresh_power
+       > Vdram_core.Model.powerdown_power (baseline ()));
+  Helpers.close "Idd5B unchanged by interval" p1.Refresh_study.idd5b
+    p4.Refresh_study.idd5b;
+  Alcotest.check_raises "bad scale"
+    (Invalid_argument "Refresh_study.sweep: non-positive scale") (fun () ->
+      ignore (Refresh_study.sweep (baseline ()) ~scales:[ 0.0 ]))
+
+let test_refresh_at_temperature () =
+  let pts =
+    Refresh_study.at_temperatures (baseline ())
+      ~celsius:[ 45.0; 65.0; 85.0; 95.0 ]
+  in
+  Alcotest.(check int) "four temperatures" 4 (List.length pts);
+  let power t = (List.assoc t pts).Refresh_study.self_refresh_power in
+  Helpers.check_true "cooler is cheaper"
+    (power 45.0 < power 65.0 && power 65.0 < power 85.0
+    && power 85.0 < power 95.0);
+  let _, at85 = List.nth pts 2 in
+  Helpers.close "85C is the nominal interval" 1.0
+    at85.Refresh_study.interval_scale
+
+let test_composition () =
+  let base = baseline () in
+  let combo =
+    Evaluate.run_combined base
+      [ Scheme.selective_bitline_activation; Scheme.low_voltage ]
+  in
+  let sba = result Scheme.selective_bitline_activation
+  and lv = result Scheme.low_voltage in
+  Helpers.check_true "combo beats each alone"
+    (combo.Evaluate.idd7_saving > sba.Evaluate.idd7_saving
+    && combo.Evaluate.idd7_saving > lv.Evaluate.idd7_saving);
+  Helpers.check_true "but is sub-additive"
+    (combo.Evaluate.idd7_saving
+    < sba.Evaluate.idd7_saving +. lv.Evaluate.idd7_saving);
+  Helpers.close_rel ~rel:1e-9 "area factors multiply"
+    (Scheme.selective_bitline_activation.Scheme.area_factor
+    *. Scheme.low_voltage.Scheme.area_factor)
+    combo.Evaluate.scheme.Scheme.area_factor;
+  Alcotest.check_raises "empty composition"
+    (Invalid_argument "Evaluate.compose: empty scheme list") (fun () ->
+      ignore (Evaluate.compose []))
+
+let test_transforms_compose () =
+  (* Transforms are pure: applying one leaves the baseline intact. *)
+  let base = baseline () in
+  let before = Operation.energy base Operation.Activate in
+  let _ = Scheme.selective_bitline_activation.Scheme.transform base in
+  Helpers.close "baseline untouched" before
+    (Operation.energy base Operation.Activate)
+
+let savings_bounded =
+  QCheck.Test.make ~name:"savings are fractions" ~count:7
+    QCheck.(int_range 0 6)
+    (fun i ->
+      let scheme = List.nth Scheme.all i in
+      let r = result scheme in
+      List.for_all
+        (fun s -> s > -1.0 && s < 1.0)
+        [ r.Evaluate.idd0_saving; r.Evaluate.idd4r_saving;
+          r.Evaluate.idd7_saving ])
+
+let suite =
+  [
+    Alcotest.test_case "scheme inventory" `Quick test_inventory;
+    Alcotest.test_case "selective bitline activation" `Slow
+      test_selective_bitline;
+    Alcotest.test_case "single sub-array access" `Slow test_single_subarray;
+    Alcotest.test_case "segmented data lines" `Slow test_segmented_data_lines;
+    Alcotest.test_case "low-voltage operation" `Slow test_low_voltage;
+    Alcotest.test_case "3D TSV" `Slow test_tsv;
+    Alcotest.test_case "threaded module" `Slow test_threaded_module;
+    Alcotest.test_case "mini-rank" `Slow test_mini_rank;
+    Alcotest.test_case "refresh-rate study (Emma et al.)" `Quick
+      test_refresh_study;
+    Alcotest.test_case "refresh vs temperature" `Quick
+      test_refresh_at_temperature;
+    Alcotest.test_case "scheme composition" `Slow test_composition;
+    Alcotest.test_case "transforms are pure" `Quick test_transforms_compose;
+    Helpers.qcheck savings_bounded;
+  ]

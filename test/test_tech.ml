@@ -1,0 +1,269 @@
+(* Technology: nodes, scaling, roadmap, devices, Table II. *)
+
+open Vdram_tech
+
+let test_node_basics () =
+  Alcotest.(check int) "14 generations" 14 (List.length Node.all);
+  Alcotest.(check int) "index N170" 0 (Node.index Node.N170);
+  Alcotest.(check int) "index N16" 13 (Node.index Node.N16);
+  Alcotest.(check int) "generations 55->18" 6
+    (Node.generations_from Node.N55 Node.N18);
+  Helpers.close "feature 55" 55e-9 (Node.feature_size Node.N55);
+  Alcotest.(check string) "name" "55nm" (Node.name Node.N55)
+
+let test_node_of_nm () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "of_nm %s" (Node.name n))
+        true
+        (Node.of_nm (Node.feature_nm n) = n))
+    Node.all;
+  Alcotest.(check bool) "60nm -> N55 or N65" true
+    (let n = Node.of_nm 60.0 in
+     n = Node.N55 || n = Node.N65)
+
+let test_standards () =
+  Alcotest.(check string) "N170 SDR" "SDR"
+    (Node.standard_name (Node.standard Node.N170));
+  Alcotest.(check string) "N55 DDR3" "DDR3"
+    (Node.standard_name (Node.standard Node.N55));
+  Alcotest.(check string) "N16 DDR5" "DDR5"
+    (Node.standard_name (Node.standard Node.N16))
+
+let test_scaling_reference () =
+  List.iter
+    (fun (fam, name) ->
+      Helpers.close
+        (Printf.sprintf "%s = 1.0 at reference" name)
+        1.0
+        (Scaling.factor fam Params.reference_node))
+    Scaling.families
+
+let test_scaling_monotone () =
+  (* Newer nodes never have larger technology parameters, except the
+     deliberately constant cell capacitance and disruptive bumps. *)
+  let monotone fam =
+    let values = List.map (fun n -> Scaling.factor fam n) Node.all in
+    let rec decreasing = function
+      | a :: b :: rest -> a >= b && decreasing (b :: rest)
+      | _ -> true
+    in
+    decreasing values
+  in
+  List.iter
+    (fun (fam, name) ->
+      match fam with
+      | Scaling.F_c_cell ->
+        Helpers.close "cell cap constant" 1.0 (Scaling.factor fam Node.N16)
+      | Scaling.F_c_bitline | Scaling.F_cell_transistor ->
+        (* These have disruptive upward steps; only the endpoints must
+           shrink. *)
+        Helpers.check_true
+          (name ^ " endpoint shrink")
+          (Scaling.factor fam Node.N16 < Scaling.factor fam Node.N170)
+      | _ -> Helpers.check_true (name ^ " monotone") (monotone fam))
+    Scaling.families
+
+let test_scaling_disruptive_steps () =
+  (* The 90 nm transition increased cells per bitline: the bitline
+     factor drops less between 110 and 90 than the base rate. *)
+  let f110 = Scaling.factor Scaling.F_c_bitline Node.N110
+  and f90 = Scaling.factor Scaling.F_c_bitline Node.N90 in
+  Helpers.check_true "bitline cap jumps at 90nm" (f90 > f110 *. 0.95);
+  (* Cu at 44 nm accelerates the wire-cap shrink. *)
+  let w55 = Scaling.factor Scaling.F_wire_cap Node.N55
+  and w44 = Scaling.factor Scaling.F_wire_cap Node.N44 in
+  Helpers.check_true "Cu step at 44nm" (w44 < w55 *. 0.93);
+  (* Wire capacitance is flat beyond Cu. *)
+  Helpers.close "wire cap flat after 44nm"
+    (Scaling.factor Scaling.F_wire_cap Node.N44)
+    (Scaling.factor Scaling.F_wire_cap Node.N16)
+
+let test_params_at () =
+  List.iter
+    (fun node ->
+      let p = Scaling.params_at node in
+      List.iter
+        (fun (name, get, _) ->
+          Helpers.check_positive
+            (Printf.sprintf "%s at %s" name (Node.name node))
+            (get p))
+        Params.fields;
+      Alcotest.(check int) "bits per CSL stable" 8 p.Params.bits_per_csl)
+    Node.all
+
+let test_params_fields () =
+  Alcotest.(check int) "39 technology parameters" 39 Params.count;
+  Alcotest.(check int) "38 float fields" 38 (List.length Params.fields);
+  (* Setters actually set their field. *)
+  List.iter
+    (fun (name, get, set) ->
+      let p = set Params.reference 0.123 in
+      Helpers.close (name ^ " set/get") 0.123 (get p))
+    Params.fields
+
+let test_devices () =
+  let p = Params.reference in
+  let g1 = Devices.gate_cap_of p Devices.Logic ~w:1e-6 ~l:0.1e-6 in
+  let g2 = Devices.gate_cap_of p Devices.Logic ~w:2e-6 ~l:0.1e-6 in
+  Helpers.close "gate cap linear in width" 2.0 (g2 /. g1);
+  let hv = Devices.gate_cap_of p Devices.High_voltage ~w:1e-6 ~l:0.1e-6 in
+  Helpers.check_true "thicker oxide smaller cap" (hv < g1);
+  Helpers.close "device = gate + junction"
+    (Devices.gate_cap_of p Devices.Logic ~w:1e-6 ~l:0.1e-6
+    +. Devices.junction_cap_of p Devices.Logic ~w:1e-6)
+    (Devices.device_cap p Devices.Logic ~w:1e-6 ~l:0.1e-6)
+
+let test_roadmap () =
+  List.iter
+    (fun (g : Roadmap.t) ->
+      let name = Node.name g.Roadmap.node in
+      let die = Roadmap.die_area_estimate g *. 1e6 in
+      Helpers.check_true
+        (Printf.sprintf "die %s in window (%.1f mm2)" name die)
+        (die >= 25.0 && die <= 65.0);
+      Alcotest.(check int) ("x16 " ^ name) 16 g.Roadmap.io_width;
+      Helpers.check_true (name ^ " core freq near 200MHz")
+        (let f = Roadmap.core_frequency g /. 1e6 in
+         f >= 125.0 && f <= 210.0);
+      Helpers.check_true (name ^ " addresses partition density")
+        (float_of_int
+           (g.Roadmap.banks * Roadmap.rows_per_bank g * g.Roadmap.page_bits)
+         = g.Roadmap.density_bits))
+    Roadmap.all;
+  (* Monotone trends along the roadmap (Figs 11 and 12). *)
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.iter
+    (fun ((a : Roadmap.t), (b : Roadmap.t)) ->
+      Helpers.check_true "datarate non-decreasing"
+        (b.Roadmap.datarate >= a.Roadmap.datarate);
+      Helpers.check_true "vdd non-increasing" (b.Roadmap.vdd <= a.Roadmap.vdd);
+      Helpers.check_true "vint non-increasing"
+        (b.Roadmap.vint <= a.Roadmap.vint);
+      Helpers.check_true "vpp non-increasing" (b.Roadmap.vpp <= a.Roadmap.vpp);
+      Helpers.check_true "trc non-increasing" (b.Roadmap.trc <= a.Roadmap.trc);
+      Helpers.check_true "density non-decreasing"
+        (b.Roadmap.density_bits >= a.Roadmap.density_bits))
+    (pairs Roadmap.all)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_table2 () =
+  Alcotest.(check int) "Table II has nine entries" 9
+    (List.length Disruptive.all);
+  Helpers.check_true "mentions 6F2 open bitline"
+    (List.exists
+       (fun (d : Disruptive.t) -> contains ~needle:"6F2" d.Disruptive.change)
+       Disruptive.all);
+  Helpers.check_true "mentions Cu metallization"
+    (List.exists
+       (fun (d : Disruptive.t) -> contains ~needle:"Cu" d.Disruptive.change)
+       Disruptive.all);
+  Helpers.check_true "mentions high-k"
+    (List.exists
+       (fun (d : Disruptive.t) ->
+         contains ~needle:"High-k" d.Disruptive.change)
+       Disruptive.all)
+
+let test_roadmap_structure () =
+  let g n = Roadmap.generation n in
+  Alcotest.(check int) "SDR 4 banks" 4 (g Node.N170).Roadmap.banks;
+  Alcotest.(check int) "DDR3 8 banks" 8 (g Node.N55).Roadmap.banks;
+  Alcotest.(check int) "DDR4 16 banks" 16 (g Node.N31).Roadmap.banks;
+  Alcotest.(check int) "DDR5 32 banks" 32 (g Node.N18).Roadmap.banks;
+  Alcotest.(check int) "SDR page 1KB" 8192 (g Node.N170).Roadmap.page_bits;
+  Alcotest.(check int) "DDR3 page 2KB" 16384 (g Node.N55).Roadmap.page_bits;
+  Alcotest.(check int) "SDR prefetch 1" 1 (g Node.N170).Roadmap.prefetch;
+  Alcotest.(check int) "DDR5 prefetch 32" 32 (g Node.N16).Roadmap.prefetch;
+  Helpers.close "8F2 era" 8.0 (g Node.N90).Roadmap.cell_factor;
+  Helpers.close "6F2 era" 6.0 (g Node.N55).Roadmap.cell_factor;
+  Helpers.close "4F2 era" 4.0 (g Node.N18).Roadmap.cell_factor
+
+let test_roadmap_address_bits () =
+  List.iter
+    (fun (g : Roadmap.t) ->
+      let reconstructed =
+        float_of_int
+          ((1 lsl Roadmap.bank_address_bits g)
+          * (1 lsl Roadmap.row_address_bits g)
+          * (1 lsl Roadmap.column_address_bits g)
+          * g.Roadmap.io_width)
+      in
+      Helpers.close
+        (Node.name g.Roadmap.node ^ " addresses reconstruct density")
+        g.Roadmap.density_bits reconstructed)
+    Roadmap.all
+
+let test_scaling_numeric_anchor () =
+  (* One step of feature shrink is exactly 16%. *)
+  Helpers.close_rel ~rel:1e-9 "one f-shrink step" 0.84
+    (Scaling.factor Scaling.F_feature Node.N44);
+  (* Going backward one step divides it out. *)
+  Helpers.close_rel ~rel:1e-9 "backward step" (1.0 /. 0.84)
+    (Scaling.factor Scaling.F_feature Node.N65);
+  (* 3-D access transistor bump at 75 nm (Table II): the factor grows
+     from 90 to 75 instead of shrinking. *)
+  let f90 = Scaling.factor Scaling.F_cell_transistor Node.N90
+  and f75 = Scaling.factor Scaling.F_cell_transistor Node.N75 in
+  Helpers.check_true "3-D transistor bump" (f75 > f90)
+
+let test_params_reference_identity () =
+  (* params_at at the reference node is the reference itself. *)
+  let p = Scaling.params_at Params.reference_node in
+  List.iter
+    (fun (name, get, _) ->
+      Helpers.close (name ^ " at reference") (get Params.reference) (get p))
+    Params.fields
+
+let test_retention () =
+  Helpers.close "reference scale" 1.0
+    (Retention.interval_scale ~celsius:85.0);
+  Helpers.close "10C cooler doubles" 2.0
+    (Retention.interval_scale ~celsius:75.0);
+  Helpers.close "10C hotter halves" 0.5
+    (Retention.interval_scale ~celsius:95.0);
+  Helpers.close "tREFI at 85C" 7.8e-6 (Retention.trefi ~celsius:85.0);
+  Helpers.check_true "monotone in temperature"
+    (Retention.interval_scale ~celsius:45.0
+    > Retention.interval_scale ~celsius:65.0)
+
+let scaling_factor_positive =
+  QCheck.Test.make ~name:"scaling factors positive and bounded" ~count:200
+    QCheck.(pair (int_range 0 10) (int_range 0 13))
+    (fun (fam_idx, node_idx) ->
+      let fam, _ = List.nth Vdram_tech.Scaling.families fam_idx in
+      let node = List.nth Node.all node_idx in
+      let f = Scaling.factor fam node in
+      f > 0.0 && f < 100.0)
+
+let suite =
+  [
+    Alcotest.test_case "node basics" `Quick test_node_basics;
+    Alcotest.test_case "node of_nm" `Quick test_node_of_nm;
+    Alcotest.test_case "standards per node" `Quick test_standards;
+    Alcotest.test_case "scaling reference = 1" `Quick test_scaling_reference;
+    Alcotest.test_case "scaling monotone" `Quick test_scaling_monotone;
+    Alcotest.test_case "disruptive steps (Table II)" `Quick
+      test_scaling_disruptive_steps;
+    Alcotest.test_case "scaled parameters positive" `Quick test_params_at;
+    Alcotest.test_case "parameter fields" `Quick test_params_fields;
+    Alcotest.test_case "device capacitances" `Quick test_devices;
+    Alcotest.test_case "roadmap consistency" `Quick test_roadmap;
+    Alcotest.test_case "Table II contents" `Quick test_table2;
+    Alcotest.test_case "roadmap structure" `Quick test_roadmap_structure;
+    Alcotest.test_case "address bits reconstruct density" `Quick
+      test_roadmap_address_bits;
+    Alcotest.test_case "scaling numeric anchors" `Quick
+      test_scaling_numeric_anchor;
+    Alcotest.test_case "reference identity" `Quick
+      test_params_reference_identity;
+    Alcotest.test_case "retention vs temperature" `Quick test_retention;
+    Helpers.qcheck scaling_factor_positive;
+  ]

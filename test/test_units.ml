@@ -1,0 +1,158 @@
+(* Units: SI prefixes and dimensioned literal parsing. *)
+
+open Vdram_units
+
+let check_parse expected_value expected_dim input () =
+  match Quantity.parse input with
+  | Ok (v, d) ->
+    Helpers.close (Printf.sprintf "value of %S" input) expected_value v;
+    Alcotest.(check string)
+      (Printf.sprintf "dim of %S" input)
+      (Quantity.dim_name expected_dim)
+      (Quantity.dim_name d)
+  | Error msg -> Alcotest.failf "parse %S failed: %s" input msg
+
+let check_parse_error input () =
+  match Quantity.parse input with
+  | Ok (v, _) -> Alcotest.failf "parse %S unexpectedly ok: %g" input v
+  | Error _ -> ()
+
+let test_prefixes () =
+  Alcotest.(check (option (float 0.0))) "G" (Some 1e9) (Si.multiplier "G");
+  Alcotest.(check (option (float 0.0))) "u" (Some 1e-6) (Si.multiplier "u");
+  Alcotest.(check (option (float 0.0))) "empty" (Some 1.0) (Si.multiplier "");
+  Alcotest.(check (option (float 0.0))) "unknown" None (Si.multiplier "q")
+
+let test_split_prefix () =
+  (match Si.split_prefix "nm" with
+   | Some (m, base) ->
+     Helpers.close "nm multiplier" 1e-9 m;
+     Alcotest.(check string) "nm base" "m" base
+   | None -> Alcotest.fail "split nm");
+  (match Si.split_prefix "m" with
+   | Some (m, base) ->
+     (* A bare "m" is metres, not milli. *)
+     Helpers.close "m multiplier" 1.0 m;
+     Alcotest.(check string) "m base" "m" base
+   | None -> Alcotest.fail "split m")
+
+let test_format_eng () =
+  Alcotest.(check string) "fF" "42 fF" (Si.format_eng ~unit_symbol:"F" 42e-15);
+  Alcotest.(check string) "um" "56.3 um"
+    (Si.format_eng ~unit_symbol:"m" 56.3e-6);
+  Alcotest.(check string) "GHz" "1.6 GHz"
+    (Si.format_eng ~unit_symbol:"Hz" 1.6e9);
+  Alcotest.(check string) "zero" "0 W" (Si.format_eng ~unit_symbol:"W" 0.0);
+  Alcotest.(check string) "negative" "-2.5 mV"
+    (Si.format_eng ~unit_symbol:"V" (-2.5e-3))
+
+let test_parse_dim_mismatch () =
+  (match Quantity.parse_dim Quantity.Length "5V" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "5V accepted as length");
+  (match Quantity.parse_dim Quantity.Fraction "0.25" with
+   | Ok v -> Helpers.close "scalar as fraction" 0.25 v
+   | Error e -> Alcotest.fail e);
+  match Quantity.parse_dim Quantity.Voltage "1.5V" with
+  | Ok v -> Helpers.close "volt" 1.5 v
+  | Error e -> Alcotest.fail e
+
+let roundtrip_quantity =
+  QCheck.Test.make ~name:"quantity print/parse round trip" ~count:500
+    QCheck.(pair (float_range 1e-17 1e11) (int_range 0 7))
+    (fun (v, dim_idx) ->
+      let dim =
+        List.nth
+          Quantity.
+            [ Length; Voltage; Capacitance; Frequency; Time; Current;
+              Power; Energy ]
+          dim_idx
+      in
+      let printed = Quantity.to_string ~digits:9 dim v in
+      match Quantity.parse_dim dim printed with
+      | Ok v' -> Float.abs (v' -. v) <= 1e-5 *. Float.abs v
+      | Error msg -> QCheck.Test.fail_reportf "%s -> %s" printed msg)
+
+let test_all_display_prefixes () =
+  (* Every display prefix the formatter can choose must parse back. *)
+  List.iter
+    (fun (prefix, mult) ->
+      let printed = Printf.sprintf "1.5 %sV" prefix in
+      match Quantity.parse_dim Quantity.Voltage printed with
+      | Ok v -> Helpers.close printed (1.5 *. mult) v
+      | Error e -> Alcotest.failf "%s: %s" printed e)
+    [ ("T", 1e12); ("G", 1e9); ("M", 1e6); ("k", 1e3); ("", 1.0);
+      ("m", 1e-3); ("u", 1e-6); ("n", 1e-9); ("p", 1e-12); ("f", 1e-15) ]
+
+let test_whitespace_and_signs () =
+  (match Quantity.parse "  -3.3V  " with
+   | Ok (v, Quantity.Voltage) -> Helpers.close "negative volt" (-3.3) v
+   | _ -> Alcotest.fail "trimmed negative parse");
+  match Quantity.parse "42 fF" with
+  | Ok (v, Quantity.Capacitance) -> Helpers.close "spaced unit" 42e-15 v
+  | _ -> Alcotest.fail "spaced unit parse"
+
+let test_bits_per_second_forms () =
+  List.iter
+    (fun (txt, expected) ->
+      match Quantity.parse_dim Quantity.Datarate txt with
+      | Ok v -> Helpers.close txt expected v
+      | Error e -> Alcotest.failf "%s: %s" txt e)
+    [ ("1.6Gbps", 1.6e9); ("800Mbps", 800e6); ("1.6Gb/s", 1.6e9);
+      ("166Mb/s", 166e6) ]
+
+let test_fraction_forms () =
+  List.iter
+    (fun (txt, expected) ->
+      match Quantity.parse_dim Quantity.Fraction txt with
+      | Ok v -> Helpers.close txt expected v
+      | Error e -> Alcotest.failf "%s: %s" txt e)
+    [ ("25%", 0.25); ("0.25", 0.25); ("100%", 1.0); ("12.5%", 0.125) ]
+
+let test_digit_control () =
+  Alcotest.(check string) "2 digits" "1.2 kW"
+    (Si.format_eng ~digits:2 ~unit_symbol:"W" 1234.0);
+  Alcotest.(check string) "6 digits" "1.234 kW"
+    (Si.format_eng ~digits:6 ~unit_symbol:"W" 1234.0)
+
+let test_cap_per_length_roundtrip () =
+  let v = 0.35e-9 in
+  let printed = Quantity.to_string Quantity.Cap_per_length v in
+  match Quantity.parse_dim Quantity.Cap_per_length printed with
+  | Ok v' -> Helpers.close_rel ~rel:1e-3 "F/m round trip" v v'
+  | Error e -> Alcotest.failf "%s: %s" printed e
+
+let suite =
+  [
+    Alcotest.test_case "prefix multipliers" `Quick test_prefixes;
+    Alcotest.test_case "prefix splitting" `Quick test_split_prefix;
+    Alcotest.test_case "engineering formatting" `Quick test_format_eng;
+    Alcotest.test_case "165nm" `Quick (check_parse 165e-9 Quantity.Length "165nm");
+    Alcotest.test_case "1.6Gbps" `Quick
+      (check_parse 1.6e9 Quantity.Datarate "1.6Gbps");
+    Alcotest.test_case "25%" `Quick (check_parse 0.25 Quantity.Fraction "25%");
+    Alcotest.test_case "bare number" `Quick
+      (check_parse 19.2 Quantity.Scalar "19.2");
+    Alcotest.test_case "800MHz" `Quick
+      (check_parse 800e6 Quantity.Frequency "800MHz");
+    Alcotest.test_case "fF per um" `Quick
+      (check_parse 0.25e-9 Quantity.Cap_per_length "0.25fF/um");
+    Alcotest.test_case "50ns" `Quick (check_parse 50e-9 Quantity.Time "50ns");
+    Alcotest.test_case "5mA" `Quick (check_parse 5e-3 Quantity.Current "5mA");
+    Alcotest.test_case "exponent literal" `Quick
+      (check_parse 5.3e-8 Quantity.Time "5.3e-8s");
+    Alcotest.test_case "empty literal" `Quick (check_parse_error "");
+    Alcotest.test_case "junk unit" `Quick (check_parse_error "17zorp");
+    Alcotest.test_case "no number" `Quick (check_parse_error "nm");
+    Alcotest.test_case "dimension checking" `Quick test_parse_dim_mismatch;
+    Alcotest.test_case "all display prefixes" `Quick
+      test_all_display_prefixes;
+    Alcotest.test_case "whitespace and signs" `Quick
+      test_whitespace_and_signs;
+    Alcotest.test_case "bits-per-second forms" `Quick
+      test_bits_per_second_forms;
+    Alcotest.test_case "fraction forms" `Quick test_fraction_forms;
+    Alcotest.test_case "digit control" `Quick test_digit_control;
+    Alcotest.test_case "F/m round trip" `Quick test_cap_per_length_roundtrip;
+    Helpers.qcheck roundtrip_quantity;
+  ]
