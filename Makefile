@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean doc export
+.PHONY: all build test check lint bench examples clean doc export
 
 all: build
 
@@ -7,6 +7,11 @@ build:
 
 test:
 	dune runtest
+
+lint: build
+	dune exec bin/vdram.exe -- lint --deny-warnings examples/*.dram
+
+check: test lint
 
 bench:
 	dune exec bench/main.exe

@@ -317,6 +317,79 @@ let validate_cmd =
   let doc = "Check a description for semantic consistency." in
   Cmd.v (Cmd.info "validate" ~doc) Term.(ret (const run $ file $ node))
 
+(* ----- lint --------------------------------------------------------- *)
+
+let lint_cmd =
+  let module Lint = Vdram_lint.Lint in
+  let module Code = Vdram_diagnostics.Code in
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"DRAM description files (.dram).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) (compiler-style, with source \
+                excerpts) or $(b,json).")
+  in
+  let deny_warnings =
+    Arg.(
+      value & flag
+      & info [ "deny-warnings" ]
+          ~doc:"Exit non-zero when warnings remain (after $(b,--allow)).")
+  in
+  let allow =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "allow" ] ~docv:"CODE"
+          ~doc:"Suppress a warning code, e.g. $(b,--allow V0304). \
+                Repeatable.  Errors cannot be suppressed.")
+  in
+  let run files format deny allow =
+    match List.find_opt (fun c -> not (Code.is_known c)) allow with
+    | Some c ->
+      fail "unknown lint code %S (doc/DSL.md lists the inventory)" c
+    | None ->
+      let reports =
+        List.map (fun f -> Lint.suppress ~codes:allow (Lint.run_file f)) files
+      in
+      (match format with
+       | `Json ->
+         let total count = List.fold_left (fun a r -> a + count r) 0 reports in
+         Printf.printf
+           "{\"version\":1,\"errors\":%d,\"warnings\":%d,\"files\":[%s]}\n"
+           (total Lint.errors) (total Lint.warnings)
+           (String.concat "," (List.map Lint.to_json reports))
+       | `Text ->
+         List.iter
+           (fun (r : Lint.report) ->
+             let name = Option.value ~default:"<input>" r.Lint.file in
+             if r.Lint.diagnostics = [] then Format.printf "%s: clean@." name
+             else begin
+               Format.printf "%a" Lint.pp_text r;
+               Format.printf "%s: %d error(s), %d warning(s)@." name
+                 (Lint.errors r) (Lint.warnings r)
+             end)
+           reports);
+      let errs = List.fold_left (fun a r -> a + Lint.errors r) 0 reports in
+      let warns = List.fold_left (fun a r -> a + Lint.warnings r) 0 reports in
+      if errs > 0 then fail "lint: %d error(s)" errs
+      else if deny && warns > 0 then
+        fail "lint: %d warning(s) denied by --deny-warnings" warns
+      else `Ok ()
+  in
+  let doc =
+    "Statically analyse descriptions: syntax, dimensional analysis, \
+     physical consistency, timing, finiteness and pattern checks."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(ret (const run $ files $ format $ deny_warnings $ allow))
+
 (* ----- corners ------------------------------------------------------ *)
 
 let corners_cmd =
@@ -493,4 +566,4 @@ let () =
        (Cmd.group info
           [ power_cmd; verify_cmd; sensitivity_cmd; trends_cmd; schemes_cmd;
             simulate_cmd; corners_cmd; states_cmd; ablate_cmd; export_cmd;
-            validate_cmd; channel_cmd; dump_cmd ]))
+            validate_cmd; lint_cmd; channel_cmd; dump_cmd ]))

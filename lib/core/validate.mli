@@ -4,23 +4,25 @@
     language; this module covers semantics: voltage ordering,
     geometry/specification agreement, generator sanity.  Warnings
     don't stop the model — a deliberately odd what-if is legitimate —
-    but surface likely description mistakes. *)
+    but surface likely description mistakes.
 
-type severity = Warning | Error
+    Every finding is a {!Vdram_diagnostics.Diagnostic.t} with a stable
+    [V03##] code, so tooling ([vdram lint]) can suppress, count, and
+    document them; the lint driver attaches source spans by looking up
+    the statement each code concerns. *)
 
-type finding = {
-  severity : severity;
-  message : string;
-}
+type severity = Vdram_diagnostics.Code.severity = Error | Warning
+
+type finding = Vdram_diagnostics.Diagnostic.t
 
 val check : Config.t -> finding list
 (** All findings, errors first.  An empty list means the
     configuration is internally consistent:
     - Vpp above Vbl (write-back needs headroom) and Vbl not above Vint+margin;
-    - addresses cover the density (banks x rows x page = capacity);
+    - density positive and addresses cover it (banks x rows x page);
     - page divides into whole local wordlines; activation fraction in (0,1];
     - burst occupancy consistent with the prefetch;
-    - stripes thinner than sub-arrays; die area positive;
+    - stripes thinner than sub-arrays;
     - efficiencies within (0,1]; toggle rates within [0,1]. *)
 
 val is_clean : Config.t -> bool

@@ -1,0 +1,71 @@
+(* Stable lint-code registry. *)
+
+type severity = Error | Warning
+
+type info = {
+  code : string;
+  severity : severity;
+  title : string;
+}
+
+let v code severity title = { code; severity; title }
+
+let all =
+  [
+    (* V00xx — syntax *)
+    v "V0001" Error "statement before any section header";
+    v "V0002" Error "assignment with an empty key";
+    v "V0003" Error "assignment missing a value";
+    v "V0004" Error "statement starts with an assignment instead of a keyword";
+    v "V0005" Warning "comment marker glued to a token truncates the line";
+    v "V0006" Error "description file cannot be read";
+    (* V01xx — literals, units, input hygiene *)
+    v "V0101" Error "literal has the wrong dimension";
+    v "V0102" Error "malformed numeric literal";
+    v "V0103" Error "unknown unit suffix";
+    v "V0104" Error "literal is not a finite number";
+    v "V0105" Warning "unrecognized argument is silently ignored";
+    v "V0106" Warning "unrecognized section is silently ignored";
+    v "V0107" Warning "unrecognized statement keyword is silently ignored";
+    (* V02xx — elaboration *)
+    v "V0200" Error "description cannot be elaborated";
+    v "V0201" Error "unknown technology parameter";
+    v "V0202" Error "unknown bus keyword in FloorplanSignaling";
+    v "V0203" Error "missing required section or statement";
+    v "V0204" Error "malformed argument value";
+    v "V0205" Error "missing required argument";
+    v "V0206" Error "invalid command in a pattern loop";
+    (* V03xx — physical consistency *)
+    v "V0301" Error "Vpp leaves no write-back headroom over Vbl";
+    v "V0302" Warning "bitline voltage above Vint";
+    v "V0303" Error "Vint above the external supply";
+    v "V0304" Warning "banks x rows x page does not cover the density";
+    v "V0305" Error "device density is not a positive finite bit count";
+    v "V0306" Error "page is not a whole number of local wordlines";
+    v "V0307" Warning "sense-amplifier stripe wider than a sub-array";
+    v "V0308" Warning "wordline-driver stripe wider than a sub-array";
+    v "V0309" Error "activation fraction outside (0, 1]";
+    v "V0310" Warning "burst shorter than one command clock";
+    v "V0311" Error "burst length below the prefetch";
+    v "V0312" Error "generator efficiency outside (0, 1]";
+    v "V0313" Warning "logic-block toggle rate outside [0, 1]";
+    v "V0314" Error "data toggle rate outside [0, 1]";
+    (* V04xx — finiteness of derived tables *)
+    v "V0401" Error "operation energy is not finite";
+    v "V0402" Warning "operation energy is negative";
+    v "V0403" Error "background or state power is not finite";
+    v "V0404" Error "peak current is not finite";
+    (* V05xx — timing consistency *)
+    v "V0501" Error "tRCD + tRP leave no restore time within tRC";
+    v "V0502" Error "timing parameter is not positive";
+    v "V0503" Warning "burst is not a whole number of command clocks";
+    v "V0504" Warning "refresh interval shorter than the refresh cycle time";
+    (* V06xx — pattern reachability *)
+    v "V0601" Warning "column command without an activate in the loop";
+    v "V0602" Warning "activate rate exceeds the tRC/tFAW limits";
+    v "V0603" Warning "pattern oversubscribes the data bus";
+  ]
+
+let find code = List.find_opt (fun i -> i.code = code) all
+
+let is_known code = find code <> None

@@ -1,0 +1,33 @@
+(** The stable lint-code registry.
+
+    Every diagnostic the toolchain can emit carries a [V####] code.
+    Codes are stable across releases: once assigned, a code keeps its
+    meaning (retired codes are never reused).  The registry is the
+    single source of truth for the code inventory, the default
+    severity of each code, and the one-line title used in
+    documentation and [--allow] validation.
+
+    Numbering bands:
+    - [V00xx] syntax (parser)
+    - [V01xx] literals, units and input hygiene
+    - [V02xx] elaboration and name resolution
+    - [V03xx] physical consistency of the elaborated configuration
+    - [V04xx] finiteness of the derived energy/current tables
+    - [V05xx] timing-constraint consistency
+    - [V06xx] pattern/specification reachability *)
+
+type severity = Error | Warning
+
+type info = {
+  code : string;        (** e.g. ["V0301"] *)
+  severity : severity;  (** default severity when emitted *)
+  title : string;       (** one-line description for docs and [--help] *)
+}
+
+val all : info list
+(** Every registered code, in numeric order. *)
+
+val find : string -> info option
+(** Look a code up; [None] for unregistered codes. *)
+
+val is_known : string -> bool

@@ -1,0 +1,127 @@
+(* Spanned, coded diagnostics and their renderers. *)
+
+type severity = Code.severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  span : Span.t;
+  message : string;
+  notes : string list;
+  help : string option;
+}
+
+let v ?(span = Span.none) ?(notes = []) ?help ~severity ~code message =
+  { code; severity; span; message; notes; help }
+
+let errorf ?span ?notes ?help ~code fmt =
+  Printf.ksprintf (fun m -> v ?span ?notes ?help ~severity:Error ~code m) fmt
+
+let warningf ?span ?notes ?help ~code fmt =
+  Printf.ksprintf (fun m -> v ?span ?notes ?help ~severity:Warning ~code m) fmt
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let is_error t = t.severity = Error
+
+let count sev ts =
+  List.length (List.filter (fun t -> t.severity = sev) ts)
+
+let compare_source a b = Span.compare a.span b.span
+
+let pp ppf t =
+  if not (Span.is_none t.span) then Format.fprintf ppf "%a: " Span.pp t.span;
+  Format.fprintf ppf "%s[%s]: %s" (severity_name t.severity) t.code t.message
+
+let pp_rich ?source ppf t =
+  pp ppf t;
+  Format.pp_print_newline ppf ();
+  let s = t.span in
+  (match source with
+   | Some lines
+     when s.Span.line >= 1
+          && s.Span.line <= Array.length lines
+          && s.Span.col_start >= 1 ->
+     let src = lines.(s.Span.line - 1) in
+     let gutter = Printf.sprintf "%4d" s.Span.line in
+     Format.fprintf ppf "%s | %s@." gutter src;
+     let width = max 1 (s.Span.col_end - s.Span.col_start) in
+     (* Clip the underline to the echoed line. *)
+     let width =
+       min width (max 1 (String.length src - s.Span.col_start + 2))
+     in
+     Format.fprintf ppf "     | %s%s@."
+       (String.make (s.Span.col_start - 1) ' ')
+       (String.make width '^')
+   | _ -> ());
+  List.iter (fun n -> Format.fprintf ppf "     = note: %s@." n) t.notes;
+  match t.help with
+  | Some h -> Format.fprintf ppf "     = help: %s@." h
+  | None -> ()
+
+(* ----- JSON -------------------------------------------------------- *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_json buf t =
+  Buffer.add_char buf '{';
+  Buffer.add_string buf "\"severity\":";
+  add_json_string buf (severity_name t.severity);
+  Buffer.add_string buf ",\"code\":";
+  add_json_string buf t.code;
+  Buffer.add_string buf ",\"message\":";
+  add_json_string buf t.message;
+  (match t.span.Span.file with
+   | Some f ->
+     Buffer.add_string buf ",\"file\":";
+     add_json_string buf f
+   | None -> ());
+  if t.span.Span.line > 0 then
+    Buffer.add_string buf (Printf.sprintf ",\"line\":%d" t.span.Span.line);
+  if t.span.Span.col_start > 0 then begin
+    Buffer.add_string buf (Printf.sprintf ",\"col\":%d" t.span.Span.col_start);
+    Buffer.add_string buf
+      (Printf.sprintf ",\"end_col\":%d" t.span.Span.col_end)
+  end;
+  if t.notes <> [] then begin
+    Buffer.add_string buf ",\"notes\":[";
+    List.iteri
+      (fun i n ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_json_string buf n)
+      t.notes;
+    Buffer.add_char buf ']'
+  end;
+  (match t.help with
+   | Some h ->
+     Buffer.add_string buf ",\"help\":";
+     add_json_string buf h
+   | None -> ());
+  Buffer.add_char buf '}'
+
+let json_of_list ts =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"errors\":%d,\"warnings\":%d,\"diagnostics\":["
+       (count Error ts) (count Warning ts));
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char buf ',';
+      to_json buf t)
+    ts;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,15 +1,21 @@
 (* AST of the description language. *)
 
+module Span = Vdram_diagnostics.Span
+
 type stmt = {
   line : int;
   keyword : string;
+  keyword_span : Span.t;
   args : (string * string) list;
+  arg_spans : (string * Span.t) list;
   positional : string list;
+  positional_spans : Span.t list;
 }
 
 type section = {
   section_line : int;
   section_name : string;
+  section_span : Span.t;
   stmts : stmt list;
 }
 
@@ -20,6 +26,10 @@ let lower = String.lowercase_ascii
 let arg stmt key =
   let key = lower key in
   List.assoc_opt key (List.map (fun (k, v) -> (lower k, v)) stmt.args)
+
+let arg_span stmt key =
+  let key = lower key in
+  List.assoc_opt key (List.map (fun (k, s) -> (lower k, s)) stmt.arg_spans)
 
 let find_sections t name =
   let name = lower name in

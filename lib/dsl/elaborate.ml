@@ -13,6 +13,7 @@ module Config = Vdram_core.Config
 module Spec = Vdram_core.Spec
 module Pattern = Vdram_core.Pattern
 module Q = Vdram_units.Quantity
+module Span = Vdram_diagnostics.Span
 
 type t = {
   config : Config.t;
@@ -21,8 +22,33 @@ type t = {
 
 exception Err of Parser.error
 
-let fail line fmt =
-  Printf.ksprintf (fun message -> raise (Err { Parser.line; message })) fmt
+let fail ?(code = "V0200") ?span line fmt =
+  Printf.ksprintf
+    (fun message ->
+      let span =
+        match span with Some s -> s | None -> Span.of_line line
+      in
+      raise (Err { Parser.line; message; code; span }))
+    fmt
+
+(* Fail pointing at a statement's keyword token. *)
+let fail_kw ~code (stmt : Ast.stmt) fmt =
+  fail ~code ~span:stmt.Ast.keyword_span stmt.Ast.line fmt
+
+(* Fail pointing at a statement's [key=value] token. *)
+let fail_arg ~code (stmt : Ast.stmt) key fmt =
+  let span =
+    match Ast.arg_span stmt key with
+    | Some s -> s
+    | None -> stmt.Ast.keyword_span
+  in
+  fail ~code ~span stmt.Ast.line fmt
+
+let literal_code = function
+  | Q.Malformed -> "V0102"
+  | Q.Unknown_unit -> "V0103"
+  | Q.Mismatch _ -> "V0101"
+  | Q.Non_finite -> "V0104"
 
 let lower = String.lowercase_ascii
 
@@ -31,16 +57,18 @@ let quantity (stmt : Ast.stmt) key dim =
   match Ast.arg stmt key with
   | None -> None
   | Some raw ->
-    (match Q.parse_dim dim raw with
+    (match Q.classify dim raw with
      | Ok v -> Some v
-     | Error msg -> fail stmt.Ast.line "%s: %s" key msg)
+     | Error (kind, msg) ->
+       fail_arg ~code:(literal_code kind) stmt key "%s: %s" key msg)
 
 let integer (stmt : Ast.stmt) key =
   match quantity stmt key Q.Scalar with
   | None -> None
   | Some v ->
     if Float.is_integer v && v >= 0.0 then Some (int_of_float v)
-    else fail stmt.Ast.line "%s must be a non-negative integer" key
+    else
+      fail_arg ~code:"V0204" stmt key "%s must be a non-negative integer" key
 
 (* Collect all statements of the sections with a name. *)
 let stmts_of ast name =
@@ -80,23 +108,29 @@ let apply_technology ast tech =
         (fun tech (key, value) ->
           let key = lower key in
           match List.assoc_opt key entries with
-          | None -> fail stmt.Ast.line "unknown technology parameter %S" key
+          | None ->
+            fail_arg ~code:"V0201" stmt key
+              "unknown technology parameter %S" key
           | Some dim ->
             if key = "bitspercsl" then begin
-              match Q.parse_dim Q.Scalar value with
+              match Q.classify Q.Scalar value with
               | Ok v -> { tech with Params.bits_per_csl = int_of_float v }
-              | Error msg -> fail stmt.Ast.line "%s: %s" key msg
+              | Error (kind, msg) ->
+                fail_arg ~code:(literal_code kind) stmt key "%s: %s" key msg
             end
             else begin
-              match Q.parse_dim dim value with
-              | Error msg -> fail stmt.Ast.line "%s: %s" key msg
+              match Q.classify dim value with
+              | Error (kind, msg) ->
+                fail_arg ~code:(literal_code kind) stmt key "%s: %s" key msg
               | Ok v ->
                 (* Position of the key gives the field setter. *)
                 let rec nth_setter keys fields =
                   match (keys, fields) with
                   | k :: _, (_, _, set) :: _ when k = key -> set
                   | _ :: ks, _ :: fs -> nth_setter ks fs
-                  | _ -> fail stmt.Ast.line "internal: no setter for %s" key
+                  | _ ->
+                    fail ~code:"V0201" stmt.Ast.line
+                      "internal: no setter for %s" key
                 in
                 (nth_setter technology_keys float_fields) tech v
             end)
@@ -110,8 +144,9 @@ let coord (stmt : Ast.stmt) raw =
   | [ i; j ] ->
     (match (int_of_string_opt i, int_of_string_opt j) with
      | Some i, Some j -> (i, j)
-     | _ -> fail stmt.Ast.line "malformed coordinate %S" raw)
-  | _ -> fail stmt.Ast.line "malformed coordinate %S (expected i_j)" raw
+     | _ -> fail_kw ~code:"V0204" stmt "malformed coordinate %S" raw)
+  | _ ->
+    fail_kw ~code:"V0204" stmt "malformed coordinate %S (expected i_j)" raw
 
 let bus_roles =
   [ ("writedata", Bus.Write_data); ("readdata", Bus.Read_data);
@@ -137,11 +172,12 @@ let segment_of_stmt floorplan (stmt : Ast.stmt) =
               match Option.map lower (Ast.arg stmt "dir") with
               | Some "h" | None -> `H
               | Some "v" -> `V
-              | Some d -> fail stmt.Ast.line "bad dir %S (h or v)" d
+              | Some d ->
+                fail_arg ~code:"V0204" stmt "dir" "bad dir %S (h or v)" d
             in
             Floorplan.inside_length floorplan (coord stmt c) ~frac ~dir
           | None ->
-            fail stmt.Ast.line
+            fail_kw ~code:"V0205" stmt
               "segment needs length=, start=/end= or inside="))
   in
   let buffer =
@@ -150,7 +186,7 @@ let segment_of_stmt floorplan (stmt : Ast.stmt) =
     with
     | Some n, Some p -> Some (n, p)
     | None, None -> None
-    | _ -> fail stmt.Ast.line "buffer needs both NchW= and PchW="
+    | _ -> fail_kw ~code:"V0205" stmt "buffer needs both NchW= and PchW="
   in
   let mux =
     match Ast.arg stmt "mux" with
@@ -160,8 +196,10 @@ let segment_of_stmt floorplan (stmt : Ast.stmt) =
        | [ "1"; n ] ->
          (match int_of_string_opt n with
           | Some n when n > 0 -> Some n
-          | _ -> fail stmt.Ast.line "bad mux ratio %S" raw)
-       | _ -> fail stmt.Ast.line "bad mux ratio %S (expected 1:n)" raw)
+          | _ -> fail_arg ~code:"V0204" stmt "mux" "bad mux ratio %S" raw)
+       | _ ->
+         fail_arg ~code:"V0204" stmt "mux"
+           "bad mux ratio %S (expected 1:n)" raw)
   in
   let toggle = Option.value ~default:1.0 (quantity stmt "toggle" Q.Fraction) in
   Bus.segment ?buffer ?mux ~toggle
@@ -181,7 +219,7 @@ let buses_of_signaling ast floorplan ~(spec : Spec.t) ~default =
         let role =
           match List.assoc_opt key bus_roles with
           | Some r -> r
-          | None -> fail stmt.Ast.line "unknown bus %S" stmt.Ast.keyword
+          | None -> fail_kw ~code:"V0202" stmt "unknown bus %S" stmt.Ast.keyword
         in
         if not (Hashtbl.mem tbl key) then begin
           order := key :: !order;
@@ -217,16 +255,16 @@ let logic_of_section ast ~default =
     List.map
       (fun (stmt : Ast.stmt) ->
         if lower stmt.Ast.keyword <> "block" then
-          fail stmt.Ast.line "expected Block statement in LogicBlocks";
+          fail_kw ~code:"V0204" stmt "expected Block statement in LogicBlocks";
         let name =
           match Ast.arg stmt "name" with
           | Some n -> n
-          | None -> fail stmt.Ast.line "Block needs name="
+          | None -> fail_kw ~code:"V0205" stmt "Block needs name="
         in
         let gates =
           match quantity stmt "gates" Q.Scalar with
           | Some g -> g
-          | None -> fail stmt.Ast.line "Block needs gates="
+          | None -> fail_kw ~code:"V0205" stmt "Block needs gates="
         in
         let trigger =
           match Option.map lower (Ast.arg stmt "trigger") with
@@ -237,7 +275,7 @@ let logic_of_section ast ~default =
               | "pre" | "precharge" -> `Precharge
               | "rd" | "read" -> `Read
               | "wrt" | "wr" | "write" -> `Write
-              | o -> fail stmt.Ast.line "bad trigger op %S" o
+              | o -> fail_arg ~code:"V0204" stmt "trigger" "bad trigger op %S" o
             in
             Logic_block.On_operation
               (List.map op_of (String.split_on_char ',' ops))
@@ -271,9 +309,10 @@ let axis_blocks ast ~axis ~geometry =
           if lower s.Ast.keyword = size_kw then
             List.map
               (fun (k, v) ->
-                match Q.parse_dim Q.Length v with
+                match Q.classify Q.Length v with
                 | Ok len -> (k, len)
-                | Error msg -> fail s.Ast.line "%s: %s" k msg)
+                | Error (kind, msg) ->
+                  fail_arg ~code:(literal_code kind) s k "%s: %s" k msg)
               s.Ast.args
           else [])
         stmts
@@ -283,7 +322,7 @@ let axis_blocks ast ~axis ~geometry =
       | `H -> Array_geometry.block_width geometry
       | `V -> Array_geometry.block_height geometry
     in
-    let block name =
+    let block name span =
       let kind =
         match (if name = "" then ' ' else Char.uppercase_ascii name.[0]) with
         | 'A' -> Floorplan.Array_block
@@ -298,11 +337,12 @@ let axis_blocks ast ~axis ~geometry =
         | None ->
           if kind = Floorplan.Array_block then array_size
           else
-            fail stmt.Ast.line "no size given for block %S" name
+            fail ~code:"V0205" ~span stmt.Ast.line
+              "no size given for block %S" name
       in
       { Floorplan.name; kind; size }
     in
-    Some (List.map block stmt.Ast.positional)
+    Some (List.map2 block stmt.Ast.positional stmt.Ast.positional_spans)
 
 let elaborate ast =
   try
@@ -310,12 +350,12 @@ let elaborate ast =
     let part =
       match stmt_with ast "Device" "Part" with
       | Some s -> s
-      | None -> fail 1 "missing Device section with a Part statement"
+      | None -> fail ~code:"V0203" 1 "missing Device section with a Part statement"
     in
     let node =
       match quantity part "node" Q.Length with
       | Some f -> Node.of_nm (f *. 1e9)
-      | None -> fail part.Ast.line "Part needs node=<feature size>"
+      | None -> fail_kw ~code:"V0205" part "Part needs node=<feature size>"
     in
     let name = Option.value ~default:"unnamed" (Ast.arg part "name") in
     let g = Roadmap.generation node in
@@ -346,6 +386,12 @@ let elaborate ast =
     in
     let density_bits =
       match opt density "mbits" Q.Scalar with
+      | Some m when m <= 0.0 ->
+        (match density with
+         | Some s ->
+           fail_arg ~code:"V0204" s "mbits"
+             "Density mbits must be positive, got %g" m
+         | None -> fail ~code:"V0204" 1 "Density mbits must be positive")
       | Some m -> m *. (2.0 ** 20.0)
       | None -> g.Roadmap.density_bits
     in
@@ -381,15 +427,19 @@ let elaborate ast =
     in
     let style =
       match
-        Option.map lower
+        Option.map (fun (s, v) -> (s, lower v))
           (List.fold_left
              (fun acc (s : Ast.stmt) ->
-               match Ast.arg s "BLtype" with Some v -> Some v | None -> acc)
+               match Ast.arg s "BLtype" with
+               | Some v -> Some (s, v)
+               | None -> acc)
              None cell_stmts)
       with
-      | Some "open" -> Array_geometry.Open
-      | Some "folded" -> Array_geometry.Folded
-      | Some other -> fail 1 "bad BLtype %S (open or folded)" other
+      | Some (_, "open") -> Array_geometry.Open
+      | Some (_, "folded") -> Array_geometry.Folded
+      | Some (s, other) ->
+        fail_arg ~code:"V0204" s "BLtype"
+          "bad BLtype %S (open or folded)" other
       | None ->
         if g.Roadmap.cell_factor >= 8.0 then Array_geometry.Folded
         else Array_geometry.Open
@@ -436,7 +486,8 @@ let elaborate ast =
             (530e-6 *. stripe_scale
             *. sqrt (Config.standard_complexity (Node.standard node)))
       | _ ->
-        fail 1 "floorplan needs both Horizontal and Vertical block lists"
+        fail ~code:"V0203" 1
+          "floorplan needs both Horizontal and Vertical block lists"
     in
     (* Spec record. *)
     let log2i n =
@@ -537,18 +588,19 @@ let elaborate ast =
       | [] -> None
       | stmt :: _ ->
         if lower stmt.Ast.keyword <> "pattern" then
-          fail stmt.Ast.line "expected a Pattern loop= statement";
+          fail_kw ~code:"V0204" stmt "expected a Pattern loop= statement";
         (match
            Pattern.parse ~name:"described pattern"
              (String.concat " " stmt.Ast.positional)
          with
          | Ok p -> Some p
-         | Error msg -> fail stmt.Ast.line "%s" msg)
+         | Error msg -> fail_kw ~code:"V0206" stmt "%s" msg)
     in
     Ok { config; pattern }
   with
   | Err e -> Error e
-  | Invalid_argument msg -> Error { Parser.line = 0; message = msg }
+  | Invalid_argument msg ->
+    Error { Parser.line = 0; message = msg; code = "V0200"; span = Span.none }
 
 let load_string source =
   match Parser.parse source with

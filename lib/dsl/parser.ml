@@ -1,46 +1,103 @@
 (* Line-oriented parser for the description language. *)
 
+module Span = Vdram_diagnostics.Span
+module Diagnostic = Vdram_diagnostics.Diagnostic
+
 type error = {
   line : int;
   message : string;
+  code : string;
+  span : Span.t;
 }
 
-let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+let pp_error ppf e =
+  if e.code = "" then Format.fprintf ppf "line %d: %s" e.line e.message
+  else Format.fprintf ppf "line %d: %s [%s]" e.line e.message e.code
 
-let error line fmt = Printf.ksprintf (fun message -> { line; message }) fmt
+let error ~code ?span line fmt =
+  Printf.ksprintf
+    (fun message ->
+      let span =
+        match span with Some s -> s | None -> Span.of_line line
+      in
+      { line; message; code; span })
+    fmt
 
-let strip_comment line =
-  let cut_at idx = String.sub line 0 idx in
-  let hash = String.index_opt line '#' in
-  let slashes =
-    let rec find i =
-      if i + 1 >= String.length line then None
-      else if line.[i] = '/' && line.[i + 1] = '/' then Some i
-      else find (i + 1)
-    in
-    find 0
+let to_diagnostic e =
+  Diagnostic.v ~span:e.span ~severity:Diagnostic.Error
+    ~code:(if e.code = "" then "V0200" else e.code)
+    e.message
+
+(* ----- tokenizer --------------------------------------------------- *)
+
+(* A raw token with its 1-based column range (end exclusive). *)
+type tok = {
+  text : string;
+  col : int;
+  col_end : int;
+}
+
+(* Scan one physical line into tokens.  [#] and [//] start a comment
+   when they stand at the start of the line or right after whitespace;
+   a marker glued to the end of a token still truncates (historical
+   behaviour) but is reported via [embedded] — the column of the
+   marker — so the caller can emit a diagnostic instead of dropping
+   text silently. *)
+let tokenize raw =
+  let n = String.length raw in
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+  let buf = Buffer.create 16 in
+  let toks = ref [] in
+  let start = ref 0 in
+  let embedded = ref None in
+  let flush stop =
+    if Buffer.length buf > 0 then begin
+      toks :=
+        { text = Buffer.contents buf; col = !start + 1; col_end = stop + 1 }
+        :: !toks;
+      Buffer.clear buf
+    end
   in
-  match (hash, slashes) with
-  | None, None -> line
-  | Some i, None | None, Some i -> cut_at i
-  | Some i, Some j -> cut_at (min i j)
-
-let tokens line =
-  String.split_on_char ' ' line
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.concat_map (String.split_on_char '\r')
-  |> List.filter (fun t -> t <> "")
+  let rec go i in_tok =
+    if i >= n then flush i
+    else
+      let c = raw.[i] in
+      let comment =
+        c = '#' || (c = '/' && i + 1 < n && raw.[i + 1] = '/')
+      in
+      if comment then begin
+        if in_tok && !embedded = None then embedded := Some (i + 1);
+        flush i
+      end
+      else if is_ws c then begin
+        flush i;
+        go (i + 1) false
+      end
+      else begin
+        if not in_tok then start := i;
+        Buffer.add_char buf c;
+        go (i + 1) true
+      end
+  in
+  go 0 false;
+  (List.rev !toks, !embedded)
 
 (* Fuse standalone '=' tokens: ["blocks"; "="; "A1"] and
    ["loop="; "act"] keep their shape, but ["IO"; "width"; "="; "16"]
-   becomes ["IO"; "width=16"]. *)
+   becomes ["IO"; "width=16"].  Fused tokens span from the key's first
+   to the value's last column. *)
 let fuse_equals toks =
+  let join a b =
+    { text = a.text ^ "=" ^ b.text; col = a.col; col_end = b.col_end }
+  in
   let rec go acc = function
     | [] -> List.rev acc
-    | a :: "=" :: b :: rest when a <> "blocks" && a <> "loop" ->
-      go ((a ^ "=" ^ b) :: acc) rest
-    | a :: "=" :: rest when a = "blocks" || a = "loop" ->
-      go ("=" :: a :: acc) rest
+    | a :: eq :: b :: rest
+      when eq.text = "=" && a.text <> "blocks" && a.text <> "loop" ->
+      go (join a b :: acc) rest
+    | a :: eq :: rest
+      when eq.text = "=" && (a.text = "blocks" || a.text = "loop") ->
+      go (eq :: a :: acc) rest
     | t :: rest -> go (t :: acc) rest
   in
   go [] toks
@@ -48,96 +105,145 @@ let fuse_equals toks =
 let is_section_header toks =
   match toks with
   | [ w ] ->
-    String.length w > 0
-    && w.[0] >= 'A'
-    && w.[0] <= 'Z'
-    && not (String.contains w '=')
+    String.length w.text > 0
+    && w.text.[0] >= 'A'
+    && w.text.[0] <= 'Z'
+    && not (String.contains w.text '=')
   | _ -> false
 
 (* A positional-list statement: "<kw> blocks = a b c" or
    "Pattern loop= a b c". *)
 let positional_tail toks =
   match toks with
-  | kw :: "blocks" :: "=" :: rest -> Some (kw, [ ("blocks", "") ], rest)
-  | "Pattern" :: "loop=" :: rest -> Some ("Pattern", [ ("loop", "") ], rest)
-  | "Pattern" :: "loop" :: "=" :: rest ->
-    Some ("Pattern", [ ("loop", "") ], rest)
+  | kw :: ({ text = "blocks"; _ } as b) :: { text = "="; _ } :: rest ->
+    Some (kw, [ (b, "blocks", "") ], rest)
+  | ({ text = "Pattern"; _ } as kw) :: ({ text = "loop="; _ } as l) :: rest ->
+    Some (kw, [ (l, "loop", "") ], rest)
+  | ({ text = "Pattern"; _ } as kw)
+    :: ({ text = "loop"; _ } as l) :: { text = "="; _ } :: rest ->
+    Some (kw, [ (l, "loop", "") ], rest)
   | _ -> None
 
-let parse_stmt ~line toks =
+let parse_stmt ?file ~line toks =
+  let span (t : tok) = Span.of_cols ?file ~start:t.col ~stop:t.col_end line in
+  let mk kw args positional =
+    {
+      Ast.line;
+      keyword = kw.text;
+      keyword_span = span kw;
+      args = List.map (fun (_, k, v) -> (k, v)) args;
+      arg_spans = List.map (fun (t, k, _) -> (k, span t)) args;
+      positional = List.map (fun t -> t.text) positional;
+      positional_spans = List.map span positional;
+    }
+  in
   match positional_tail toks with
-  | Some (kw, args, positional) ->
-    Ok { Ast.line; keyword = kw; args; positional }
+  | Some (kw, args, positional) -> Ok (mk kw args positional)
   | None ->
     (match toks with
      | [] -> assert false
      | kw :: rest ->
-       if String.contains kw '=' then
-         Error (error line "statement must start with a keyword, got %S" kw)
+       if String.contains kw.text '=' then
+         Error
+           (error ~code:"V0004" ~span:(span kw) line
+              "statement must start with a keyword, got %S" kw.text)
        else
          let rec split args positional = function
            | [] -> Ok (List.rev args, List.rev positional)
            | t :: rest ->
-             (match String.index_opt t '=' with
-              | Some 0 -> Error (error line "empty key in %S" t)
-              | Some i when i = String.length t - 1 ->
-                Error (error line "missing value in %S" t)
+             (match String.index_opt t.text '=' with
+              | Some 0 ->
+                Error
+                  (error ~code:"V0002" ~span:(span t) line
+                     "empty key in %S" t.text)
+              | Some i when i = String.length t.text - 1 ->
+                Error
+                  (error ~code:"V0003" ~span:(span t) line
+                     "missing value in %S" t.text)
               | Some i ->
-                let k = String.sub t 0 i
-                and v = String.sub t (i + 1) (String.length t - i - 1) in
-                split ((k, v) :: args) positional rest
+                let k = String.sub t.text 0 i
+                and v =
+                  String.sub t.text (i + 1) (String.length t.text - i - 1)
+                in
+                split ((t, k, v) :: args) positional rest
               | None -> split args (t :: positional) rest)
          in
          (match split [] [] rest with
-          | Ok (args, positional) ->
-            Ok { Ast.line; keyword = kw; args; positional }
+          | Ok (args, positional) -> Ok (mk kw args positional)
           | Error _ as e -> e))
 
-let parse source =
+let parse_with_warnings ?file source =
+  let warnings = ref [] in
   let lines = String.split_on_char '\n' source in
+  let close (hdr_line, name, hdr_span, stmts) sections =
+    {
+      Ast.section_line = hdr_line;
+      section_name = name;
+      section_span = hdr_span;
+      stmts = List.rev stmts;
+    }
+    :: sections
+  in
   let rec go lineno sections current = function
     | [] ->
       let sections =
         match current with
         | None -> sections
-        | Some (hdr_line, name, stmts) ->
-          { Ast.section_line = hdr_line;
-            section_name = name;
-            stmts = List.rev stmts }
-          :: sections
+        | Some c -> close c sections
       in
       Ok (List.rev sections)
     | raw :: rest ->
-      let toks = fuse_equals (tokens (strip_comment raw)) in
+      let raw_toks, embedded = tokenize raw in
+      (match embedded with
+       | Some col ->
+         warnings :=
+           Diagnostic.warningf ~code:"V0005"
+             ~span:(Span.of_cols ?file ~start:col ~stop:(col + 1) lineno)
+             ~help:
+               "insert whitespace before the comment marker to comment, \
+                or remove it to keep the text"
+             "comment marker glued to a token truncates the rest of the line"
+           :: !warnings
+       | None -> ());
+      let toks = fuse_equals raw_toks in
       if toks = [] then go (lineno + 1) sections current rest
       else if is_section_header toks then begin
-        let name = List.hd toks in
+        let hdr = List.hd toks in
+        let hdr_span =
+          Span.of_cols ?file ~start:hdr.col ~stop:hdr.col_end lineno
+        in
         let sections =
           match current with
           | None -> sections
-          | Some (hdr_line, n, stmts) ->
-            { Ast.section_line = hdr_line;
-              section_name = n;
-              stmts = List.rev stmts }
-            :: sections
+          | Some c -> close c sections
         in
-        go (lineno + 1) sections (Some (lineno, name, [])) rest
+        go (lineno + 1) sections
+          (Some (lineno, hdr.text, hdr_span, []))
+          rest
       end
       else
         match current with
         | None ->
-          Error (error lineno "statement before any section header")
-        | Some (hdr_line, name, stmts) ->
-          (match parse_stmt ~line:lineno toks with
+          let t = List.hd toks in
+          Error
+            (error ~code:"V0001"
+               ~span:(Span.of_cols ?file ~start:t.col ~stop:t.col_end lineno)
+               lineno "statement before any section header")
+        | Some (hdr_line, name, hdr_span, stmts) ->
+          (match parse_stmt ?file ~line:lineno toks with
            | Ok stmt ->
              go (lineno + 1) sections
-               (Some (hdr_line, name, stmt :: stmts))
+               (Some (hdr_line, name, hdr_span, stmt :: stmts))
                rest
            | Error _ as e -> e)
   in
-  go 1 [] None lines
+  let result = go 1 [] None lines in
+  (result, List.rev !warnings)
+
+let parse ?file source = fst (parse_with_warnings ?file source)
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | source -> parse source
-  | exception Sys_error msg -> Error { line = 0; message = msg }
+  | source -> parse ~file:path source
+  | exception Sys_error msg ->
+    Error { line = 0; message = msg; code = "V0006"; span = Span.none }

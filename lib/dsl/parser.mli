@@ -1,18 +1,39 @@
 (** Parser of the DRAM description language (the "parse input file /
-    syntax check" stages of Figure 4). *)
+    syntax check" stages of Figure 4).
+
+    Every token is tracked to its file/line/column range, so parse
+    errors — and everything downstream that reuses the AST's spans —
+    point at the exact offending text. *)
 
 type error = {
   line : int;
   message : string;
+  code : string;                      (** stable [V####] lint code *)
+  span : Vdram_diagnostics.Span.t;
 }
 
 val pp_error : Format.formatter -> error -> unit
-(** ["line 12: <message>"]. *)
+(** ["line 12: <message> [V0003]"]. *)
 
-val parse : string -> (Ast.t, error) result
+val error :
+  code:string -> ?span:Vdram_diagnostics.Span.t -> int ->
+  ('a, unit, string, error) format4 -> 'a
+(** Build an [error]; the span defaults to the whole line. *)
+
+val to_diagnostic : error -> Vdram_diagnostics.Diagnostic.t
+
+val parse : ?file:string -> string -> (Ast.t, error) result
 (** Parse a full description source.  Statements before any section
-    header are an error, as are malformed assignments. *)
+    header are an error, as are malformed assignments.  [file] is
+    recorded in the spans. *)
+
+val parse_with_warnings :
+  ?file:string -> string ->
+  (Ast.t, error) result * Vdram_diagnostics.Diagnostic.t list
+(** Like {!parse}, but also returns non-fatal findings: today, a
+    [V0005] warning for every [#] or [//] comment marker glued to the
+    end of a token (which truncates the line — historically silently). *)
 
 val parse_file : string -> (Ast.t, error) result
-(** Read and parse a file; I/O failures are reported as an [error] on
-    line 0. *)
+(** Read and parse a file; I/O failures are reported as a [V0006]
+    [error] on line 0. *)

@@ -1,0 +1,147 @@
+(* The lint driver: description in, sorted diagnostics out. *)
+
+module Parser = Vdram_dsl.Parser
+module Elaborate = Vdram_dsl.Elaborate
+module Ast = Vdram_dsl.Ast
+module Validate = Vdram_core.Validate
+module Span = Vdram_diagnostics.Span
+module D = Vdram_diagnostics.Diagnostic
+
+type report = {
+  file : string option;
+  source : string array;
+  diagnostics : D.t list;
+}
+
+let errors r = D.count D.Error r.diagnostics
+let warnings r = D.count D.Warning r.diagnostics
+
+(* Where each spanless Validate finding belongs in the source: the
+   statement (and argument) whose value the check is about.  Defaulted
+   values legitimately have no span. *)
+let validate_location =
+  [ ("V0301", ("voltages", "supply", Some "vpp"));
+    ("V0302", ("voltages", "supply", Some "vbl"));
+    ("V0303", ("voltages", "supply", Some "vint"));
+    ("V0304", ("specification", "density", Some "mbits"));
+    ("V0305", ("specification", "density", Some "mbits"));
+    ("V0306", ("floorplanphysical", "cellarray", Some "page"));
+    ("V0307", ("floorplanphysical", "cellarray", Some "sastripe"));
+    ("V0308", ("floorplanphysical", "cellarray", Some "lwdstripe"));
+    ("V0309", ("specification", "interface", Some "activation"));
+    ("V0310", ("specification", "burst", Some "length"));
+    ("V0311", ("specification", "burst", Some "length"));
+    ("V0312", ("voltages", "efficiency", None));
+    ("V0313", ("logicblocks", "block", Some "toggle"));
+    ("V0314", ("specification", "interface", Some "toggle")) ]
+
+let place_validate ast (d : D.t) =
+  if not (Span.is_none d.D.span) then d
+  else
+    match List.assoc_opt d.D.code validate_location with
+    | None -> d
+    | Some (section, keyword, key) ->
+      { d with D.span = Passes.locate ast ~section ~keyword ?key () }
+
+(* A pass must never crash the linter: surface the exception as a
+   spanless internal error instead. *)
+let guarded pass =
+  try pass () with
+  | e ->
+    [ D.errorf ~code:"V0200" "internal analysis failure: %s"
+        (Printexc.to_string e) ]
+
+let run ?file source =
+  let result, parse_warnings = Parser.parse_with_warnings ?file source in
+  let diagnostics =
+    match result with
+    | Error e -> parse_warnings @ [ Parser.to_diagnostic e ]
+    | Ok ast ->
+      let dims = guarded (fun () -> Passes.dimensions ast) in
+      if List.exists D.is_error dims then
+        (* Elaboration would stop at the first of these anyway; the
+           pass already reported them all, with spans. *)
+        parse_warnings @ dims
+      else begin
+        match Elaborate.elaborate ast with
+        | Error e -> parse_warnings @ dims @ [ Parser.to_diagnostic e ]
+        | Ok { Elaborate.config; pattern } ->
+          let semantic =
+            guarded (fun () ->
+                List.map (place_validate ast) (Validate.check config))
+          in
+          let physics = guarded (fun () -> Passes.finiteness config) in
+          let times = guarded (fun () -> Passes.timing ~ast config) in
+          let pat =
+            match pattern with
+            | None -> []
+            | Some p -> guarded (fun () -> Passes.pattern ~ast config p)
+          in
+          parse_warnings @ dims @ semantic @ physics @ times @ pat
+      end
+  in
+  {
+    file;
+    source = Array.of_list (String.split_on_char '\n' source);
+    diagnostics = List.stable_sort D.compare_source diagnostics;
+  }
+
+let run_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | source -> run ~file:path source
+  | exception Sys_error msg ->
+    {
+      file = Some path;
+      source = [||];
+      diagnostics = [ D.errorf ~code:"V0006" "%s" msg ];
+    }
+
+let suppress ~codes r =
+  if codes = [] then r
+  else
+    {
+      r with
+      diagnostics =
+        List.filter
+          (fun (d : D.t) -> D.is_error d || not (List.mem d.D.code codes))
+          r.diagnostics;
+    }
+
+let pp_text ppf r =
+  List.iter
+    (fun d -> Format.fprintf ppf "%a@." (D.pp_rich ~source:r.source) d)
+    r.diagnostics
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_json r =
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '{';
+  (match r.file with
+   | Some f ->
+     Buffer.add_string buf "\"file\":";
+     add_json_string buf f;
+     Buffer.add_char buf ','
+   | None -> ());
+  Printf.bprintf buf "\"errors\":%d,\"warnings\":%d,\"diagnostics\":["
+    (errors r) (warnings r);
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      D.to_json buf d)
+    r.diagnostics;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

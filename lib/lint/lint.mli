@@ -1,0 +1,41 @@
+(** The lint driver: run every static-analysis pass over a description
+    and collect the diagnostics, source-ordered.
+
+    The pipeline mirrors elaboration but never simulates:
+
+    + parse (collecting [V00xx] syntax findings),
+    + {!Passes.dimensions} over the raw AST ([V01xx]/[V02xx]) — when it
+      finds errors the driver stops, since elaboration would only
+      repeat the first of them,
+    + elaborate (its error, if any, is already coded and spanned),
+    + {!Vdram_core.Validate} over the configuration, each finding
+      placed back onto the statement it concerns ([V03xx]),
+    + {!Passes.finiteness}, {!Passes.timing} and {!Passes.pattern}
+      ([V04xx]-[V06xx]). *)
+
+type report = {
+  file : string option;
+  source : string array;            (** the input split into lines *)
+  diagnostics : Vdram_diagnostics.Diagnostic.t list;  (** source order *)
+}
+
+val run : ?file:string -> string -> report
+(** Lint a description source.  [file] labels the spans. *)
+
+val run_file : string -> report
+(** Lint a file; I/O failures become a [V0006] diagnostic. *)
+
+val suppress : codes:string list -> report -> report
+(** Drop warnings whose code is listed ([--allow]).  Errors are never
+    suppressed. *)
+
+val errors : report -> int
+val warnings : report -> int
+
+val pp_text : Format.formatter -> report -> unit
+(** Compiler-style rendering of every diagnostic, with source excerpts
+    and caret underlines. *)
+
+val to_json : report -> string
+(** One JSON object:
+    [{"file":...,"errors":N,"warnings":M,"diagnostics":[...]}]. *)

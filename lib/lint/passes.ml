@@ -1,0 +1,349 @@
+(* Non-simulating analysis passes over descriptions and elaborated
+   configurations. *)
+
+module Q = Vdram_units.Quantity
+module Ast = Vdram_dsl.Ast
+module Elaborate = Vdram_dsl.Elaborate
+module Config = Vdram_core.Config
+module Spec = Vdram_core.Spec
+module Pattern = Vdram_core.Pattern
+module Operation = Vdram_core.Operation
+module Model = Vdram_core.Model
+module Peak = Vdram_core.Peak
+module Timing = Vdram_sim.Timing
+module Span = Vdram_diagnostics.Span
+module D = Vdram_diagnostics.Diagnostic
+
+let lower = String.lowercase_ascii
+
+(* ----- span lookup ------------------------------------------------- *)
+
+let locate ast ~section ~keyword ?key () =
+  let stmts =
+    List.filter
+      (fun (s : Ast.stmt) -> lower s.Ast.keyword = lower keyword)
+      (List.concat_map
+         (fun s -> s.Ast.stmts)
+         (Ast.find_sections ast section))
+  in
+  let fallback () =
+    match stmts with
+    | s :: _ -> s.Ast.keyword_span
+    | [] -> Span.none
+  in
+  match key with
+  | None -> fallback ()
+  | Some k ->
+    (* Prefer whichever statement actually carries the argument: a
+       section may split one keyword over several lines (the example
+       files write CellArray twice). *)
+    let rec find = function
+      | [] -> fallback ()
+      | s :: rest ->
+        (match Ast.arg_span s k with Some sp -> sp | None -> find rest)
+    in
+    find stmts
+
+(* ----- dimensional analysis over the raw AST ----------------------- *)
+
+type expected = Dim of Q.dim | Text
+
+type wildcard =
+  | Reject          (* unknown keys warn (V0105) *)
+  | All_lengths     (* any key, value must be a length (Size* lists) *)
+  | Technology      (* keys resolved against the technology registry *)
+
+type keyword_schema = {
+  keys : (string * expected) list;
+  wildcard : wildcard;
+}
+
+let plain keys = { keys; wildcard = Reject }
+
+let bus_schema =
+  plain
+    [ ("wires", Dim Q.Scalar); ("length", Dim Q.Length); ("start", Text);
+      ("end", Text); ("inside", Text); ("fraction", Dim Q.Fraction);
+      ("dir", Text); ("nchw", Dim Q.Length); ("pchw", Dim Q.Length);
+      ("mux", Text); ("toggle", Dim Q.Fraction) ]
+
+(* One entry per known section (lowercased), mapping its statement
+   keywords to the expected dimension of every argument.  This is the
+   static mirror of what {!Vdram_dsl.Elaborate} consumes. *)
+let schema =
+  [ ("device", [ ("part", plain [ ("name", Text); ("node", Dim Q.Length) ]) ]);
+    ( "specification",
+      [ ("io", plain [ ("width", Dim Q.Scalar); ("datarate", Dim Q.Datarate) ]);
+        ( "clock",
+          plain [ ("number", Dim Q.Scalar); ("frequency", Dim Q.Frequency) ] );
+        ( "control",
+          plain
+            [ ("frequency", Dim Q.Frequency); ("bankadd", Dim Q.Scalar);
+              ("rowadd", Dim Q.Scalar); ("coladd", Dim Q.Scalar);
+              ("misc", Dim Q.Scalar) ] );
+        ("density", plain [ ("mbits", Dim Q.Scalar) ]);
+        ("banks", plain [ ("number", Dim Q.Scalar) ]);
+        ( "burst",
+          plain [ ("length", Dim Q.Scalar); ("prefetch", Dim Q.Scalar) ] );
+        ( "timing",
+          plain
+            [ ("trc", Dim Q.Time); ("trcd", Dim Q.Time); ("trp", Dim Q.Time) ]
+        );
+        ( "interface",
+          plain
+            [ ("predriver", Dim Q.Capacitance);
+              ("receiver", Dim Q.Capacitance); ("toggle", Dim Q.Fraction);
+              ("bias", Dim Q.Current); ("receivers", Dim Q.Scalar);
+              ("activation", Dim Q.Fraction) ] ) ] );
+    ( "floorplanphysical",
+      [ ( "cellarray",
+          plain
+            [ ("bitsperbl", Dim Q.Scalar); ("bitsperlwl", Dim Q.Scalar);
+              ("bltype", Text); ("page", Dim Q.Scalar);
+              ("cslblocks", Dim Q.Scalar); ("wlpitch", Dim Q.Length);
+              ("blpitch", Dim Q.Length); ("sastripe", Dim Q.Length);
+              ("lwdstripe", Dim Q.Length) ] );
+        ("horizontal", plain [ ("blocks", Text) ]);
+        ("vertical", plain [ ("blocks", Text) ]);
+        ("sizehorizontal", { keys = []; wildcard = All_lengths });
+        ("sizevertical", { keys = []; wildcard = All_lengths }) ] );
+    ("technology", [ ("set", { keys = []; wildcard = Technology }) ]);
+    ( "voltages",
+      [ ( "supply",
+          plain
+            [ ("vdd", Dim Q.Voltage); ("vint", Dim Q.Voltage);
+              ("vbl", Dim Q.Voltage); ("vpp", Dim Q.Voltage) ] );
+        ( "efficiency",
+          plain
+            [ ("int", Dim Q.Fraction); ("bl", Dim Q.Fraction);
+              ("pp", Dim Q.Fraction) ] );
+        ("constant", plain [ ("current", Dim Q.Current) ]) ] );
+    ( "floorplansignaling",
+      [ ("writedata", bus_schema); ("readdata", bus_schema);
+        ("rowaddress", bus_schema); ("columnaddress", bus_schema);
+        ("coladdress", bus_schema); ("bankaddress", bus_schema);
+        ("command", bus_schema); ("clock", bus_schema) ] );
+    ( "logicblocks",
+      [ ( "block",
+          plain
+            [ ("name", Text); ("gates", Dim Q.Scalar);
+              ("toggle", Dim Q.Fraction); ("trigger", Text);
+              ("wnmos", Dim Q.Length); ("wpmos", Dim Q.Length);
+              ("transistors", Dim Q.Scalar); ("layout", Dim Q.Fraction);
+              ("wiring", Dim Q.Fraction) ] ) ] );
+    ("pattern", [ ("pattern", plain [ ("loop", Text) ]) ]) ]
+
+let technology_entries =
+  List.combine Elaborate.technology_keys
+    (Elaborate.technology_dims @ [ Q.Scalar ])
+
+let literal_code = function
+  | Q.Malformed -> "V0102"
+  | Q.Unknown_unit -> "V0103"
+  | Q.Mismatch _ -> "V0101"
+  | Q.Non_finite -> "V0104"
+
+let dimensions ast =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let check_literal span key dim value =
+    match Q.classify dim value with
+    | Ok _ -> ()
+    | Error (kind, msg) ->
+      add (D.errorf ~code:(literal_code kind) ~span "%s: %s" key msg)
+  in
+  List.iter
+    (fun (sec : Ast.section) ->
+      match List.assoc_opt (lower sec.Ast.section_name) schema with
+      | None ->
+        add
+          (D.warningf ~code:"V0106" ~span:sec.Ast.section_span
+             ~help:"the whole section is ignored by elaboration"
+             "unknown section %S" sec.Ast.section_name)
+      | Some keywords ->
+        List.iter
+          (fun (stmt : Ast.stmt) ->
+            match List.assoc_opt (lower stmt.Ast.keyword) keywords with
+            | None ->
+              add
+                (D.warningf ~code:"V0107" ~span:stmt.Ast.keyword_span
+                   "unknown keyword %S in section %s" stmt.Ast.keyword
+                   sec.Ast.section_name)
+            | Some ks ->
+              List.iter2
+                (fun (key, value) (_, span) ->
+                  match ks.wildcard with
+                  | Technology ->
+                    (match
+                       List.assoc_opt (lower key) technology_entries
+                     with
+                     | None ->
+                       add
+                         (D.errorf ~code:"V0201" ~span
+                            "unknown technology parameter %S" key)
+                     | Some dim -> check_literal span key dim value)
+                  | All_lengths -> check_literal span key Q.Length value
+                  | Reject ->
+                    (match List.assoc_opt (lower key) ks.keys with
+                     | None ->
+                       add
+                         (D.warningf ~code:"V0105" ~span
+                            ~help:"the argument is ignored by elaboration"
+                            "unknown argument %S to %s" key stmt.Ast.keyword)
+                     | Some Text -> ()
+                     | Some (Dim dim) -> check_literal span key dim value))
+                stmt.Ast.args stmt.Ast.arg_spans;
+              if lower stmt.Ast.keyword = "pattern" then
+                List.iter2
+                  (fun tok span ->
+                    match Pattern.parse ~name:"lint" tok with
+                    | Ok _ -> ()
+                    | Error msg ->
+                      add (D.errorf ~code:"V0206" ~span "%s" msg))
+                  stmt.Ast.positional stmt.Ast.positional_spans)
+          sec.Ast.stmts)
+    ast;
+  List.rev !out
+
+(* ----- timing-constraint consistency ------------------------------- *)
+
+let timing ~ast cfg =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let s = cfg.Config.spec in
+  let at key = locate ast ~section:"specification" ~keyword:"timing" ~key () in
+  let positive = ref true in
+  List.iter
+    (fun (name, v, key) ->
+      if (not (Float.is_finite v)) || v <= 0.0 then begin
+        positive := false;
+        add
+          (D.errorf ~code:"V0502" ~span:(at key)
+             "%s is %g s; timing parameters must be positive" name v)
+      end)
+    [ ("tRC", s.Spec.trc, "trc"); ("tRCD", s.Spec.trcd, "trcd");
+      ("tRP", s.Spec.trp, "trp"); ("tFAW", s.Spec.tfaw, "tfaw") ];
+  if !positive then begin
+    let ns v = Q.to_string Q.Time v in
+    if s.Spec.trcd +. s.Spec.trp > s.Spec.trc *. (1.0 +. 1e-9) then
+      add
+        (D.errorf ~code:"V0501" ~span:(at "trc")
+           ~help:"raise trc or shrink trcd/trp so trcd + trp <= trc"
+           "tRCD (%s) plus tRP (%s) exceed tRC (%s): the row cannot \
+            complete a cycle"
+           (ns s.Spec.trcd) (ns s.Spec.trp) (ns s.Spec.trc));
+    let beats =
+      float_of_int s.Spec.burst_length /. Spec.bits_per_clock s
+    in
+    (* Datasheet rates are rounded (5.333 Gbps on a 2.667 GHz clock
+       gives 16.003 "beats"); only a genuinely fractional occupancy,
+       half a beat and the like, deserves a warning. *)
+    if
+      Float.is_finite beats
+      && Float.abs (beats -. Float.round beats) > 0.05
+    then
+      add
+        (D.warningf ~code:"V0503"
+           ~span:
+             (locate ast ~section:"specification" ~keyword:"burst"
+                ~key:"length" ())
+           "burst of %d bits spans %.3f command clocks; partial beats \
+            waste bus slots"
+           s.Spec.burst_length beats);
+    let t = Timing.of_config cfg in
+    if t.Timing.trefi < t.Timing.trfc then
+      add
+        (D.warningf ~code:"V0504" ~span:(at "trc")
+           "refresh interval (%d clocks) is shorter than the refresh \
+            cycle time (%d clocks): the device refreshes continuously"
+           t.Timing.trefi t.Timing.trfc)
+  end;
+  List.rev !out
+
+(* ----- finiteness of the derived energy tables --------------------- *)
+
+let finiteness cfg =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  List.iter
+    (fun op ->
+      let e = Operation.energy cfg op in
+      if not (Float.is_finite e) then
+        add
+          (D.errorf ~code:"V0401"
+             "energy of %s is %g: a model input poisons the energy table"
+             (Operation.name op) e)
+      else if e < 0.0 then
+        add
+          (D.warningf ~code:"V0402" "energy of %s is negative (%g J)"
+             (Operation.name op) e))
+    Operation.all;
+  let power name v =
+    if not (Float.is_finite v) then
+      add (D.errorf ~code:"V0403" "%s evaluates to %g" name v)
+  in
+  power "background power" (Model.background_power cfg);
+  List.iter
+    (fun st ->
+      power
+        (Printf.sprintf "%s power" (Model.state_name st))
+        (Model.state_power cfg st))
+    [ Model.Active_standby; Model.Precharge_standby; Model.Power_down;
+      Model.Self_refresh ];
+  power "refresh power" (Model.refresh_power cfg);
+  power "burst-refresh current" (Model.idd5b cfg);
+  List.iter
+    (fun (p : Peak.t) ->
+      if not (Float.is_finite p.Peak.current) then
+        add
+          (D.errorf ~code:"V0404" "peak current of %s is %g"
+             (Operation.name p.Peak.operation) p.Peak.current))
+    (Peak.all cfg);
+  if not (Float.is_finite (Peak.worst_case cfg)) then
+    add
+      (D.errorf ~code:"V0404" "worst-case supply current is not finite");
+  List.rev !out
+
+(* ----- pattern / specification reachability ------------------------ *)
+
+let pattern ~ast cfg (p : Pattern.t) =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let span = locate ast ~section:"pattern" ~keyword:"pattern" () in
+  let s = cfg.Config.spec in
+  let acts = Pattern.count p Pattern.Act
+  and rds = Pattern.count p Pattern.Rd
+  and wrs = Pattern.count p Pattern.Wr
+  and cycles = Pattern.cycles p in
+  let columns = rds + wrs in
+  if acts = 0 && columns > 0 then
+    add
+      (D.warningf ~code:"V0601" ~span
+         ~help:"add an act (and pre) to the loop, or model standby \
+                with an all-nop pattern"
+         "pattern issues %d column commands but never activates a row"
+         columns);
+  let cpc = Spec.clocks_per_column_command s in
+  if columns * cpc > cycles then
+    add
+      (D.warningf ~code:"V0603" ~span
+         ~help:"lengthen the loop or drop column commands"
+         "%d column commands x %d clocks of burst data exceed the \
+          %d-cycle loop: the data bus is oversubscribed"
+         columns cpc cycles);
+  if acts > 0 then begin
+    let t = Timing.of_config cfg in
+    if acts * t.Timing.trc > cycles * s.Spec.banks then
+      add
+        (D.warningf ~code:"V0602" ~span
+           "%d activates per %d-cycle loop exceed what tRC (%d clocks) \
+            allows across %d banks"
+           acts cycles t.Timing.trc s.Spec.banks);
+    if acts * t.Timing.tfaw > cycles * 4 then
+      add
+        (D.warningf ~code:"V0602" ~span
+           "%d activates per %d-cycle loop violate the four-activate \
+            window (tFAW = %d clocks)"
+           acts cycles t.Timing.tfaw)
+  end;
+  List.rev !out

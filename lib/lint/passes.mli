@@ -1,0 +1,43 @@
+(** The individual analysis passes behind [vdram lint].
+
+    None of these simulate: they inspect the raw AST (spans intact)
+    and cheap derived quantities of the elaborated configuration, and
+    emit {!Vdram_diagnostics.Diagnostic.t} values with stable codes. *)
+
+val locate :
+  Vdram_dsl.Ast.t -> section:string -> keyword:string -> ?key:string ->
+  unit -> Vdram_diagnostics.Span.t
+(** Best-effort source span for "the statement (or its [key=] argument)
+    of this keyword in this section", case-insensitive; {!Vdram_diagnostics.Span.none}
+    when the description never wrote it (defaulted values). *)
+
+val dimensions : Vdram_dsl.Ast.t -> Vdram_diagnostics.Diagnostic.t list
+(** Dimensional analysis: every literal in the description is checked
+    against the dimension elaboration expects ([V0101]-[V0104]),
+    unknown sections/keywords/arguments are flagged ([V0105]-[V0107]),
+    technology keys are resolved against the registry ([V0201]) and
+    pattern commands against the command set ([V0206]).  Runs without
+    elaborating, so it reports {e all} offending literals at once
+    rather than stopping at the first. *)
+
+val timing :
+  ast:Vdram_dsl.Ast.t -> Vdram_core.Config.t ->
+  Vdram_diagnostics.Diagnostic.t list
+(** Timing-constraint consistency: non-positive core timings
+    ([V0502]), tRCD + tRP exceeding tRC ([V0501]), bursts spanning
+    fractional command clocks ([V0503]), refresh interval below the
+    refresh cycle time ([V0504]). *)
+
+val finiteness :
+  Vdram_core.Config.t -> Vdram_diagnostics.Diagnostic.t list
+(** Evaluates the operation energies, state powers and peak currents
+    and reports non-finite ([V0401], [V0403], [V0404]) or negative
+    ([V0402]) entries — the symptom of a poisoned input reaching the
+    energy tables. *)
+
+val pattern :
+  ast:Vdram_dsl.Ast.t -> Vdram_core.Config.t -> Vdram_core.Pattern.t ->
+  Vdram_diagnostics.Diagnostic.t list
+(** Pattern/specification reachability: column commands without an
+    activate ([V0601]), activate rates beyond tRC or tFAW ([V0602]),
+    data-bus oversubscription ([V0603]). *)

@@ -133,15 +133,39 @@ let compatible expected actual =
   || (expected = Fraction && actual = Scalar)
   || (expected = Scalar && actual = Fraction)
 
-let parse_dim d s =
-  match parse s with
-  | Error _ as e -> e
-  | Ok (v, actual) ->
-    if compatible d actual then Ok v
+type error_kind =
+  | Malformed
+  | Unknown_unit
+  | Mismatch of dim
+  | Non_finite
+
+let classify d s =
+  let s = String.trim s in
+  if s = "" then Error (Malformed, "empty literal")
+  else
+    let num, suffix = split_literal s in
+    if num = "" then
+      Error (Malformed, Printf.sprintf "no numeric part in %S" s)
     else
-      Error
-        (Printf.sprintf "expected %s but %S is a %s" (dim_name d) s
-           (dim_name actual))
+      match float_of_string_opt num with
+      | None -> Error (Malformed, Printf.sprintf "malformed number %S" num)
+      | Some v ->
+        (match interpret_unit suffix with
+         | Error msg ->
+           (* All unit-suffix failures: empty, unknown, bad compound. *)
+           Error (Unknown_unit, msg)
+         | Ok (mult, actual) ->
+           let v = v *. mult in
+           if not (Float.is_finite v) then
+             Error (Non_finite, Printf.sprintf "literal %S is not finite" s)
+           else if compatible d actual then Ok v
+           else
+             Error
+               ( Mismatch actual,
+                 Printf.sprintf "expected %s but %S is a %s" (dim_name d) s
+                   (dim_name actual) ))
+
+let parse_dim d s = Result.map_error snd (classify d s)
 
 let to_string ?digits d v =
   match d with

@@ -32,11 +32,24 @@ val parse : string -> (float * dim, string) result
     a bare number parses to [Scalar].  [Error msg] describes the
     malformed input. *)
 
+type error_kind =
+  | Malformed        (** empty literal, no numeric part, bad number *)
+  | Unknown_unit     (** unit suffix not in the unit table *)
+  | Mismatch of dim  (** parsed fine but has this (wrong) dimension *)
+  | Non_finite       (** overflows or is not a number after scaling *)
+
+val classify : dim -> string -> (float, error_kind * string) result
+(** [classify d s] parses [s] against expected dimension [d] and, on
+    failure, says {e how} it failed, so diagnostics can carry a stable
+    code per failure mode.  Non-finite values (e.g. [1e999V]) are
+    rejected rather than silently propagated into the energy tables. *)
+
 val parse_dim : dim -> string -> (float, string) result
 (** [parse_dim d s] parses [s] and checks it against expected dimension
     [d].  A [Scalar] literal is accepted where a [Fraction] is expected
     (e.g. [0.25] for [25%]), and vice versa; any other mismatch is an
-    error naming both dimensions. *)
+    error naming both dimensions.  [{!classify} d s] with the kind
+    dropped. *)
 
 val to_string : ?digits:int -> dim -> float -> string
 (** Render a base-SI value with an engineering prefix and the

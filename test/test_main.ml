@@ -9,6 +9,7 @@ let () =
       ("circuits", Test_circuits.suite);
       ("core", Test_core.suite);
       ("dsl", Test_dsl.suite);
+      ("diagnostics", Test_diagnostics.suite);
       ("datasheets", Test_datasheets.suite);
       ("configs", Test_configs.suite);
       ("analysis", Test_analysis.suite);
