@@ -15,6 +15,7 @@ check: test lint
 
 bench:
 	dune exec bench/main.exe
+	dune exec bench/bench_lint.exe
 
 examples:
 	dune exec examples/quickstart.exe

@@ -325,16 +325,19 @@ let lint_cmd =
   let files =
     Arg.(
       non_empty
-      & pos_all file []
-      & info [] ~docv:"FILE" ~doc:"DRAM description files (.dram).")
+      & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"DRAM description files (.dram); $(b,-) reads standard \
+                input.")
   in
   let format =
     Arg.(
       value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+          `Text
       & info [ "format" ] ~docv:"FMT"
           ~doc:"Output format: $(b,text) (compiler-style, with source \
-                excerpts) or $(b,json).")
+                excerpts), $(b,json) or $(b,sarif) (SARIF 2.1.0).")
   in
   let deny_warnings =
     Arg.(
@@ -350,45 +353,80 @@ let lint_cmd =
           ~doc:"Suppress a warning code, e.g. $(b,--allow V0304). \
                 Repeatable.  Errors cannot be suppressed.")
   in
-  let run files format deny allow =
+  let fix =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:"Apply the structured fix-its to the files in place \
+                (non-overlapping edits only) and lint the result.")
+  in
+  let run files format deny allow fix =
     match List.find_opt (fun c -> not (Code.is_known c)) allow with
     | Some c ->
       fail "unknown lint code %S (doc/DSL.md lists the inventory)" c
     | None ->
-      let reports =
-        List.map (fun f -> Lint.suppress ~codes:allow (Lint.run_file f)) files
-      in
-      (match format with
-       | `Json ->
-         let total count = List.fold_left (fun a r -> a + count r) 0 reports in
-         Printf.printf
-           "{\"version\":1,\"errors\":%d,\"warnings\":%d,\"files\":[%s]}\n"
-           (total Lint.errors) (total Lint.warnings)
-           (String.concat "," (List.map Lint.to_json reports))
-       | `Text ->
-         List.iter
-           (fun (r : Lint.report) ->
-             let name = Option.value ~default:"<input>" r.Lint.file in
-             if r.Lint.diagnostics = [] then Format.printf "%s: clean@." name
-             else begin
-               Format.printf "%a" Lint.pp_text r;
-               Format.printf "%s: %d error(s), %d warning(s)@." name
-                 (Lint.errors r) (Lint.warnings r)
-             end)
-           reports);
-      let errs = List.fold_left (fun a r -> a + Lint.errors r) 0 reports in
-      let warns = List.fold_left (fun a r -> a + Lint.warnings r) 0 reports in
-      if errs > 0 then fail "lint: %d error(s)" errs
-      else if deny && warns > 0 then
-        fail "lint: %d warning(s) denied by --deny-warnings" warns
-      else `Ok ()
+      if fix && List.mem "-" files then
+        fail "--fix cannot rewrite standard input"
+      else begin
+        let lint_one f =
+          if f = "-" then Lint.run (In_channel.input_all In_channel.stdin)
+          else Lint.run_file f
+        in
+        let reports =
+          List.map (fun f -> (f, Lint.suppress ~codes:allow (lint_one f)))
+            files
+        in
+        let reports =
+          if not fix then List.map snd reports
+          else
+            List.map
+              (fun (f, r) ->
+                let fixed, applied = Lint.apply_fixes r in
+                if applied = 0 then r
+                else begin
+                  Out_channel.with_open_text f (fun oc ->
+                      Out_channel.output_string oc fixed);
+                  Printf.eprintf "%s: applied %d fix(es)\n%!" f applied;
+                  Lint.suppress ~codes:allow (Lint.run ~file:f fixed)
+                end)
+              reports
+        in
+        (match format with
+         | `Sarif -> print_string (Lint.to_sarif reports)
+         | `Json ->
+           let total count =
+             List.fold_left (fun a r -> a + count r) 0 reports
+           in
+           Printf.printf
+             "{\"version\":1,\"errors\":%d,\"warnings\":%d,\"files\":[%s]}\n"
+             (total Lint.errors) (total Lint.warnings)
+             (String.concat "," (List.map Lint.to_json reports))
+         | `Text ->
+           List.iter
+             (fun (r : Lint.report) ->
+               let name = Option.value ~default:"<stdin>" r.Lint.file in
+               if r.Lint.diagnostics = [] then
+                 Format.printf "%s: clean@." name
+               else begin
+                 Format.printf "%a" Lint.pp_text r;
+                 Format.printf "%s: %d error(s), %d warning(s)@." name
+                   (Lint.errors r) (Lint.warnings r)
+               end)
+             reports);
+        (* Exit-code contract: 0 clean, 1 warnings denied, 2 errors. *)
+        match Lint.exit_code ~deny_warnings:deny reports with
+        | 0 -> `Ok ()
+        | n -> exit n
+      end
   in
   let doc =
     "Statically analyse descriptions: syntax, dimensional analysis, \
-     physical consistency, timing, finiteness and pattern checks."
+     physical consistency, timing, finiteness, floorplan coordinates \
+     and bank-aware pattern legality.  Exits 0 when clean, 1 when \
+     warnings remain under $(b,--deny-warnings), 2 on errors."
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(ret (const run $ files $ format $ deny_warnings $ allow))
+    Term.(ret (const run $ files $ format $ deny_warnings $ allow $ fix))
 
 (* ----- corners ------------------------------------------------------ *)
 

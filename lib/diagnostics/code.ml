@@ -64,8 +64,59 @@ let all =
     v "V0601" Warning "column command without an activate in the loop";
     v "V0602" Warning "activate rate exceeds the tRC/tFAW limits";
     v "V0603" Warning "pattern oversubscribes the data bus";
+    (* V07xx — floorplan signaling geometry *)
+    v "V0701" Error "signaling coordinate outside the declared floorplan grid";
+    v "V0702" Warning "zero-length route between identical coordinates";
+    v "V0703" Warning "inside= fraction outside (0, 1]";
+    (* V08xx — bank-aware pattern legality *)
+    v "V0801" Warning "pattern re-activates a bank within its tRC window";
+    v "V0802" Warning "pattern violates tRRD activate spacing";
+    v "V0803" Warning "pattern exceeds four activates per tFAW window";
   ]
 
 let find code = List.find_opt (fun i -> i.code = code) all
 
 let is_known code = find code <> None
+
+(* ----- registry self-check ----------------------------------------- *)
+
+let bands =
+  [
+    ("V00", "syntax");
+    ("V01", "literals, units and input hygiene");
+    ("V02", "elaboration and name resolution");
+    ("V03", "physical consistency");
+    ("V04", "finiteness of derived tables");
+    ("V05", "timing consistency");
+    ("V06", "pattern reachability");
+    ("V07", "floorplan signaling geometry");
+    ("V08", "bank-aware pattern legality");
+  ]
+
+let well_formed code =
+  String.length code = 5
+  && code.[0] = 'V'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub code 1 4)
+
+let self_check () =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let seen = Hashtbl.create 64 in
+  let prev = ref "" in
+  List.iter
+    (fun i ->
+      if not (well_formed i.code) then
+        problem "malformed code %S (expected V + four digits)" i.code;
+      if Hashtbl.mem seen i.code then problem "duplicate code %s" i.code;
+      Hashtbl.replace seen i.code ();
+      if well_formed i.code then begin
+        let band = String.sub i.code 0 3 in
+        if not (List.mem_assoc band bands) then
+          problem "code %s is outside every reserved band" i.code
+      end;
+      if !prev <> "" && compare i.code !prev <= 0 then
+        problem "code %s out of order after %s" i.code !prev;
+      prev := i.code;
+      if i.title = "" then problem "code %s has an empty title" i.code)
+    all;
+  List.rev !problems

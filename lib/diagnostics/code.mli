@@ -14,7 +14,9 @@
     - [V03xx] physical consistency of the elaborated configuration
     - [V04xx] finiteness of the derived energy/current tables
     - [V05xx] timing-constraint consistency
-    - [V06xx] pattern/specification reachability *)
+    - [V06xx] pattern/specification reachability
+    - [V07xx] floorplan signaling geometry
+    - [V08xx] bank-aware pattern legality *)
 
 type severity = Error | Warning
 
@@ -31,3 +33,13 @@ val find : string -> info option
 (** Look a code up; [None] for unregistered codes. *)
 
 val is_known : string -> bool
+
+val bands : (string * string) list
+(** The reserved numbering bands: [("V03", "physical consistency")]
+    etc.  Every registered code must fall in one of these. *)
+
+val self_check : unit -> string list
+(** Registry invariants, checked by the test suite at startup: every
+    code is [V] + four digits, unique, in ascending order, inside a
+    reserved band, and carries a title.  Returns one message per
+    violation; the empty list means the registry is consistent. *)

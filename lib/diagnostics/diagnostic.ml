@@ -9,16 +9,22 @@ type t = {
   message : string;
   notes : string list;
   help : string option;
+  fixes : Fix.t list;
 }
 
-let v ?(span = Span.none) ?(notes = []) ?help ~severity ~code message =
-  { code; severity; span; message; notes; help }
+let v ?(span = Span.none) ?(notes = []) ?help ?(fixes = []) ~severity ~code
+    message =
+  { code; severity; span; message; notes; help; fixes }
 
-let errorf ?span ?notes ?help ~code fmt =
-  Printf.ksprintf (fun m -> v ?span ?notes ?help ~severity:Error ~code m) fmt
+let errorf ?span ?notes ?help ?fixes ~code fmt =
+  Printf.ksprintf
+    (fun m -> v ?span ?notes ?help ?fixes ~severity:Error ~code m)
+    fmt
 
-let warningf ?span ?notes ?help ~code fmt =
-  Printf.ksprintf (fun m -> v ?span ?notes ?help ~severity:Warning ~code m) fmt
+let warningf ?span ?notes ?help ?fixes ~code fmt =
+  Printf.ksprintf
+    (fun m -> v ?span ?notes ?help ?fixes ~severity:Warning ~code m)
+    fmt
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
@@ -55,9 +61,15 @@ let pp_rich ?source ppf t =
        (String.make width '^')
    | _ -> ());
   List.iter (fun n -> Format.fprintf ppf "     = note: %s@." n) t.notes;
-  match t.help with
-  | Some h -> Format.fprintf ppf "     = help: %s@." h
-  | None -> ()
+  (match t.help with
+   | Some h -> Format.fprintf ppf "     = help: %s@." h
+   | None -> ());
+  List.iter
+    (fun f ->
+      if Fix.is_insertion f then
+        Format.fprintf ppf "     = fix: insert %S@." f.Fix.replacement
+      else Format.fprintf ppf "     = fix: replace with %S@." f.Fix.replacement)
+    t.fixes
 
 (* ----- JSON -------------------------------------------------------- *)
 
@@ -111,6 +123,21 @@ let to_json buf t =
      Buffer.add_string buf ",\"help\":";
      add_json_string buf h
    | None -> ());
+  if t.fixes <> [] then begin
+    Buffer.add_string buf ",\"fixes\":[";
+    List.iteri
+      (fun i f ->
+        if i > 0 then Buffer.add_char buf ',';
+        let s = f.Fix.span in
+        Buffer.add_string buf
+          (Printf.sprintf "{\"line\":%d,\"col\":%d,\"end_col\":%d" s.Span.line
+             s.Span.col_start s.Span.col_end);
+        Buffer.add_string buf ",\"replacement\":";
+        add_json_string buf f.Fix.replacement;
+        Buffer.add_char buf '}')
+      t.fixes;
+    Buffer.add_char buf ']'
+  end;
   Buffer.add_char buf '}'
 
 let json_of_list ts =

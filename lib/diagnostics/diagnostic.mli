@@ -16,19 +16,20 @@ type t = {
   message : string;
   notes : string list;    (** related remarks, rendered as [= note:] *)
   help : string option;   (** fix-it hint, rendered as [= help:] *)
+  fixes : Fix.t list;     (** machine-applicable edits (see {!Fix}) *)
 }
 
 val v :
-  ?span:Span.t -> ?notes:string list -> ?help:string ->
+  ?span:Span.t -> ?notes:string list -> ?help:string -> ?fixes:Fix.t list ->
   severity:severity -> code:string -> string -> t
 
 val errorf :
-  ?span:Span.t -> ?notes:string list -> ?help:string -> code:string ->
-  ('a, unit, string, t) format4 -> 'a
+  ?span:Span.t -> ?notes:string list -> ?help:string -> ?fixes:Fix.t list ->
+  code:string -> ('a, unit, string, t) format4 -> 'a
 
 val warningf :
-  ?span:Span.t -> ?notes:string list -> ?help:string -> code:string ->
-  ('a, unit, string, t) format4 -> 'a
+  ?span:Span.t -> ?notes:string list -> ?help:string -> ?fixes:Fix.t list ->
+  code:string -> ('a, unit, string, t) format4 -> 'a
 
 val severity_name : severity -> string
 (** ["error"] or ["warning"]. *)

@@ -1,0 +1,77 @@
+(* Structured fix-its: a source span plus its replacement text. *)
+
+type t = {
+  span : Span.t;
+  replacement : string;
+}
+
+let v ~span replacement = { span; replacement }
+
+let is_insertion t = t.span.Span.col_end <= t.span.Span.col_start
+
+let pp ppf t =
+  if is_insertion t then
+    Format.fprintf ppf "insert %S at %a" t.replacement Span.pp t.span
+  else Format.fprintf ppf "replace %a with %S" Span.pp t.span t.replacement
+
+(* Fixes edit a single source line each: the span's [line], columns
+   [col_start, col_end) (1-based, end exclusive).  A zero-width span
+   inserts before [col_start]. *)
+
+let overlaps a b =
+  a.span.Span.line = b.span.Span.line
+  &&
+  let a0 = a.span.Span.col_start in
+  let a1 = max a0 a.span.Span.col_end in
+  let b0 = b.span.Span.col_start in
+  let b1 = max b0 b.span.Span.col_end in
+  (* Identical insertion points conflict too: applying both would
+     splice two replacements at the same spot in arbitrary order. *)
+  if a0 = b0 then true else a0 < b1 && b0 < a1
+
+let apply ~source fixes =
+  let lines = String.split_on_char '\n' source |> Array.of_list in
+  let spanned =
+    List.filter
+      (fun f ->
+        (not (Span.is_none f.span))
+        && f.span.Span.line >= 1
+        && f.span.Span.line <= Array.length lines
+        && f.span.Span.col_start >= 1)
+      fixes
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        let c = compare a.span.Span.line b.span.Span.line in
+        if c <> 0 then c
+        else
+          let c = compare a.span.Span.col_start b.span.Span.col_start in
+          if c <> 0 then c else compare a.span.Span.col_end b.span.Span.col_end)
+      spanned
+  in
+  (* Select a non-overlapping subset; the first fix in source order
+     wins so the result is always well defined. *)
+  let selected =
+    List.rev
+      (List.fold_left
+         (fun acc f -> if List.exists (overlaps f) acc then acc else f :: acc)
+         [] sorted)
+  in
+  (* Apply right to left so column offsets of pending edits stay valid. *)
+  let applied = ref 0 in
+  List.iter
+    (fun f ->
+      let l = f.span.Span.line - 1 in
+      let line = lines.(l) in
+      let len = String.length line in
+      let start = f.span.Span.col_start - 1 in
+      let stop = max start (f.span.Span.col_end - 1) in
+      if start <= len && stop <= len then begin
+        lines.(l) <-
+          String.sub line 0 start ^ f.replacement
+          ^ String.sub line stop (len - stop);
+        incr applied
+      end)
+    (List.rev selected);
+  (String.concat "\n" (Array.to_list lines), !applied)

@@ -1,0 +1,27 @@
+(** Structured fix-its.
+
+    A fix is a machine-applicable edit: a source {!Span.t} plus the
+    text that should replace it.  A zero-width span ([col_end <=
+    col_start]) denotes an insertion before [col_start].  Diagnostics
+    carry a list of fixes (see {!Diagnostic.t}); [vdram lint --fix]
+    applies every non-overlapping fix to the offending file. *)
+
+type t = {
+  span : Span.t;        (** the text to replace; zero-width = insert *)
+  replacement : string; (** the replacement text *)
+}
+
+val v : span:Span.t -> string -> t
+
+val is_insertion : t -> bool
+(** [true] when the span is zero-width (pure insertion). *)
+
+val pp : Format.formatter -> t -> unit
+
+val apply : source:string -> t list -> string * int
+(** [apply ~source fixes] rewrites [source] (the full file contents)
+    with every applicable fix and returns the new contents plus the
+    number of fixes applied.  Fixes whose spans overlap are resolved
+    first-in-source-order-wins; fixes with spans outside the source
+    are dropped.  Edits on one line are applied right to left, so
+    column positions never shift under earlier edits. *)

@@ -1,0 +1,133 @@
+(* SARIF 2.1.0 renderer: lint reports as a code-scanning upload. *)
+
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+let tool_name = "vdram lint"
+let tool_version = "1.0.0"
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let level_name = function Code.Error -> "error" | Code.Warning -> "warning"
+
+let uri_of file span =
+  match span.Span.file with
+  | Some f -> f
+  | None -> ( match file with Some f -> f | None -> "<stdin>")
+
+let add_region buf (s : Span.t) =
+  Buffer.add_string buf (Printf.sprintf "{\"startLine\":%d" s.line);
+  if s.col_start >= 1 then
+    Buffer.add_string buf
+      (Printf.sprintf ",\"startColumn\":%d,\"endColumn\":%d" s.col_start
+         (max s.col_start s.col_end));
+  Buffer.add_char buf '}'
+
+let add_location buf uri (s : Span.t) =
+  Buffer.add_string buf "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":";
+  add_str buf uri;
+  Buffer.add_char buf '}';
+  if s.line >= 1 then begin
+    Buffer.add_string buf ",\"region\":";
+    add_region buf s
+  end;
+  Buffer.add_string buf "}}"
+
+let add_fix buf uri (d : Diagnostic.t) =
+  Buffer.add_string buf "{\"description\":{\"text\":";
+  add_str buf ("fix " ^ d.code);
+  Buffer.add_string buf "},\"artifactChanges\":[{\"artifactLocation\":{\"uri\":";
+  add_str buf uri;
+  Buffer.add_string buf "},\"replacements\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"deletedRegion\":";
+      add_region buf f.Fix.span;
+      Buffer.add_string buf ",\"insertedContent\":{\"text\":";
+      add_str buf f.Fix.replacement;
+      Buffer.add_string buf "}}")
+    d.fixes;
+  Buffer.add_string buf "]}]}"
+
+let add_result buf ~rule_index file (d : Diagnostic.t) =
+  let uri = uri_of file d.span in
+  Buffer.add_string buf "{\"ruleId\":";
+  add_str buf d.code;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"ruleIndex\":%d" (rule_index d.code));
+  Buffer.add_string buf ",\"level\":";
+  add_str buf (level_name d.severity);
+  Buffer.add_string buf ",\"message\":{\"text\":";
+  add_str buf d.message;
+  Buffer.add_string buf "},\"locations\":[";
+  add_location buf uri d.span;
+  Buffer.add_char buf ']';
+  if d.fixes <> [] then begin
+    Buffer.add_string buf ",\"fixes\":[";
+    add_fix buf uri d;
+    Buffer.add_char buf ']'
+  end;
+  Buffer.add_char buf '}'
+
+let render reports =
+  let flat =
+    List.concat_map (fun (file, ds) -> List.map (fun d -> (file, d)) ds)
+      reports
+  in
+  let codes =
+    List.sort_uniq compare (List.map (fun (_, d) -> d.Diagnostic.code) flat)
+  in
+  let rule_index c =
+    let rec go i = function
+      | [] -> 0
+      | x :: _ when x = c -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 codes
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"$schema\":";
+  add_str buf schema_uri;
+  Buffer.add_string buf ",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":";
+  add_str buf tool_name;
+  Buffer.add_string buf ",\"version\":";
+  add_str buf tool_version;
+  Buffer.add_string buf ",\"rules\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"id\":";
+      add_str buf c;
+      (match Code.find c with
+       | Some info ->
+         Buffer.add_string buf ",\"shortDescription\":{\"text\":";
+         add_str buf info.Code.title;
+         Buffer.add_string buf "},\"defaultConfiguration\":{\"level\":";
+         add_str buf (level_name info.Code.severity);
+         Buffer.add_char buf '}'
+       | None -> ());
+      Buffer.add_char buf '}')
+    codes;
+  Buffer.add_string buf "]}},\"results\":[";
+  List.iteri
+    (fun i (file, d) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_result buf ~rule_index file d)
+    flat;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf

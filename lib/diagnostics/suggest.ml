@@ -1,0 +1,33 @@
+(* "Did you mean ...?" candidate selection for typo diagnostics. *)
+
+let distance a b =
+  let la = String.length a and lb = String.length b in
+  if abs (la - lb) > 2 then 3
+  else begin
+    let prev = Array.init (lb + 1) (fun j -> j) in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <-
+          min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let nearest ~candidates s =
+  let s = String.lowercase_ascii s in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        let d = distance s (String.lowercase_ascii c) in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ when d <= 2 -> Some (c, d)
+        | _ -> acc)
+      None candidates
+  in
+  Option.map fst best

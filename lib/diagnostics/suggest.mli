@@ -1,0 +1,10 @@
+(** "Did you mean ...?" candidate selection for typo diagnostics. *)
+
+val distance : string -> string -> int
+(** Levenshtein edit distance, capped: returns 3 as soon as the
+    distance is known to exceed 2 (the suggestion threshold). *)
+
+val nearest : candidates:string list -> string -> string option
+(** The candidate closest to [s] (case-insensitively) within edit
+    distance 2; [None] when nothing is close enough.  Ties keep the
+    earliest candidate, so put canonical spellings first. *)

@@ -1,4 +1,12 @@
-(* Elaboration: AST -> Config.t (+ optional Pattern). *)
+(* Elaboration: AST -> Config.t (+ optional Pattern).
+
+   The elaborator accumulates every problem it finds as a spanned
+   diagnostic instead of stopping at the first one: each failed
+   lookup or malformed value emits its diagnostic and falls back to
+   the roadmap default (or skips the offending segment/block), so one
+   run reports the full list the way the dimensional pass does.  The
+   elaborated configuration is only meaningful when no error
+   diagnostics were emitted. *)
 
 module Node = Vdram_tech.Node
 module Scaling = Vdram_tech.Scaling
@@ -14,35 +22,41 @@ module Spec = Vdram_core.Spec
 module Pattern = Vdram_core.Pattern
 module Q = Vdram_units.Quantity
 module Span = Vdram_diagnostics.Span
+module Diagnostic = Vdram_diagnostics.Diagnostic
+module Fix = Vdram_diagnostics.Fix
+module Suggest = Vdram_diagnostics.Suggest
 
 type t = {
   config : Config.t;
   pattern : Pattern.t option;
 }
 
-exception Err of Parser.error
+type ctx = { mutable diags : Diagnostic.t list }
 
-let fail ?(code = "V0200") ?span line fmt =
+let emit ctx d = ctx.diags <- d :: ctx.diags
+
+let err ctx ?(code = "V0200") ?span ?notes ?help ?fixes line fmt =
   Printf.ksprintf
     (fun message ->
-      let span =
-        match span with Some s -> s | None -> Span.of_line line
-      in
-      raise (Err { Parser.line; message; code; span }))
+      let span = match span with Some s -> s | None -> Span.of_line line in
+      emit ctx
+        (Diagnostic.v ~span ?notes ?help ?fixes ~severity:Diagnostic.Error
+           ~code message))
     fmt
 
-(* Fail pointing at a statement's keyword token. *)
-let fail_kw ~code (stmt : Ast.stmt) fmt =
-  fail ~code ~span:stmt.Ast.keyword_span stmt.Ast.line fmt
+(* Emit pointing at a statement's keyword token. *)
+let err_kw ctx ~code ?notes ?help ?fixes (stmt : Ast.stmt) fmt =
+  err ctx ~code ~span:stmt.Ast.keyword_span ?notes ?help ?fixes stmt.Ast.line
+    fmt
 
-(* Fail pointing at a statement's [key=value] token. *)
-let fail_arg ~code (stmt : Ast.stmt) key fmt =
+(* Emit pointing at a statement's [key=value] token. *)
+let err_arg ctx ~code ?notes ?help ?fixes (stmt : Ast.stmt) key fmt =
   let span =
     match Ast.arg_span stmt key with
     | Some s -> s
     | None -> stmt.Ast.keyword_span
   in
-  fail ~code ~span stmt.Ast.line fmt
+  err ctx ~code ~span ?notes ?help ?fixes stmt.Ast.line fmt
 
 let literal_code = function
   | Q.Malformed -> "V0102"
@@ -52,23 +66,30 @@ let literal_code = function
 
 let lower = String.lowercase_ascii
 
-(* Parse an argument of a statement with an expected dimension. *)
-let quantity (stmt : Ast.stmt) key dim =
+(* Parse an argument of a statement with an expected dimension.
+   [None] both when the argument is absent and when its literal is bad
+   (the diagnostic has been emitted) — callers fall back to defaults
+   either way. *)
+let quantity ctx (stmt : Ast.stmt) key dim =
   match Ast.arg stmt key with
   | None -> None
   | Some raw ->
     (match Q.classify dim raw with
      | Ok v -> Some v
      | Error (kind, msg) ->
-       fail_arg ~code:(literal_code kind) stmt key "%s: %s" key msg)
+       err_arg ctx ~code:(literal_code kind) stmt key "%s: %s" key msg;
+       None)
 
-let integer (stmt : Ast.stmt) key =
-  match quantity stmt key Q.Scalar with
+let integer ctx (stmt : Ast.stmt) key =
+  match quantity ctx stmt key Q.Scalar with
   | None -> None
   | Some v ->
     if Float.is_integer v && v >= 0.0 then Some (int_of_float v)
-    else
-      fail_arg ~code:"V0204" stmt key "%s must be a non-negative integer" key
+    else begin
+      err_arg ctx ~code:"V0204" stmt key "%s must be a non-negative integer"
+        key;
+      None
+    end
 
 (* Collect all statements of the sections with a name. *)
 let stmts_of ast name =
@@ -78,6 +99,16 @@ let stmt_with ast section keyword =
   List.find_opt
     (fun (s : Ast.stmt) -> lower s.Ast.keyword = lower keyword)
     (stmts_of ast section)
+
+(* A fix replacing just the key part of a [key=value] token. *)
+let key_fix (stmt : Ast.stmt) key replacement =
+  match Ast.arg_span stmt key with
+  | Some s when s.Span.col_start >= 1 ->
+    let span =
+      { s with Span.col_end = s.Span.col_start + String.length key }
+    in
+    [ Fix.v ~span replacement ]
+  | _ -> []
 
 (* Technology keys in Params.fields order. *)
 let technology_keys =
@@ -99,54 +130,92 @@ let technology_dims =
   [ l; l; l; l; cl; l; cl; l; l; c; c; fr; cl; s; l; l; fr; l; l; l; l; l;
     cl; l; l; l; l; l; l; l; l; l; l; l; l; l; l; cl ]
 
-let apply_technology ast tech =
+let apply_technology ctx ast tech =
   let entries = List.combine technology_keys (technology_dims @ [ Q.Scalar ]) in
   let float_fields = Params.fields in
   List.fold_left
     (fun tech (stmt : Ast.stmt) ->
       List.fold_left
-        (fun tech (key, value) ->
-          let key = lower key in
+        (fun tech (orig_key, value) ->
+          let key = lower orig_key in
           match List.assoc_opt key entries with
           | None ->
-            fail_arg ~code:"V0201" stmt key
-              "unknown technology parameter %S" key
+            let help, fixes =
+              match Suggest.nearest ~candidates:technology_keys key with
+              | Some best ->
+                ( Some (Printf.sprintf "did you mean %S?" best),
+                  key_fix stmt orig_key best )
+              | None -> (None, [])
+            in
+            err_arg ctx ~code:"V0201" ?help ~fixes stmt orig_key
+              "unknown technology parameter %S" key;
+            tech
           | Some dim ->
             if key = "bitspercsl" then begin
               match Q.classify Q.Scalar value with
               | Ok v -> { tech with Params.bits_per_csl = int_of_float v }
               | Error (kind, msg) ->
-                fail_arg ~code:(literal_code kind) stmt key "%s: %s" key msg
+                err_arg ctx ~code:(literal_code kind) stmt orig_key "%s: %s"
+                  key msg;
+                tech
             end
             else begin
               match Q.classify dim value with
               | Error (kind, msg) ->
-                fail_arg ~code:(literal_code kind) stmt key "%s: %s" key msg
+                err_arg ctx ~code:(literal_code kind) stmt orig_key "%s: %s"
+                  key msg;
+                tech
               | Ok v ->
                 (* Position of the key gives the field setter. *)
                 let rec nth_setter keys fields =
                   match (keys, fields) with
-                  | k :: _, (_, _, set) :: _ when k = key -> set
+                  | k :: _, (_, _, set) :: _ when k = key -> Some set
                   | _ :: ks, _ :: fs -> nth_setter ks fs
-                  | _ ->
-                    fail ~code:"V0201" stmt.Ast.line
-                      "internal: no setter for %s" key
+                  | _ -> None
                 in
-                (nth_setter technology_keys float_fields) tech v
+                (match nth_setter technology_keys float_fields with
+                 | Some set -> set tech v
+                 | None ->
+                   err ctx ~code:"V0201" stmt.Ast.line
+                     "internal: no setter for %s" key;
+                   tech)
             end)
         tech stmt.Ast.args)
     tech
     (stmts_of ast "Technology")
 
 (* Coordinates "i_j" used by the signaling floorplan. *)
-let coord (stmt : Ast.stmt) raw =
+let coord ctx (stmt : Ast.stmt) ~key raw =
   match String.split_on_char '_' raw with
   | [ i; j ] ->
     (match (int_of_string_opt i, int_of_string_opt j) with
-     | Some i, Some j -> (i, j)
-     | _ -> fail_kw ~code:"V0204" stmt "malformed coordinate %S" raw)
+     | Some i, Some j -> Some (i, j)
+     | _ ->
+       err_arg ctx ~code:"V0204" stmt key "malformed coordinate %S" raw;
+       None)
   | _ ->
-    fail_kw ~code:"V0204" stmt "malformed coordinate %S (expected i_j)" raw
+    err_arg ctx ~code:"V0204" stmt key "malformed coordinate %S (expected i_j)"
+      raw;
+    None
+
+(* A coordinate checked against the declared grid (V0701). *)
+let grid_coord ctx floorplan (stmt : Ast.stmt) ~key raw =
+  match coord ctx stmt ~key raw with
+  | None -> None
+  | Some (i, j) ->
+    let h = Array.length floorplan.Floorplan.horizontal in
+    let v = Array.length floorplan.Floorplan.vertical in
+    if i < 0 || i >= h || j < 0 || j >= v then begin
+      err_arg ctx ~code:"V0701" stmt key
+        ~notes:
+          [ Printf.sprintf
+              "the declared floorplan grid is %d x %d blocks (indices 0..%d \
+               horizontally, 0..%d vertically)"
+              h v (h - 1) (v - 1) ]
+        "coordinate %d_%d is outside the declared floorplan grid" i j;
+      None
+    end
+    else Some (i, j)
 
 let bus_roles =
   [ ("writedata", Bus.Write_data); ("readdata", Bus.Read_data);
@@ -154,59 +223,88 @@ let bus_roles =
     ("coladdress", Bus.Column_address); ("bankaddress", Bus.Bank_address);
     ("command", Bus.Command); ("clock", Bus.Clock) ]
 
-let segment_of_stmt floorplan (stmt : Ast.stmt) =
+let bus_keywords =
+  [ "WriteData"; "ReadData"; "RowAddress"; "ColumnAddress"; "BankAddress";
+    "Command"; "Clock" ]
+
+let segment_of_stmt ctx floorplan (stmt : Ast.stmt) =
   let length =
-    match quantity stmt "length" Q.Length with
-    | Some l -> l
+    match Ast.arg stmt "length" with
+    | Some _ -> quantity ctx stmt "length" Q.Length
     | None ->
       (match (Ast.arg stmt "start", Ast.arg stmt "end") with
        | Some s, Some e ->
-         Floorplan.route_length floorplan (coord stmt s) (coord stmt e)
+         (match
+            ( grid_coord ctx floorplan stmt ~key:"start" s,
+              grid_coord ctx floorplan stmt ~key:"end" e )
+          with
+          | Some a, Some b -> Some (Floorplan.route_length floorplan a b)
+          | _ -> None)
        | _ ->
          (match Ast.arg stmt "inside" with
           | Some c ->
             let frac =
-              Option.value ~default:1.0 (quantity stmt "fraction" Q.Fraction)
+              Option.value ~default:1.0
+                (quantity ctx stmt "fraction" Q.Fraction)
             in
             let dir =
               match Option.map lower (Ast.arg stmt "dir") with
               | Some "h" | None -> `H
               | Some "v" -> `V
               | Some d ->
-                fail_arg ~code:"V0204" stmt "dir" "bad dir %S (h or v)" d
+                err_arg ctx ~code:"V0204" stmt "dir" "bad dir %S (h or v)" d;
+                `H
             in
-            Floorplan.inside_length floorplan (coord stmt c) ~frac ~dir
+            (match grid_coord ctx floorplan stmt ~key:"inside" c with
+             | Some ij ->
+               Some (Floorplan.inside_length floorplan ij ~frac ~dir)
+             | None -> None)
           | None ->
-            fail_kw ~code:"V0205" stmt
-              "segment needs length=, start=/end= or inside="))
+            err_kw ctx ~code:"V0205" stmt
+              "segment needs length=, start=/end= or inside=";
+            None))
   in
-  let buffer =
-    match
-      (quantity stmt "NchW" Q.Length, quantity stmt "PchW" Q.Length)
-    with
-    | Some n, Some p -> Some (n, p)
-    | None, None -> None
-    | _ -> fail_kw ~code:"V0205" stmt "buffer needs both NchW= and PchW="
-  in
-  let mux =
-    match Ast.arg stmt "mux" with
-    | None -> None
-    | Some raw ->
-      (match String.split_on_char ':' raw with
-       | [ "1"; n ] ->
-         (match int_of_string_opt n with
-          | Some n when n > 0 -> Some n
-          | _ -> fail_arg ~code:"V0204" stmt "mux" "bad mux ratio %S" raw)
-       | _ ->
-         fail_arg ~code:"V0204" stmt "mux"
-           "bad mux ratio %S (expected 1:n)" raw)
-  in
-  let toggle = Option.value ~default:1.0 (quantity stmt "toggle" Q.Fraction) in
-  Bus.segment ?buffer ?mux ~toggle
-    ~name:(Printf.sprintf "%s line %d" stmt.Ast.keyword stmt.Ast.line)
-    ~length ()
+  match length with
+  | None -> None
+  | Some length ->
+    let buffer =
+      match (Ast.arg stmt "NchW", Ast.arg stmt "PchW") with
+      | None, None -> None
+      | Some _, Some _ ->
+        (match
+           (quantity ctx stmt "NchW" Q.Length, quantity ctx stmt "PchW" Q.Length)
+         with
+         | Some n, Some p -> Some (n, p)
+         | _ -> None)
+      | _ ->
+        err_kw ctx ~code:"V0205" stmt "buffer needs both NchW= and PchW=";
+        None
+    in
+    let mux =
+      match Ast.arg stmt "mux" with
+      | None -> None
+      | Some raw ->
+        (match String.split_on_char ':' raw with
+         | [ "1"; n ] ->
+           (match int_of_string_opt n with
+            | Some n when n > 0 -> Some n
+            | _ ->
+              err_arg ctx ~code:"V0204" stmt "mux" "bad mux ratio %S" raw;
+              None)
+         | _ ->
+           err_arg ctx ~code:"V0204" stmt "mux"
+             "bad mux ratio %S (expected 1:n)" raw;
+           None)
+    in
+    let toggle =
+      Option.value ~default:1.0 (quantity ctx stmt "toggle" Q.Fraction)
+    in
+    Some
+      (Bus.segment ?buffer ?mux ~toggle
+         ~name:(Printf.sprintf "%s line %d" stmt.Ast.keyword stmt.Ast.line)
+         ~length ())
 
-let buses_of_signaling ast floorplan ~(spec : Spec.t) ~default =
+let buses_of_signaling ctx ast floorplan ~(spec : Spec.t) ~default =
   let stmts = stmts_of ast "FloorplanSignaling" in
   if stmts = [] then default
   else begin
@@ -216,20 +314,29 @@ let buses_of_signaling ast floorplan ~(spec : Spec.t) ~default =
     List.iter
       (fun (stmt : Ast.stmt) ->
         let key = lower stmt.Ast.keyword in
-        let role =
-          match List.assoc_opt key bus_roles with
-          | Some r -> r
-          | None -> fail_kw ~code:"V0202" stmt "unknown bus %S" stmt.Ast.keyword
-        in
-        if not (Hashtbl.mem tbl key) then begin
-          order := key :: !order;
-          Hashtbl.add tbl key (role, ref None, ref [])
-        end;
-        let _, wires, segs = Hashtbl.find tbl key in
-        (match integer stmt "wires" with
-         | Some w -> wires := Some w
-         | None -> ());
-        segs := segment_of_stmt floorplan stmt :: !segs)
+        match List.assoc_opt key bus_roles with
+        | None ->
+          let help, fixes =
+            match Suggest.nearest ~candidates:bus_keywords key with
+            | Some best ->
+              ( Some (Printf.sprintf "did you mean %S?" best),
+                [ Fix.v ~span:stmt.Ast.keyword_span best ] )
+            | None -> (None, [])
+          in
+          err_kw ctx ~code:"V0202" ?help ~fixes stmt "unknown bus %S"
+            stmt.Ast.keyword
+        | Some role ->
+          if not (Hashtbl.mem tbl key) then begin
+            order := key :: !order;
+            Hashtbl.add tbl key (role, ref None, ref [])
+          end;
+          let _, wires, segs = Hashtbl.find tbl key in
+          (match integer ctx stmt "wires" with
+           | Some w -> wires := Some w
+           | None -> ());
+          (match segment_of_stmt ctx floorplan stmt with
+           | Some seg -> segs := seg :: !segs
+           | None -> ()))
       stmts;
     let default_wires = function
       | Bus.Write_data | Bus.Read_data -> spec.Spec.io_width
@@ -239,58 +346,87 @@ let buses_of_signaling ast floorplan ~(spec : Spec.t) ~default =
       | Bus.Command -> spec.Spec.misc_control
       | Bus.Clock -> spec.Spec.clock_wires
     in
-    List.rev_map
-      (fun key ->
-        let role, wires, segs = Hashtbl.find tbl key in
-        Bus.v ~name:key ~role
-          ~wires:(Option.value ~default:(default_wires role) !wires)
-          (List.rev !segs))
-      !order
+    let buses =
+      List.rev !order
+      |> List.filter_map (fun key ->
+             let role, wires, segs = Hashtbl.find tbl key in
+             match List.rev !segs with
+             | [] -> None  (* every segment of this bus was invalid *)
+             | segs ->
+               Some
+                 (Bus.v ~name:key ~role
+                    ~wires:
+                      (Option.value ~default:(default_wires role) !wires)
+                    segs))
+    in
+    if buses = [] then default else buses
   end
 
-let logic_of_section ast ~default =
+let logic_of_section ctx ast ~default =
   let stmts = stmts_of ast "LogicBlocks" in
   if stmts = [] then default
   else
-    List.map
-      (fun (stmt : Ast.stmt) ->
-        if lower stmt.Ast.keyword <> "block" then
-          fail_kw ~code:"V0204" stmt "expected Block statement in LogicBlocks";
-        let name =
-          match Ast.arg stmt "name" with
-          | Some n -> n
-          | None -> fail_kw ~code:"V0205" stmt "Block needs name="
-        in
-        let gates =
-          match quantity stmt "gates" Q.Scalar with
-          | Some g -> g
-          | None -> fail_kw ~code:"V0205" stmt "Block needs gates="
-        in
-        let trigger =
-          match Option.map lower (Ast.arg stmt "trigger") with
-          | None | Some "always" -> Logic_block.Always
-          | Some ops ->
-            let op_of = function
-              | "act" | "activate" -> `Activate
-              | "pre" | "precharge" -> `Precharge
-              | "rd" | "read" -> `Read
-              | "wrt" | "wr" | "write" -> `Write
-              | o -> fail_arg ~code:"V0204" stmt "trigger" "bad trigger op %S" o
+    let blocks =
+      List.filter_map
+        (fun (stmt : Ast.stmt) ->
+          if lower stmt.Ast.keyword <> "block" then begin
+            err_kw ctx ~code:"V0204" stmt
+              "expected Block statement in LogicBlocks";
+            None
+          end
+          else
+            let name =
+              match Ast.arg stmt "name" with
+              | Some n -> Some n
+              | None ->
+                err_kw ctx ~code:"V0205" stmt "Block needs name=";
+                None
             in
-            Logic_block.On_operation
-              (List.map op_of (String.split_on_char ',' ops))
-        in
-        Logic_block.v ~name ~gates ~trigger
-          ?w_nmos:(quantity stmt "wnmos" Q.Length)
-          ?w_pmos:(quantity stmt "wpmos" Q.Length)
-          ?transistors_per_gate:(quantity stmt "transistors" Q.Scalar)
-          ?layout_density:(quantity stmt "layout" Q.Fraction)
-          ?wiring_density:(quantity stmt "wiring" Q.Fraction)
-          ?toggle:(quantity stmt "toggle" Q.Fraction)
-          ())
-      stmts
+            let gates =
+              match Ast.arg stmt "gates" with
+              | None ->
+                err_kw ctx ~code:"V0205" stmt "Block needs gates=";
+                None
+              | Some _ -> quantity ctx stmt "gates" Q.Scalar
+            in
+            let trigger =
+              match Option.map lower (Ast.arg stmt "trigger") with
+              | None | Some "always" -> Some Logic_block.Always
+              | Some ops ->
+                let op_of = function
+                  | "act" | "activate" -> Some `Activate
+                  | "pre" | "precharge" -> Some `Precharge
+                  | "rd" | "read" -> Some `Read
+                  | "wrt" | "wr" | "write" -> Some `Write
+                  | o ->
+                    err_arg ctx ~code:"V0204" stmt "trigger"
+                      "bad trigger op %S" o;
+                    None
+                in
+                let ops =
+                  List.filter_map op_of (String.split_on_char ',' ops)
+                in
+                if ops = [] then None
+                else Some (Logic_block.On_operation ops)
+            in
+            match (name, gates, trigger) with
+            | Some name, Some gates, Some trigger ->
+              Some
+                (Logic_block.v ~name ~gates ~trigger
+                   ?w_nmos:(quantity ctx stmt "wnmos" Q.Length)
+                   ?w_pmos:(quantity ctx stmt "wpmos" Q.Length)
+                   ?transistors_per_gate:
+                     (quantity ctx stmt "transistors" Q.Scalar)
+                   ?layout_density:(quantity ctx stmt "layout" Q.Fraction)
+                   ?wiring_density:(quantity ctx stmt "wiring" Q.Fraction)
+                   ?toggle:(quantity ctx stmt "toggle" Q.Fraction)
+                   ())
+            | _ -> None)
+        stmts
+    in
+    if blocks = [] then default else blocks
 
-let axis_blocks ast ~axis ~geometry =
+let axis_blocks ctx ast ~axis ~geometry =
   let list_kw, size_kw =
     match axis with
     | `H -> ("horizontal", "sizehorizontal")
@@ -307,12 +443,13 @@ let axis_blocks ast ~axis ~geometry =
       List.concat_map
         (fun (s : Ast.stmt) ->
           if lower s.Ast.keyword = size_kw then
-            List.map
+            List.filter_map
               (fun (k, v) ->
                 match Q.classify Q.Length v with
-                | Ok len -> (k, len)
+                | Ok len -> Some (k, len)
                 | Error (kind, msg) ->
-                  fail_arg ~code:(literal_code kind) s k "%s: %s" k msg)
+                  err_arg ctx ~code:(literal_code kind) s k "%s: %s" k msg;
+                  None)
               s.Ast.args
           else [])
         stmts
@@ -336,278 +473,345 @@ let axis_blocks ast ~axis ~geometry =
         | Some s -> s
         | None ->
           if kind = Floorplan.Array_block then array_size
-          else
-            fail ~code:"V0205" ~span stmt.Ast.line
-              "no size given for block %S" name
+          else begin
+            err ctx ~code:"V0205" ~span stmt.Ast.line
+              "no size given for block %S" name;
+            array_size
+          end
       in
       { Floorplan.name; kind; size }
     in
     Some (List.map2 block stmt.Ast.positional stmt.Ast.positional_spans)
 
 let elaborate ast =
-  try
-    (* Device. *)
-    let part =
-      match stmt_with ast "Device" "Part" with
-      | Some s -> s
-      | None -> fail ~code:"V0203" 1 "missing Device section with a Part statement"
-    in
-    let node =
-      match quantity part "node" Q.Length with
-      | Some f -> Node.of_nm (f *. 1e9)
-      | None -> fail_kw ~code:"V0205" part "Part needs node=<feature size>"
-    in
-    let name = Option.value ~default:"unnamed" (Ast.arg part "name") in
-    let g = Roadmap.generation node in
-    (* Specification. *)
-    let io = stmt_with ast "Specification" "IO" in
-    let control = stmt_with ast "Specification" "Control" in
-    let clock = stmt_with ast "Specification" "Clock" in
-    let density = stmt_with ast "Specification" "Density" in
-    let banks_stmt = stmt_with ast "Specification" "Banks" in
-    let burst = stmt_with ast "Specification" "Burst" in
-    let timing = stmt_with ast "Specification" "Timing" in
-    let interface = stmt_with ast "Specification" "Interface" in
-    let opt stmt key dim = Option.bind stmt (fun s -> quantity s key dim) in
-    let opt_int stmt key = Option.bind stmt (fun s -> integer s key) in
-    let io_width =
-      Option.value ~default:g.Roadmap.io_width (opt_int io "width")
-    in
-    let datarate =
-      Option.value ~default:g.Roadmap.datarate (opt io "datarate" Q.Datarate)
-    in
-    let control_clock =
-      match opt control "frequency" Q.Frequency with
-      | Some f -> f
-      | None ->
-        (match Node.standard node with
-         | Node.Sdr -> datarate
-         | _ -> datarate /. 2.0)
-    in
-    let density_bits =
-      match opt density "mbits" Q.Scalar with
-      | Some m when m <= 0.0 ->
-        (match density with
-         | Some s ->
-           fail_arg ~code:"V0204" s "mbits"
-             "Density mbits must be positive, got %g" m
-         | None -> fail ~code:"V0204" 1 "Density mbits must be positive")
-      | Some m -> m *. (2.0 ** 20.0)
-      | None -> g.Roadmap.density_bits
-    in
-    let banks = Option.value ~default:g.Roadmap.banks (opt_int banks_stmt "number") in
-    let prefetch =
-      Option.value ~default:g.Roadmap.prefetch (opt_int burst "prefetch")
-    in
-    let burst_length =
-      Option.value ~default:g.Roadmap.burst_length (opt_int burst "length")
-    in
-    let trc = Option.value ~default:g.Roadmap.trc (opt timing "trc" Q.Time) in
-    let trcd =
-      Option.value ~default:g.Roadmap.trcd (opt timing "trcd" Q.Time)
-    in
-    let trp = Option.value ~default:g.Roadmap.trp (opt timing "trp" Q.Time) in
-    (* Cell array geometry. *)
-    let cell_stmts =
-      List.filter
-        (fun (s : Ast.stmt) -> lower s.Ast.keyword = "cellarray")
-        (stmts_of ast "FloorplanPhysical")
-    in
-    let cell key dim =
-      List.fold_left
-        (fun acc s -> match quantity s key dim with Some v -> Some v | None -> acc)
-        None cell_stmts
-    in
-    let cell_int key =
-      Option.map int_of_float (cell key Q.Scalar)
-    in
-    let f = Node.feature_size node in
-    let page_bits =
-      Option.value ~default:g.Roadmap.page_bits (cell_int "page")
-    in
-    let style =
-      match
-        Option.map (fun (s, v) -> (s, lower v))
-          (List.fold_left
-             (fun acc (s : Ast.stmt) ->
-               match Ast.arg s "BLtype" with
-               | Some v -> Some (s, v)
-               | None -> acc)
-             None cell_stmts)
-      with
-      | Some (_, "open") -> Array_geometry.Open
-      | Some (_, "folded") -> Array_geometry.Folded
-      | Some (s, other) ->
-        fail_arg ~code:"V0204" s "BLtype"
-          "bad BLtype %S (open or folded)" other
-      | None ->
-        if g.Roadmap.cell_factor >= 8.0 then Array_geometry.Folded
-        else Array_geometry.Open
-    in
-    let geometry =
-      Array_geometry.derive ~style
-        ~csl_blocks:(Option.value ~default:1 (cell_int "CSLblocks"))
-        ~bank_bits:(density_bits /. float_of_int banks)
-        ~page_bits
-        ~bits_per_bitline:
-          (Option.value ~default:g.Roadmap.bits_per_bitline
-             (cell_int "BitsPerBL"))
-        ~bits_per_lwl:
-          (Option.value ~default:g.Roadmap.bits_per_lwl
-             (cell_int "BitsPerLWL"))
-        ~wl_pitch:
-          (Option.value
-             ~default:(g.Roadmap.cell_factor /. 2.0 *. f)
-             (cell "WLpitch" Q.Length))
-        ~bl_pitch:
-          (Option.value ~default:(2.0 *. f) (cell "BLpitch" Q.Length))
-        ~sa_stripe:
-          (Option.value ~default:(Scaling.sa_stripe_width node)
-             (cell "SAstripe" Q.Length))
-        ~lwd_stripe:
-          (Option.value ~default:(Scaling.lwd_stripe_width node)
-             (cell "LWDstripe" Q.Length))
-        ()
-    in
-    (* Floorplan: explicit axes or the commodity default. *)
-    let stripe_scale = Scaling.factor Scaling.F_stripe_width node in
-    let floorplan =
-      match
-        ( axis_blocks ast ~axis:`H ~geometry,
-          axis_blocks ast ~axis:`V ~geometry )
-      with
-      | Some h, Some v ->
-        Floorplan.v ~horizontal:h ~vertical:v ~geometry ~banks
-      | None, None ->
+  let ctx = { diags = [] } in
+  let result =
+    try
+      (* Device. *)
+      let part = stmt_with ast "Device" "Part" in
+      if part = None then
+        err ctx ~code:"V0203" 1
+          "missing Device section with a Part statement";
+      let node =
+        match part with
+        | None -> Node.N65
+        | Some part ->
+          (match Ast.arg part "node" with
+           | None ->
+             err_kw ctx ~code:"V0205" part "Part needs node=<feature size>";
+             Node.N65
+           | Some _ ->
+             (match quantity ctx part "node" Q.Length with
+              | Some f -> Node.of_nm (f *. 1e9)
+              | None -> Node.N65))
+      in
+      let name =
+        Option.value ~default:"unnamed"
+          (Option.bind part (fun p -> Ast.arg p "name"))
+      in
+      let g = Roadmap.generation node in
+      (* Specification. *)
+      let io = stmt_with ast "Specification" "IO" in
+      let control = stmt_with ast "Specification" "Control" in
+      let clock = stmt_with ast "Specification" "Clock" in
+      let density = stmt_with ast "Specification" "Density" in
+      let banks_stmt = stmt_with ast "Specification" "Banks" in
+      let burst = stmt_with ast "Specification" "Burst" in
+      let timing = stmt_with ast "Specification" "Timing" in
+      let interface = stmt_with ast "Specification" "Interface" in
+      let opt stmt key dim = Option.bind stmt (fun s -> quantity ctx s key dim) in
+      let opt_int stmt key = Option.bind stmt (fun s -> integer ctx s key) in
+      let io_width =
+        Option.value ~default:g.Roadmap.io_width (opt_int io "width")
+      in
+      let datarate =
+        Option.value ~default:g.Roadmap.datarate (opt io "datarate" Q.Datarate)
+      in
+      let control_clock =
+        match opt control "frequency" Q.Frequency with
+        | Some f -> f
+        | None ->
+          (match Node.standard node with
+           | Node.Sdr -> datarate
+           | _ -> datarate /. 2.0)
+      in
+      let density_bits =
+        match opt density "mbits" Q.Scalar with
+        | Some m when m <= 0.0 ->
+          (match density with
+           | Some s ->
+             err_arg ctx ~code:"V0204" s "mbits"
+               "Density mbits must be positive, got %g" m
+           | None -> err ctx ~code:"V0204" 1 "Density mbits must be positive");
+          g.Roadmap.density_bits
+        | Some m -> m *. (2.0 ** 20.0)
+        | None -> g.Roadmap.density_bits
+      in
+      let banks =
+        Option.value ~default:g.Roadmap.banks (opt_int banks_stmt "number")
+      in
+      let prefetch =
+        Option.value ~default:g.Roadmap.prefetch (opt_int burst "prefetch")
+      in
+      let burst_length =
+        Option.value ~default:g.Roadmap.burst_length (opt_int burst "length")
+      in
+      let trc = Option.value ~default:g.Roadmap.trc (opt timing "trc" Q.Time) in
+      let trcd =
+        Option.value ~default:g.Roadmap.trcd (opt timing "trcd" Q.Time)
+      in
+      let trp = Option.value ~default:g.Roadmap.trp (opt timing "trp" Q.Time) in
+      (* Cell array geometry. *)
+      let cell_stmts =
+        List.filter
+          (fun (s : Ast.stmt) -> lower s.Ast.keyword = "cellarray")
+          (stmts_of ast "FloorplanPhysical")
+      in
+      let cell key dim =
+        List.fold_left
+          (fun acc s ->
+            match quantity ctx s key dim with Some v -> Some v | None -> acc)
+          None cell_stmts
+      in
+      let cell_int key = Option.map int_of_float (cell key Q.Scalar) in
+      let f = Node.feature_size node in
+      let page_bits =
+        Option.value ~default:g.Roadmap.page_bits (cell_int "page")
+      in
+      let style =
+        match
+          Option.map (fun (s, v) -> (s, lower v))
+            (List.fold_left
+               (fun acc (s : Ast.stmt) ->
+                 match Ast.arg s "BLtype" with
+                 | Some v -> Some (s, v)
+                 | None -> acc)
+               None cell_stmts)
+        with
+        | Some (_, "open") -> Array_geometry.Open
+        | Some (_, "folded") -> Array_geometry.Folded
+        | Some (s, other) ->
+          err_arg ctx ~code:"V0204" s "BLtype"
+            "bad BLtype %S (open or folded)" other;
+          if g.Roadmap.cell_factor >= 8.0 then Array_geometry.Folded
+          else Array_geometry.Open
+        | None ->
+          if g.Roadmap.cell_factor >= 8.0 then Array_geometry.Folded
+          else Array_geometry.Open
+      in
+      let geometry =
+        Array_geometry.derive ~style
+          ~csl_blocks:(Option.value ~default:1 (cell_int "CSLblocks"))
+          ~bank_bits:(density_bits /. float_of_int banks)
+          ~page_bits
+          ~bits_per_bitline:
+            (Option.value ~default:g.Roadmap.bits_per_bitline
+               (cell_int "BitsPerBL"))
+          ~bits_per_lwl:
+            (Option.value ~default:g.Roadmap.bits_per_lwl
+               (cell_int "BitsPerLWL"))
+          ~wl_pitch:
+            (Option.value
+               ~default:(g.Roadmap.cell_factor /. 2.0 *. f)
+               (cell "WLpitch" Q.Length))
+          ~bl_pitch:
+            (Option.value ~default:(2.0 *. f) (cell "BLpitch" Q.Length))
+          ~sa_stripe:
+            (Option.value ~default:(Scaling.sa_stripe_width node)
+               (cell "SAstripe" Q.Length))
+          ~lwd_stripe:
+            (Option.value ~default:(Scaling.lwd_stripe_width node)
+               (cell "LWDstripe" Q.Length))
+          ()
+      in
+      (* Floorplan: explicit axes or the commodity default. *)
+      let stripe_scale = Scaling.factor Scaling.F_stripe_width node in
+      let commodity () =
         Floorplan.commodity ~geometry ~banks
           ~row_logic:(200e-6 *. stripe_scale)
           ~column_logic:(200e-6 *. stripe_scale)
           ~center_stripe:
             (530e-6 *. stripe_scale
             *. sqrt (Config.standard_complexity (Node.standard node)))
-      | _ ->
-        fail ~code:"V0203" 1
-          "floorplan needs both Horizontal and Vertical block lists"
-    in
-    (* Spec record. *)
-    let log2i n =
-      let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
-      go 0 n
-    in
-    let rows_per_bank = density_bits /. float_of_int (banks * page_bits) in
-    let spec =
-      Spec.v
-        ?clock_wires:(opt_int clock "number")
-        ?misc_control:(opt_int control "misc")
-        ~io_width ~datarate ~control_clock
-        ~bank_bits:
-          (Option.value ~default:(log2i banks) (opt_int control "bankadd"))
-        ~row_bits:
-          (Option.value
-             ~default:(log2i (int_of_float rows_per_bank))
-             (opt_int control "rowadd"))
-        ~col_bits:
-          (Option.value
-             ~default:(log2i (page_bits / io_width))
-             (opt_int control "coladd"))
-        ~prefetch ~burst_length ~banks ~density_bits ~trc ~trcd ~trp ()
-    in
-    (* Technology and voltages. *)
-    let tech = apply_technology ast (Scaling.params_at node) in
-    let supply = stmt_with ast "Voltages" "Supply" in
-    let eff = stmt_with ast "Voltages" "Efficiency" in
-    let const = stmt_with ast "Voltages" "Constant" in
-    let domains =
-      Domains.v
-        ?eff_int:(opt eff "int" Q.Fraction)
-        ?eff_bl:(opt eff "bl" Q.Fraction)
-        ?eff_pp:(opt eff "pp" Q.Fraction)
-        ?i_constant:(opt const "current" Q.Current)
-        ~vdd:(Option.value ~default:g.Roadmap.vdd (opt supply "vdd" Q.Voltage))
-        ~vint:
-          (Option.value ~default:g.Roadmap.vint (opt supply "vint" Q.Voltage))
-        ~vbl:(Option.value ~default:g.Roadmap.vbl (opt supply "vbl" Q.Voltage))
-        ~vpp:(Option.value ~default:g.Roadmap.vpp (opt supply "vpp" Q.Voltage))
-        ()
-    in
-    (* Buses and logic blocks. *)
-    let default_buses = Config.default_buses ~floorplan ~node ~spec in
-    let buses = buses_of_signaling ast floorplan ~spec ~default:default_buses in
-    let logic =
-      logic_of_section ast ~default:(Config.default_logic_blocks ~node ~spec)
-    in
-    let data_toggle =
-      Option.value ~default:0.5 (opt interface "toggle" Q.Fraction)
-    in
-    let io_predriver_cap =
-      Option.value
-        ~default:(5.0e-12 *. Scaling.factor Scaling.F_wire_cap node)
-        (opt interface "predriver" Q.Capacitance)
-    in
-    let io_receiver_cap =
-      Option.value
-        ~default:(2.5e-12 *. Scaling.factor Scaling.F_wire_cap node)
-        (opt interface "receiver" Q.Capacitance)
-    in
-    let config =
+      in
+      let floorplan =
+        match
+          ( axis_blocks ctx ast ~axis:`H ~geometry,
+            axis_blocks ctx ast ~axis:`V ~geometry )
+        with
+        | Some h, Some v ->
+          Floorplan.v ~horizontal:h ~vertical:v ~geometry ~banks
+        | None, None -> commodity ()
+        | _ ->
+          err ctx ~code:"V0203" 1
+            "floorplan needs both Horizontal and Vertical block lists";
+          commodity ()
+      in
+      (* Spec record. *)
+      let log2i n =
+        let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+        go 0 n
+      in
+      let rows_per_bank = density_bits /. float_of_int (banks * page_bits) in
+      let spec =
+        Spec.v
+          ?clock_wires:(opt_int clock "number")
+          ?misc_control:(opt_int control "misc")
+          ~io_width ~datarate ~control_clock
+          ~bank_bits:
+            (Option.value ~default:(log2i banks) (opt_int control "bankadd"))
+          ~row_bits:
+            (Option.value
+               ~default:(log2i (int_of_float rows_per_bank))
+               (opt_int control "rowadd"))
+          ~col_bits:
+            (Option.value
+               ~default:(log2i (page_bits / io_width))
+               (opt_int control "coladd"))
+          ~prefetch ~burst_length ~banks ~density_bits ~trc ~trcd ~trp ()
+      in
+      (* Technology and voltages. *)
+      let tech = apply_technology ctx ast (Scaling.params_at node) in
+      let supply = stmt_with ast "Voltages" "Supply" in
+      let eff = stmt_with ast "Voltages" "Efficiency" in
+      let const = stmt_with ast "Voltages" "Constant" in
+      let domains =
+        Domains.v
+          ?eff_int:(opt eff "int" Q.Fraction)
+          ?eff_bl:(opt eff "bl" Q.Fraction)
+          ?eff_pp:(opt eff "pp" Q.Fraction)
+          ?i_constant:(opt const "current" Q.Current)
+          ~vdd:
+            (Option.value ~default:g.Roadmap.vdd (opt supply "vdd" Q.Voltage))
+          ~vint:
+            (Option.value ~default:g.Roadmap.vint
+               (opt supply "vint" Q.Voltage))
+          ~vbl:(Option.value ~default:g.Roadmap.vbl (opt supply "vbl" Q.Voltage))
+          ~vpp:(Option.value ~default:g.Roadmap.vpp (opt supply "vpp" Q.Voltage))
+          ()
+      in
+      (* Buses and logic blocks. *)
+      let default_buses = Config.default_buses ~floorplan ~node ~spec in
+      let buses =
+        buses_of_signaling ctx ast floorplan ~spec ~default:default_buses
+      in
+      let logic =
+        logic_of_section ctx ast
+          ~default:(Config.default_logic_blocks ~node ~spec)
+      in
+      let data_toggle =
+        Option.value ~default:0.5 (opt interface "toggle" Q.Fraction)
+      in
+      let io_predriver_cap =
+        Option.value
+          ~default:(5.0e-12 *. Scaling.factor Scaling.F_wire_cap node)
+          (opt interface "predriver" Q.Capacitance)
+      in
+      let io_receiver_cap =
+        Option.value
+          ~default:(2.5e-12 *. Scaling.factor Scaling.F_wire_cap node)
+          (opt interface "receiver" Q.Capacitance)
+      in
+      let config =
+        {
+          Config.name;
+          node;
+          spec;
+          domains;
+          tech;
+          floorplan;
+          buses;
+          logic;
+          data_toggle;
+          io_predriver_cap;
+          io_receiver_cap;
+          receiver_bias =
+            Option.value
+              ~default:
+                (match Node.standard node with
+                 | Node.Sdr | Node.Ddr -> 0.10e-3
+                 | Node.Ddr2 -> 0.50e-3
+                 | Node.Ddr3 -> 0.45e-3
+                 | Node.Ddr4 -> 0.35e-3
+                 | Node.Ddr5 -> 0.30e-3)
+              (opt interface "bias" Q.Current);
+          input_receivers =
+            Option.value
+              ~default:
+                (spec.Spec.row_bits + spec.Spec.bank_bits
+                + spec.Spec.misc_control + 2)
+              (opt_int interface "receivers");
+          activation_fraction =
+            Option.value ~default:1.0 (opt interface "activation" Q.Fraction);
+        }
+      in
+      (* Pattern: parse token by token so every bad command is
+         reported at its own span. *)
+      let pattern =
+        match stmts_of ast "Pattern" with
+        | [] -> None
+        | stmt :: _ ->
+          if lower stmt.Ast.keyword <> "pattern" then begin
+            err_kw ctx ~code:"V0204" stmt "expected a Pattern loop= statement";
+            None
+          end
+          else begin
+            let slots =
+              List.concat
+                (List.map2
+                   (fun tok span ->
+                     match Pattern.parse ~name:"slot" tok with
+                     | Ok p -> p.Pattern.slots
+                     | Error msg ->
+                       err ctx ~code:"V0206" ~span stmt.Ast.line "%s" msg;
+                       [])
+                   stmt.Ast.positional stmt.Ast.positional_spans)
+            in
+            match slots with
+            | [] ->
+              if stmt.Ast.positional = [] then
+                err_kw ctx ~code:"V0206" stmt "empty pattern loop";
+              None
+            | slots -> Some (Pattern.v ~name:"described pattern" slots)
+          end
+      in
+      Some { config; pattern }
+    with Invalid_argument msg ->
+      err ctx ~code:"V0200" ~span:Span.none 0 "%s" msg;
+      None
+  in
+  (result, List.rev ctx.diags)
+
+(* ----- fail-fast compatibility ------------------------------------- *)
+
+let to_result (cfg, diags) =
+  match List.find_opt Diagnostic.is_error diags with
+  | Some d ->
+    Error
       {
-        Config.name;
-        node;
-        spec;
-        domains;
-        tech;
-        floorplan;
-        buses;
-        logic;
-        data_toggle;
-        io_predriver_cap;
-        io_receiver_cap;
-        receiver_bias =
-          Option.value
-            ~default:
-              (match Node.standard node with
-               | Node.Sdr | Node.Ddr -> 0.10e-3
-               | Node.Ddr2 -> 0.50e-3
-               | Node.Ddr3 -> 0.45e-3
-               | Node.Ddr4 -> 0.35e-3
-               | Node.Ddr5 -> 0.30e-3)
-            (opt interface "bias" Q.Current);
-        input_receivers =
-          Option.value
-            ~default:
-              (spec.Spec.row_bits + spec.Spec.bank_bits
-              + spec.Spec.misc_control + 2)
-            (opt_int interface "receivers");
-        activation_fraction =
-          Option.value ~default:1.0 (opt interface "activation" Q.Fraction);
+        Parser.line = d.Diagnostic.span.Span.line;
+        message = d.Diagnostic.message;
+        code = d.Diagnostic.code;
+        span = d.Diagnostic.span;
       }
-    in
-    (* Pattern. *)
-    let pattern =
-      match stmts_of ast "Pattern" with
-      | [] -> None
-      | stmt :: _ ->
-        if lower stmt.Ast.keyword <> "pattern" then
-          fail_kw ~code:"V0204" stmt "expected a Pattern loop= statement";
-        (match
-           Pattern.parse ~name:"described pattern"
-             (String.concat " " stmt.Ast.positional)
-         with
-         | Ok p -> Some p
-         | Error msg -> fail_kw ~code:"V0206" stmt "%s" msg)
-    in
-    Ok { config; pattern }
-  with
-  | Err e -> Error e
-  | Invalid_argument msg ->
-    Error { Parser.line = 0; message = msg; code = "V0200"; span = Span.none }
+  | None ->
+    (match cfg with
+     | Some t -> Ok t
+     | None ->
+       Error
+         {
+           Parser.line = 0;
+           message = "description cannot be elaborated";
+           code = "V0200";
+           span = Span.none;
+         })
 
 let load_string source =
   match Parser.parse source with
   | Error _ as e -> e
-  | Ok ast -> elaborate ast
+  | Ok ast -> to_result (elaborate ast)
 
 let load_file path =
   match Parser.parse_file path with
   | Error _ as e -> e
-  | Ok ast -> elaborate ast
+  | Ok ast -> to_result (elaborate ast)

@@ -37,7 +37,19 @@ type t = {
   pattern : Vdram_core.Pattern.t option;
 }
 
-val elaborate : Ast.t -> (t, Parser.error) result
+val elaborate : Ast.t -> t option * Vdram_diagnostics.Diagnostic.t list
+(** Error-accumulating elaboration: every problem found is reported
+    as a spanned diagnostic (falling back to the roadmap default or
+    skipping the offending segment/block), so one run lists them all.
+    The configuration is [Some] whenever elaboration could complete
+    structurally — it is only trustworthy when no error diagnostic
+    was emitted — and [None] when construction itself failed. *)
+
+val to_result : t option * Vdram_diagnostics.Diagnostic.t list ->
+  (t, Parser.error) result
+(** Fail-fast view of an accumulated elaboration: [Ok] when no error
+    diagnostic was emitted, otherwise [Error] carrying the first
+    one. *)
 
 val technology_keys : string list
 (** The compact keys accepted in the [Technology] section, in

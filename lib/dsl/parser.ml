@@ -202,6 +202,10 @@ let parse_with_warnings ?file source =
              ~help:
                "insert whitespace before the comment marker to comment, \
                 or remove it to keep the text"
+             ~fixes:
+               [ Vdram_diagnostics.Fix.v
+                   ~span:(Span.of_cols ?file ~start:col ~stop:col lineno)
+                   " " ]
              "comment marker glued to a token truncates the rest of the line"
            :: !warnings
        | None -> ());

@@ -3,3 +3,10 @@
     configuration (same power results), which the test suite checks. *)
 
 val to_dsl : ?pattern:Vdram_core.Pattern.t -> Vdram_core.Config.t -> string
+
+val print : Ast.t -> string
+(** Render a parsed AST back to source.  Whitespace and comments are
+    normalized (one statement per line, single spaces, sections
+    separated by a blank line); tokens are reproduced verbatim, so
+    [parse (print ast)] yields an AST identical to [ast] up to source
+    positions — the safety property behind [vdram lint --fix]. *)

@@ -6,6 +6,8 @@ module Ast = Vdram_dsl.Ast
 module Validate = Vdram_core.Validate
 module Span = Vdram_diagnostics.Span
 module D = Vdram_diagnostics.Diagnostic
+module Fix = Vdram_diagnostics.Fix
+module Sarif = Vdram_diagnostics.Sarif
 
 type report = {
   file : string option;
@@ -51,6 +53,38 @@ let guarded pass =
     [ D.errorf ~code:"V0200" "internal analysis failure: %s"
         (Printexc.to_string e) ]
 
+(* The dimensions pass and error-accumulating elaboration see the same
+   literals, so the same finding can be reported twice at one span;
+   keep the first occurrence of every (code, span) pair, then drop
+   warnings that sit exactly on a span an error already points at
+   (e.g. an unknown-keyword warning under an unknown-bus error). *)
+let dedup diags =
+  let seen = Hashtbl.create 64 in
+  let keep =
+    List.filter
+      (fun (d : D.t) ->
+        let k = (d.D.code, d.D.span) in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      diags
+  in
+  let error_spans =
+    List.filter_map
+      (fun (d : D.t) ->
+        if D.is_error d && not (Span.is_none d.D.span) then Some d.D.span
+        else None)
+      keep
+  in
+  List.filter
+    (fun (d : D.t) ->
+      D.is_error d
+      || Span.is_none d.D.span
+      || not (List.mem d.D.span error_spans))
+    keep
+
 let run ?file source =
   let result, parse_warnings = Parser.parse_with_warnings ?file source in
   let diagnostics =
@@ -58,26 +92,34 @@ let run ?file source =
     | Error e -> parse_warnings @ [ Parser.to_diagnostic e ]
     | Ok ast ->
       let dims = guarded (fun () -> Passes.dimensions ast) in
-      if List.exists D.is_error dims then
-        (* Elaboration would stop at the first of these anyway; the
-           pass already reported them all, with spans. *)
-        parse_warnings @ dims
+      let config, elab =
+        try Elaborate.elaborate ast
+        with e ->
+          ( None,
+            [ D.errorf ~code:"V0200" "internal elaboration failure: %s"
+                (Printexc.to_string e) ] )
+      in
+      let front = dedup (parse_warnings @ dims @ elab) in
+      if List.exists D.is_error front then front
       else begin
-        match Elaborate.elaborate ast with
-        | Error e -> parse_warnings @ dims @ [ Parser.to_diagnostic e ]
-        | Ok { Elaborate.config; pattern } ->
+        match config with
+        | None -> front
+        | Some { Elaborate.config = cfg; pattern } ->
           let semantic =
             guarded (fun () ->
-                List.map (place_validate ast) (Validate.check config))
+                List.map (place_validate ast) (Validate.check cfg))
           in
-          let physics = guarded (fun () -> Passes.finiteness config) in
-          let times = guarded (fun () -> Passes.timing ~ast config) in
+          let physics = guarded (fun () -> Passes.finiteness cfg) in
+          let times = guarded (fun () -> Passes.timing ~ast cfg) in
+          let fp = guarded (fun () -> Passes.floorplan ~ast cfg) in
           let pat =
             match pattern with
             | None -> []
-            | Some p -> guarded (fun () -> Passes.pattern ~ast config p)
+            | Some p ->
+              guarded (fun () -> Passes.pattern ~ast cfg p)
+              @ guarded (fun () -> Passes.bank_legality ~ast cfg p)
           in
-          parse_warnings @ dims @ semantic @ physics @ times @ pat
+          front @ semantic @ physics @ times @ fp @ pat
       end
   in
   {
@@ -145,3 +187,21 @@ let to_json r =
     r.diagnostics;
   Buffer.add_string buf "]}";
   Buffer.contents buf
+
+(* ----- fix-its and machine formats --------------------------------- *)
+
+let fixes r = List.concat_map (fun (d : D.t) -> d.D.fixes) r.diagnostics
+
+let apply_fixes r =
+  let source = String.concat "\n" (Array.to_list r.source) in
+  Fix.apply ~source (fixes r)
+
+let to_sarif reports =
+  Sarif.render
+    (List.map (fun r -> (r.file, r.diagnostics)) reports)
+
+let exit_code ?(deny_warnings = false) reports =
+  if List.exists (fun r -> errors r > 0) reports then 2
+  else if deny_warnings && List.exists (fun r -> warnings r > 0) reports
+  then 1
+  else 0

@@ -4,14 +4,16 @@
     The pipeline mirrors elaboration but never simulates:
 
     + parse (collecting [V00xx] syntax findings),
-    + {!Passes.dimensions} over the raw AST ([V01xx]/[V02xx]) — when it
-      finds errors the driver stops, since elaboration would only
-      repeat the first of them,
-    + elaborate (its error, if any, is already coded and spanned),
-    + {!Vdram_core.Validate} over the configuration, each finding
+    + {!Passes.dimensions} over the raw AST ([V01xx]/[V02xx]),
+    + error-accumulating elaboration ([V02xx], [V0701]) — every
+      problem in one run, deduplicated against the dimensions pass by
+      (code, span),
+    + when the description elaborated without errors:
+      {!Vdram_core.Validate} over the configuration, each finding
       placed back onto the statement it concerns ([V03xx]),
-    + {!Passes.finiteness}, {!Passes.timing} and {!Passes.pattern}
-      ([V04xx]-[V06xx]). *)
+      {!Passes.finiteness}, {!Passes.timing}, {!Passes.floorplan},
+      {!Passes.pattern} and {!Passes.bank_legality}
+      ([V04xx]-[V08xx]). *)
 
 type report = {
   file : string option;
@@ -39,3 +41,20 @@ val pp_text : Format.formatter -> report -> unit
 val to_json : report -> string
 (** One JSON object:
     [{"file":...,"errors":N,"warnings":M,"diagnostics":[...]}]. *)
+
+val fixes : report -> Vdram_diagnostics.Fix.t list
+(** Every structured fix-it attached to the report's diagnostics, in
+    diagnostic order. *)
+
+val apply_fixes : report -> string * int
+(** The report's source with all non-overlapping fix-its applied, and
+    how many were applied (see {!Vdram_diagnostics.Fix.apply}). *)
+
+val to_sarif : report list -> string
+(** A single SARIF 2.1.0 log covering the given reports (one run, one
+    result per diagnostic, fix-its as [fixes]). *)
+
+val exit_code : ?deny_warnings:bool -> report list -> int
+(** The [vdram lint] exit-code contract: [2] when any report carries
+    errors, [1] when [deny_warnings] and any report carries warnings,
+    [0] otherwise. *)

@@ -11,10 +11,35 @@ module Operation = Vdram_core.Operation
 module Model = Vdram_core.Model
 module Peak = Vdram_core.Peak
 module Timing = Vdram_sim.Timing
+module Legality = Vdram_sim.Legality
+module Floorplan = Vdram_floorplan.Floorplan
 module Span = Vdram_diagnostics.Span
 module D = Vdram_diagnostics.Diagnostic
+module Fix = Vdram_diagnostics.Fix
+module Suggest = Vdram_diagnostics.Suggest
 
 let lower = String.lowercase_ascii
+
+(* Canonical surface casing for the names the schema stores
+   lowercased, so fix-its propose what a person would write. *)
+let display_section = function
+  | "floorplanphysical" -> "FloorplanPhysical"
+  | "floorplansignaling" -> "FloorplanSignaling"
+  | "logicblocks" -> "LogicBlocks"
+  | s -> String.capitalize_ascii s
+
+let display_keyword = function
+  | "io" -> "IO"
+  | "cellarray" -> "CellArray"
+  | "sizehorizontal" -> "SizeHorizontal"
+  | "sizevertical" -> "SizeVertical"
+  | "writedata" -> "WriteData"
+  | "readdata" -> "ReadData"
+  | "rowaddress" -> "RowAddress"
+  | "columnaddress" -> "ColumnAddress"
+  | "coladdress" -> "ColAddress"
+  | "bankaddress" -> "BankAddress"
+  | s -> String.capitalize_ascii s
 
 (* ----- span lookup ------------------------------------------------- *)
 
@@ -156,18 +181,42 @@ let dimensions ast =
     (fun (sec : Ast.section) ->
       match List.assoc_opt (lower sec.Ast.section_name) schema with
       | None ->
+        let help, fixes =
+          match
+            Suggest.nearest ~candidates:(List.map fst schema)
+              sec.Ast.section_name
+          with
+          | Some best ->
+            let best = display_section best in
+            ( Printf.sprintf
+                "the whole section is ignored by elaboration; did you \
+                 mean %s?"
+                best,
+              [ Fix.v ~span:sec.Ast.section_span best ] )
+          | None -> ("the whole section is ignored by elaboration", [])
+        in
         add
-          (D.warningf ~code:"V0106" ~span:sec.Ast.section_span
-             ~help:"the whole section is ignored by elaboration"
+          (D.warningf ~code:"V0106" ~span:sec.Ast.section_span ~help ~fixes
              "unknown section %S" sec.Ast.section_name)
       | Some keywords ->
         List.iter
           (fun (stmt : Ast.stmt) ->
             match List.assoc_opt (lower stmt.Ast.keyword) keywords with
             | None ->
+              let help, fixes =
+                match
+                  Suggest.nearest ~candidates:(List.map fst keywords)
+                    stmt.Ast.keyword
+                with
+                | Some best ->
+                  let best = display_keyword best in
+                  ( Some (Printf.sprintf "did you mean %s?" best),
+                    [ Fix.v ~span:stmt.Ast.keyword_span best ] )
+                | None -> (None, [])
+              in
               add
-                (D.warningf ~code:"V0107" ~span:stmt.Ast.keyword_span
-                   "unknown keyword %S in section %s" stmt.Ast.keyword
+                (D.warningf ~code:"V0107" ~span:stmt.Ast.keyword_span ?help
+                   ~fixes "unknown keyword %S in section %s" stmt.Ast.keyword
                    sec.Ast.section_name)
             | Some ks ->
               List.iter2
@@ -178,17 +227,55 @@ let dimensions ast =
                        List.assoc_opt (lower key) technology_entries
                      with
                      | None ->
+                       let help, fixes =
+                         match
+                           Suggest.nearest
+                             ~candidates:(List.map fst technology_entries)
+                             key
+                         with
+                         | Some best ->
+                           ( Some (Printf.sprintf "did you mean %s?" best),
+                             [ Fix.v
+                                 ~span:
+                                   { span with
+                                     Span.col_end =
+                                       span.Span.col_start
+                                       + String.length key
+                                   }
+                                 best ] )
+                         | None -> (None, [])
+                       in
                        add
-                         (D.errorf ~code:"V0201" ~span
+                         (D.errorf ~code:"V0201" ~span ?help ~fixes
                             "unknown technology parameter %S" key)
                      | Some dim -> check_literal span key dim value)
                   | All_lengths -> check_literal span key Q.Length value
                   | Reject ->
                     (match List.assoc_opt (lower key) ks.keys with
                      | None ->
+                       let help, fixes =
+                         match
+                           Suggest.nearest ~candidates:(List.map fst ks.keys)
+                             key
+                         with
+                         | Some best ->
+                           ( Printf.sprintf
+                               "the argument is ignored by elaboration; \
+                                did you mean %s?"
+                               best,
+                             [ Fix.v
+                                 ~span:
+                                   { span with
+                                     Span.col_end =
+                                       span.Span.col_start
+                                       + String.length key
+                                   }
+                                 best ] )
+                         | None ->
+                           ("the argument is ignored by elaboration", [])
+                       in
                        add
-                         (D.warningf ~code:"V0105" ~span
-                            ~help:"the argument is ignored by elaboration"
+                         (D.warningf ~code:"V0105" ~span ~help ~fixes
                             "unknown argument %S to %s" key stmt.Ast.keyword)
                      | Some Text -> ()
                      | Some (Dim dim) -> check_literal span key dim value))
@@ -331,19 +418,196 @@ let pattern ~ast cfg (p : Pattern.t) =
          "%d column commands x %d clocks of burst data exceed the \
           %d-cycle loop: the data bus is oversubscribed"
          columns cpc cycles);
-  if acts > 0 then begin
-    let t = Timing.of_config cfg in
-    if acts * t.Timing.trc > cycles * s.Spec.banks then
-      add
-        (D.warningf ~code:"V0602" ~span
-           "%d activates per %d-cycle loop exceed what tRC (%d clocks) \
-            allows across %d banks"
-           acts cycles t.Timing.trc s.Spec.banks);
-    if acts * t.Timing.tfaw > cycles * 4 then
-      add
-        (D.warningf ~code:"V0602" ~span
-           "%d activates per %d-cycle loop violate the four-activate \
-            window (tFAW = %d clocks)"
-           acts cycles t.Timing.tfaw)
-  end;
+  (* The former V0602 aggregate activate-rate bounds lived here; the
+     bank-aware {!bank_legality} replay supersedes them (it catches
+     everything they did, plus placements the averages missed). *)
   List.rev !out
+
+(* ----- floorplan signaling coordinate checks ----------------------- *)
+
+let parse_coord raw =
+  match String.split_on_char '_' raw with
+  | [ i; j ] ->
+    (match (int_of_string_opt i, int_of_string_opt j) with
+     | Some i, Some j -> Some (i, j)
+     | _ -> None)
+  | _ -> None
+
+let floorplan ~ast cfg =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let fp = cfg.Config.floorplan in
+  let nh = Array.length fp.Floorplan.horizontal
+  and nv = Array.length fp.Floorplan.vertical in
+  let arg_or_keyword_span (stmt : Ast.stmt) key =
+    match Ast.arg_span stmt key with
+    | Some sp -> sp
+    | None -> stmt.Ast.keyword_span
+  in
+  let in_grid (stmt : Ast.stmt) key =
+    (* Elaboration reports out-of-grid coordinates (V0701) too; this
+       pass only runs once elaboration is clean, so the check here
+       matters when the pass is used standalone. *)
+    match Ast.arg stmt key with
+    | None -> ()
+    | Some raw ->
+      (match parse_coord raw with
+       | Some (i, j) when i < 0 || i >= nh || j < 0 || j >= nv ->
+         add
+           (D.errorf ~code:"V0701" ~span:(arg_or_keyword_span stmt key)
+              ~notes:
+                [ Printf.sprintf
+                    "the declared grid is %d horizontal x %d vertical \
+                     blocks (coordinates 0_0 to %d_%d)"
+                    nh nv (nh - 1) (nv - 1) ]
+              "%s=%s is outside the floorplan grid" key raw
+           )
+       | _ -> ())
+  in
+  List.iter
+    (fun (sec : Ast.section) ->
+      if lower sec.Ast.section_name = "floorplansignaling" then
+        List.iter
+          (fun (stmt : Ast.stmt) ->
+            List.iter (in_grid stmt) [ "start"; "end"; "inside" ];
+            (match (Ast.arg stmt "start", Ast.arg stmt "end") with
+             | Some s, Some e
+               when parse_coord s <> None && parse_coord s = parse_coord e
+               ->
+               add
+                 (D.warningf ~code:"V0702"
+                    ~span:(arg_or_keyword_span stmt "end")
+                    ~help:
+                      "route between two distinct blocks, or use \
+                       inside= fraction= for a run within one block"
+                    "start=%s and end=%s name the same grid cell: the \
+                     route has zero length"
+                    s e)
+             | _ -> ());
+            match Ast.arg stmt "fraction" with
+            | None -> ()
+            | Some raw ->
+              (match Q.classify Q.Fraction raw with
+               | Ok f when f <= 0.0 || f > 1.0 ->
+                 add
+                   (D.warningf ~code:"V0703"
+                      ~span:(arg_or_keyword_span stmt "fraction")
+                      ~help:
+                        "the fraction scales the block's own extent; \
+                         use a value in (0, 1], e.g. fraction=25%"
+                      "inside= fraction %g is outside (0, 1]" f)
+               | _ -> ()))
+          sec.Ast.stmts)
+    ast;
+  List.rev !out
+
+(* ----- bank-aware pattern legality (shared with the simulator) ----- *)
+
+let bank_legality ~ast cfg (p : Pattern.t) =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let s = cfg.Config.spec in
+  let banks = s.Spec.banks in
+  let t = Timing.of_config cfg in
+  let slots =
+    List.concat_map (fun (c, n) -> List.init n (fun _ -> c)) p.Pattern.slots
+  in
+  let cycles = List.length slots in
+  let acts = Pattern.count p Pattern.Act in
+  if cycles = 0 || acts = 0 || banks < 1 then []
+  else begin
+    (* Replay the loop through the simulator's own legality component,
+       rotating activates round-robin across banks the way a datasheet
+       current-measurement loop does, for enough iterations to wrap
+       the bank rotation at least once. *)
+    let iters = min 64 (((banks + acts - 1) / acts) + 2) in
+    let rank = Legality.create t ~banks in
+    let next_bank = ref 0 in
+    let last_bank = ref 0 in
+    let open_order = ref [] in
+    let viols = ref [] in
+    for iter = 0 to iters - 1 do
+      List.iteri
+        (fun idx cmd ->
+          let at = (iter * cycles) + idx in
+          match cmd with
+          | Pattern.Nop -> ()
+          | Pattern.Act ->
+            let bank = !next_bank in
+            next_bank := (bank + 1) mod banks;
+            (match Legality.activate rank ~bank ~at ~row:0 with
+             | [] ->
+               last_bank := bank;
+               open_order := !open_order @ [ bank ]
+             | vs -> viols := List.rev_append vs !viols)
+          | Pattern.Rd ->
+            ignore (Legality.column rank ~bank:!last_bank ~at ~write:false)
+          | Pattern.Wr ->
+            ignore (Legality.column rank ~bank:!last_bank ~at ~write:true)
+          | Pattern.Pre ->
+            (match !open_order with
+             | [] -> ()
+             | bank :: rest ->
+               (match Legality.precharge rank ~bank ~at with
+                | [] -> open_order := rest
+                | _ -> ())))
+        slots
+    done;
+    let viols = List.rev !viols in
+    let span_of (v : Legality.violation) =
+      let slot = v.Legality.at mod cycles in
+      let stmt =
+        List.find_opt
+          (fun (st : Ast.stmt) -> lower st.Ast.keyword = "pattern")
+          (List.concat_map
+             (fun (sec : Ast.section) -> sec.Ast.stmts)
+             (Ast.find_sections ast "pattern"))
+      in
+      match stmt with
+      | Some st when List.length st.Ast.positional_spans = cycles ->
+        List.nth st.Ast.positional_spans slot
+      | Some st -> st.Ast.keyword_span
+      | None -> Span.none
+    in
+    let replayed = iters * cycles in
+    let emit kind code describe =
+      match
+        List.filter (fun v -> v.Legality.kind = kind) viols
+      with
+      | [] -> ()
+      | v :: _ as vs ->
+        add
+          (D.warningf ~code ~span:(span_of v)
+             ~notes:
+               [ Printf.sprintf
+                   "%d of the commands replayed over %d loop cycles \
+                    violate this window"
+                   (List.length vs) replayed;
+                 "found by replaying the loop through the simulator's \
+                  own scheduler legality, so the simulator rejects \
+                  this pattern too" ]
+             ~help:
+               "space the activates further apart in the loop, or pad \
+                it with nop cycles"
+             "%s" (describe v))
+    in
+    emit Legality.Act_to_act "V0801" (fun v ->
+        Printf.sprintf
+          "slot %d re-activates bank %d inside its tRC window (cycle \
+           %d; next legal activate at %d)"
+          (v.Legality.at mod cycles) v.Legality.bank v.Legality.at
+          v.Legality.earliest);
+    emit Legality.Act_spacing "V0802" (fun v ->
+        Printf.sprintf
+          "slot %d activates bank %d only %d cycles after the previous \
+           activate; tRRD requires %d"
+          (v.Legality.at mod cycles) v.Legality.bank
+          (v.Legality.at - (v.Legality.earliest - t.Timing.trrd))
+          t.Timing.trrd);
+    emit Legality.Four_activate "V0803" (fun v ->
+        Printf.sprintf
+          "slot %d issues a fifth activate inside the four-activate \
+           window (tFAW = %d clocks)"
+          (v.Legality.at mod cycles) t.Timing.tfaw);
+    List.rev !out
+  end

@@ -39,5 +39,25 @@ val pattern :
   ast:Vdram_dsl.Ast.t -> Vdram_core.Config.t -> Vdram_core.Pattern.t ->
   Vdram_diagnostics.Diagnostic.t list
 (** Pattern/specification reachability: column commands without an
-    activate ([V0601]), activate rates beyond tRC or tFAW ([V0602]),
-    data-bus oversubscription ([V0603]). *)
+    activate ([V0601]), data-bus oversubscription ([V0603]).  The old
+    aggregate activate-rate bounds ([V0602]) are superseded by
+    {!bank_legality}. *)
+
+val floorplan :
+  ast:Vdram_dsl.Ast.t -> Vdram_core.Config.t ->
+  Vdram_diagnostics.Diagnostic.t list
+(** [FloorplanSignaling] coordinate checks against the declared grid:
+    out-of-grid [start=]/[end=]/[inside=] coordinates ([V0701], also
+    caught during elaboration), zero-length routes between identical
+    coordinates ([V0702]) and [fraction=] values outside (0, 1]
+    ([V0703]). *)
+
+val bank_legality :
+  ast:Vdram_dsl.Ast.t -> Vdram_core.Config.t -> Vdram_core.Pattern.t ->
+  Vdram_diagnostics.Diagnostic.t list
+(** Bank-aware pattern legality: replays the pattern loop through
+    {!Vdram_sim.Legality} — the same component the simulator's
+    scheduler enforces — rotating activates round-robin over the
+    device's banks, and reports same-bank tRC reuse ([V0801]), tRRD
+    spacing violations ([V0802]) and four-activate tFAW window
+    overflows ([V0803]) at the offending pattern slot. *)

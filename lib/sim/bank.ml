@@ -1,76 +1,31 @@
-(* Bank FSM with timing bookkeeping. *)
+(* Bank FSM with timing bookkeeping — the single-bank view of the
+   standalone Legality checker, so the simulator and the lint pattern
+   pass share one definition of command legality. *)
 
-exception Timing_violation of string
+exception Timing_violation = Legality.Timing_violation
 
-type state =
+type state = Legality.bank_state =
   | Idle
   | Active of int
 
-type t = {
-  timing : Timing.t;
-  mutable bank_state : state;
-  mutable next_activate : int;
-  mutable next_column : int;
-  mutable next_precharge : int;
-}
+type t = Legality.t
 
-let create timing =
-  {
-    timing;
-    bank_state = Idle;
-    next_activate = 0;
-    next_column = 0;
-    next_precharge = 0;
-  }
+let create timing = Legality.create timing ~banks:1
 
-let state t = t.bank_state
+let state t = Legality.state t 0
 
-let earliest_activate t = t.next_activate
+let earliest_activate t = Legality.earliest_activate t 0
 
-let earliest_column t = t.next_column
+let earliest_column t = Legality.earliest_column t 0
 
-let earliest_precharge t = t.next_precharge
-
-let fail fmt = Printf.ksprintf (fun m -> raise (Timing_violation m)) fmt
+let earliest_precharge t = Legality.earliest_precharge t 0
 
 let activate t ~at ~row =
-  (match t.bank_state with
-   | Idle -> ()
-   | Active _ -> fail "activate at %d: bank not idle" at);
-  if at < t.next_activate then
-    fail "activate at %d before tRC/tRP allows (%d)" at t.next_activate;
-  t.bank_state <- Active row;
-  t.next_column <- at + t.timing.Timing.trcd;
-  t.next_precharge <- at + t.timing.Timing.tras;
-  t.next_activate <- at + t.timing.Timing.trc
+  Legality.enforce (Legality.activate t ~bank:0 ~at ~row)
 
 let column t ~at ~write =
-  (match t.bank_state with
-   | Active _ -> ()
-   | Idle -> fail "column command at %d: no open row" at);
-  if at < t.next_column then
-    fail "column at %d before tRCD/tCCD allows (%d)" at t.next_column;
-  t.next_column <- at + t.timing.Timing.tccd;
-  let release =
-    if write then
-      at + t.timing.Timing.twl + t.timing.Timing.tccd + t.timing.Timing.twr
-    else at + t.timing.Timing.trtp
-  in
-  t.next_precharge <- max t.next_precharge release
+  Legality.enforce (Legality.column t ~bank:0 ~at ~write)
 
-let precharge t ~at =
-  (match t.bank_state with
-   | Active _ -> ()
-   | Idle -> fail "precharge at %d: bank already idle" at);
-  if at < t.next_precharge then
-    fail "precharge at %d before tRAS/tWR allows (%d)" at t.next_precharge;
-  t.bank_state <- Idle;
-  t.next_activate <- max t.next_activate (at + t.timing.Timing.trp)
+let precharge t ~at = Legality.enforce (Legality.precharge t ~bank:0 ~at)
 
-let refresh t ~at =
-  (match t.bank_state with
-   | Idle -> ()
-   | Active _ -> fail "refresh at %d: bank not precharged" at);
-  if at < t.next_activate then
-    fail "refresh at %d before tRP allows (%d)" at t.next_activate;
-  t.next_activate <- at + t.timing.Timing.trfc
+let refresh t ~at = Legality.enforce (Legality.refresh t ~bank:0 ~at)

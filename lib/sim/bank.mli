@@ -5,11 +5,14 @@
     legal cycle of each next command.  Issuing a command before its
     earliest cycle raises [Timing_violation] — the property tests
     drive schedulers through this interface to prove they respect the
-    constraints. *)
+    constraints.
+
+    Since the legality extraction this is a thin single-bank view of
+    {!Legality}; the exception and state type are the same ones. *)
 
 exception Timing_violation of string
 
-type state =
+type state = Legality.bank_state =
   | Idle
   | Active of int  (** open row *)
 

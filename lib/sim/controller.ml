@@ -1,4 +1,4 @@
-(* FR-FCFS controller over bank FSMs. *)
+(* FR-FCFS controller over the shared rank-legality checker. *)
 
 module Config = Vdram_core.Config
 module Spec = Vdram_core.Spec
@@ -23,50 +23,45 @@ let power_down_name = function
 
 type state = {
   timing : Timing.t;
-  banks : Bank.t array;
+  rank : Legality.t;            (* per-bank state + tRRD/tFAW history *)
   page_policy : page_policy;
   power_down : power_down;
   mutable now : int;
   mutable bus_next : int;       (* next free command-bus cycle *)
   mutable data_next : int;      (* next free data-bus cycle *)
-  mutable act_history : int list;  (* recent activates, newest first *)
   group_last_column : int array;   (* per bank group, for tCCD_L *)
   mutable next_refresh : int;
   mutable stats : Stats.t;
 }
 
-let group_of st bank =
-  bank * st.timing.Timing.bank_groups / Array.length st.banks
+let nbanks st = Legality.banks st.rank
+
+let group_of st bank = bank * st.timing.Timing.bank_groups / nbanks st
 
 let issue_cycle st candidates =
   List.fold_left max st.bus_next candidates
 
-(* tFAW / tRRD gating over the recent activate history. *)
-let activate_gate st =
-  let trrd_gate =
-    match st.act_history with
-    | [] -> 0
-    | last :: _ -> last + st.timing.Timing.trrd
-  in
-  let tfaw_gate =
-    match List.nth_opt st.act_history 3 with
-    | Some fourth -> fourth + st.timing.Timing.tfaw
-    | None -> 0
-  in
-  max trrd_gate tfaw_gate
+(* tFAW / tRRD gating over the rank's recent activate history. *)
+let activate_gate st = Legality.activate_gate st.rank
 
-let record_activate st at =
-  st.act_history <- at :: st.act_history;
-  (match st.act_history with
-   | a :: b :: c :: d :: _ -> st.act_history <- [ a; b; c; d ]
-   | _ -> ());
+let record_activate st =
   st.stats <- { st.stats with Stats.activates = st.stats.Stats.activates + 1 }
 
+let do_activate st bank at row =
+  Legality.enforce (Legality.activate st.rank ~bank ~at ~row);
+  record_activate st;
+  st.bus_next <- max st.bus_next (at + 1)
+
 let do_precharge st bank at =
-  Bank.precharge bank ~at;
+  Legality.enforce (Legality.precharge st.rank ~bank ~at);
   st.bus_next <- max st.bus_next (at + 1);
   st.stats <-
     { st.stats with Stats.precharges = st.stats.Stats.precharges + 1 }
+
+let iter_banks st f =
+  for bank = 0 to nbanks st - 1 do
+    f bank
+  done
 
 (* Issue any pending refresh periods that are due before [horizon].
    JEDEC allows at most 8 postponed refreshes, so a long idle gap
@@ -80,21 +75,18 @@ let maybe_refresh st horizon =
   while st.next_refresh <= horizon do
     let at = max st.next_refresh st.bus_next in
     (* Precharge all open banks first. *)
-    Array.iter
-      (fun b ->
-        match Bank.state b with
-        | Bank.Active _ ->
-          let t = max at (Bank.earliest_precharge b) in
-          do_precharge st b t
-        | Bank.Idle -> ())
-      st.banks;
-    let start =
-      Array.fold_left
-        (fun acc b -> max acc (Bank.earliest_activate b))
-        at st.banks
-    in
-    Array.iter (fun b -> Bank.refresh b ~at:start) st.banks;
-    st.bus_next <- max st.bus_next (start + 1);
+    iter_banks st (fun bank ->
+        match Legality.state st.rank bank with
+        | Legality.Active _ ->
+          let t = max at (Legality.earliest_precharge st.rank bank) in
+          do_precharge st bank t
+        | Legality.Idle -> ());
+    let start = ref at in
+    iter_banks st (fun bank ->
+        start := max !start (Legality.earliest_activate st.rank bank));
+    iter_banks st (fun bank ->
+        Legality.enforce (Legality.refresh st.rank ~bank ~at:!start));
+    st.bus_next <- max st.bus_next (!start + 1);
     st.stats <-
       {
         st.stats with
@@ -106,42 +98,43 @@ let maybe_refresh st horizon =
   done
 
 let serve st (r : Trace.request) =
-  let bank = st.banks.(r.Trace.bank) in
+  let bank = r.Trace.bank in
   let hit =
-    match Bank.state bank with
-    | Bank.Active row when row = r.Trace.row -> true
+    match Legality.state st.rank bank with
+    | Legality.Active row when row = r.Trace.row -> true
     | _ -> false
   in
   (* Close a conflicting row. *)
-  (match Bank.state bank with
-   | Bank.Active row when row <> r.Trace.row ->
+  (match Legality.state st.rank bank with
+   | Legality.Active row when row <> r.Trace.row ->
      let at =
-       issue_cycle st [ Bank.earliest_precharge bank; r.Trace.arrival ]
+       issue_cycle st
+         [ Legality.earliest_precharge st.rank bank; r.Trace.arrival ]
      in
      do_precharge st bank at
    | _ -> ());
   (* Open the row if needed. *)
-  (match Bank.state bank with
-   | Bank.Idle ->
+  (match Legality.state st.rank bank with
+   | Legality.Idle ->
      let at =
        issue_cycle st
-         [ Bank.earliest_activate bank; r.Trace.arrival; activate_gate st ]
+         [ Legality.earliest_activate st.rank bank; r.Trace.arrival;
+           activate_gate st ]
      in
-     Bank.activate bank ~at ~row:r.Trace.row;
-     record_activate st at;
-     st.bus_next <- max st.bus_next (at + 1)
-   | Bank.Active _ -> ());
+     do_activate st bank at r.Trace.row
+   | Legality.Active _ -> ());
   (* Column command; same-group commands respect the long tCCD. *)
-  let group = group_of st r.Trace.bank in
+  let group = group_of st bank in
   let group_gate =
     st.group_last_column.(group) + st.timing.Timing.tccd_l
   in
   let at =
     issue_cycle st
-      [ Bank.earliest_column bank; st.data_next; r.Trace.arrival;
-        group_gate ]
+      [ Legality.earliest_column st.rank bank; st.data_next;
+        r.Trace.arrival; group_gate ]
   in
-  Bank.column bank ~at ~write:r.Trace.is_write;
+  Legality.enforce
+    (Legality.column st.rank ~bank ~at ~write:r.Trace.is_write);
   st.group_last_column.(group) <- at;
   st.bus_next <- max st.bus_next (at + 1);
   st.data_next <- at + st.timing.Timing.tccd;
@@ -165,7 +158,9 @@ let serve st (r : Trace.request) =
   (* Closed-page policy precharges immediately. *)
   (match st.page_policy with
    | Closed_page ->
-     let at = issue_cycle st [ Bank.earliest_precharge bank ] in
+     let at =
+       issue_cycle st [ Legality.earliest_precharge st.rank bank ]
+     in
      do_precharge st bank at
    | Open_page | Adaptive_page _ -> ());
   st.now <- max st.now at
@@ -175,34 +170,31 @@ let serve st (r : Trace.request) =
 let close_stale_rows st horizon =
   match st.page_policy with
   | Adaptive_page threshold ->
-    Array.iteri
-      (fun b bank ->
-        match Bank.state bank with
-        | Bank.Active _ ->
+    iter_banks st (fun bank ->
+        match Legality.state st.rank bank with
+        | Legality.Active _ ->
           (* A row untouched since its last column command has its
              earliest-precharge time in the past; close it once the
              idle threshold has elapsed beyond that point. *)
-          let stale_at = Bank.earliest_precharge bank + threshold in
+          let stale_at =
+            Legality.earliest_precharge st.rank bank + threshold
+          in
           if stale_at <= horizon then begin
             let at = max stale_at st.bus_next in
             if at <= horizon then do_precharge st bank at
-          end;
-          ignore b
-        | Bank.Idle -> ())
-      st.banks
+          end
+        | Legality.Idle -> ())
   | Open_page | Closed_page -> ()
 
 (* Power-down bookkeeping between the current time and the next
    arrival. *)
 let close_all_banks st =
-  Array.iter
-    (fun b ->
-      match Bank.state b with
-      | Bank.Active _ ->
-        let t = max st.now (Bank.earliest_precharge b) in
-        do_precharge st b t
-      | Bank.Idle -> ())
-    st.banks
+  iter_banks st (fun bank ->
+      match Legality.state st.rank bank with
+      | Legality.Active _ ->
+        let t = max st.now (Legality.earliest_precharge st.rank bank) in
+        do_precharge st bank t
+      | Legality.Idle -> ())
 
 let enter_sleep st ~next_arrival ~exit_latency ~self_refresh =
   close_all_banks st;
@@ -264,19 +256,16 @@ let maybe_power_down st next_arrival =
 let run ?(page_policy = Open_page) ?(power_down = No_power_down)
     ?(window = 16) (cfg : Config.t) trace =
   let timing = Timing.of_config cfg in
-  let banks =
-    Array.init cfg.Config.spec.Spec.banks (fun _ -> Bank.create timing)
-  in
+  let rank = Legality.create timing ~banks:cfg.Config.spec.Spec.banks in
   let st =
     {
       timing;
-      banks;
+      rank;
       page_policy;
       power_down;
       now = 0;
       bus_next = 0;
       data_next = 0;
-      act_history = [];
       group_last_column =
         Array.make (max 1 timing.Timing.bank_groups)
           (- timing.Timing.tccd - timing.Timing.tccd);
@@ -293,9 +282,8 @@ let run ?(page_policy = Open_page) ?(power_down = No_power_down)
     | r :: rest ->
       if r.Trace.arrival > st.now then None
       else
-        let bank = st.banks.(r.Trace.bank) in
-        (match Bank.state bank with
-         | Bank.Active row when row = r.Trace.row ->
+        (match Legality.state st.rank r.Trace.bank with
+         | Legality.Active row when row = r.Trace.row ->
            Some (r, List.rev_append taken rest)
          | _ -> pick_hit (r :: taken) rest)
   in

@@ -1,0 +1,194 @@
+(* Standalone per-bank / rank command-legality checker.
+
+   This is the single definition of DRAM command legality: the
+   simulator's bank FSM ({!Bank}) is a one-bank view of it and the
+   FR-FCFS controller drives a whole rank through it, while the lint
+   pattern pass replays command patterns through the same code — so
+   the simulator and `vdram lint` can never disagree about what a
+   legal command stream is. *)
+
+exception Timing_violation of string
+
+type bank_state =
+  | Idle
+  | Active of int
+
+type command = Activate | Read | Write | Precharge | Refresh
+
+type kind =
+  | Bank_busy      (* the bank's row state forbids the command *)
+  | Act_to_act     (* same-bank activate inside the tRC/tRP window *)
+  | Act_spacing    (* rank-level tRRD between activates *)
+  | Four_activate  (* more than four activates per tFAW window *)
+  | Col_timing     (* column command before tRCD/tCCD allow *)
+  | Pre_timing     (* precharge before tRAS/tWR allow *)
+  | Ref_timing     (* refresh before tRP/tRC allow *)
+
+type violation = {
+  command : command;
+  kind : kind;
+  bank : int;
+  at : int;
+  earliest : int;
+}
+
+type t = {
+  timing : Timing.t;
+  states : bank_state array;
+  next_activate : int array;
+  next_column : int array;
+  next_precharge : int array;
+  mutable act_history : int list;  (* recent activates, newest first *)
+}
+
+let create timing ~banks =
+  if banks < 1 then invalid_arg "Legality.create: banks must be positive";
+  {
+    timing;
+    states = Array.make banks Idle;
+    next_activate = Array.make banks 0;
+    next_column = Array.make banks 0;
+    next_precharge = Array.make banks 0;
+    act_history = [];
+  }
+
+let banks t = Array.length t.states
+let timing t = t.timing
+let state t bank = t.states.(bank)
+let earliest_activate t bank = t.next_activate.(bank)
+let earliest_column t bank = t.next_column.(bank)
+let earliest_precharge t bank = t.next_precharge.(bank)
+
+(* Rank-level tRRD / tFAW gate over the recent activate history. *)
+let activate_gate t =
+  let trrd_gate =
+    match t.act_history with
+    | [] -> 0
+    | last :: _ -> last + t.timing.Timing.trrd
+  in
+  let tfaw_gate =
+    match List.nth_opt t.act_history 3 with
+    | Some fourth -> fourth + t.timing.Timing.tfaw
+    | None -> 0
+  in
+  max trrd_gate tfaw_gate
+
+let command_name = function
+  | Activate -> "activate"
+  | Read -> "read"
+  | Write -> "write"
+  | Precharge -> "precharge"
+  | Refresh -> "refresh"
+
+let message v =
+  match (v.command, v.kind) with
+  | Activate, Bank_busy -> Printf.sprintf "activate at %d: bank not idle" v.at
+  | Activate, Act_to_act ->
+    Printf.sprintf "activate at %d before tRC/tRP allows (%d)" v.at v.earliest
+  | Activate, Act_spacing ->
+    Printf.sprintf "activate at %d before tRRD allows (%d)" v.at v.earliest
+  | Activate, Four_activate ->
+    Printf.sprintf "activate at %d violates the four-activate window (tFAW, %d)"
+      v.at v.earliest
+  | Activate, _ ->
+    Printf.sprintf "activate at %d before %d allows" v.at v.earliest
+  | (Read | Write), Bank_busy ->
+    Printf.sprintf "column command at %d: no open row" v.at
+  | (Read | Write), _ ->
+    Printf.sprintf "column at %d before tRCD/tCCD allows (%d)" v.at v.earliest
+  | Precharge, Bank_busy ->
+    Printf.sprintf "precharge at %d: bank already idle" v.at
+  | Precharge, _ ->
+    Printf.sprintf "precharge at %d before tRAS/tWR allows (%d)" v.at
+      v.earliest
+  | Refresh, Bank_busy ->
+    Printf.sprintf "refresh at %d: bank not precharged" v.at
+  | Refresh, _ ->
+    Printf.sprintf "refresh at %d before tRP allows (%d)" v.at v.earliest
+
+let enforce = function
+  | [] -> ()
+  | v :: _ -> raise (Timing_violation (message v))
+
+(* Commands check legality first and apply their state transition only
+   when legal, so an illegal command never corrupts the tracked state
+   (the bank FSM relied on exactly that before the extraction). *)
+
+let activate t ~bank ~at ~row =
+  let viol = ref [] in
+  let push kind earliest =
+    viol := { command = Activate; kind; bank; at; earliest } :: !viol
+  in
+  (match t.states.(bank) with Active _ -> push Bank_busy at | Idle -> ());
+  if at < t.next_activate.(bank) then push Act_to_act t.next_activate.(bank);
+  (* tRRD / tFAW order activates across *different* banks of a rank; a
+     single-bank checker is a plain bank FSM, where same-bank spacing
+     is already governed by the (longer) tRC window. *)
+  if Array.length t.states > 1 then begin
+    (match t.act_history with
+     | last :: _ when at < last + t.timing.Timing.trrd ->
+       push Act_spacing (last + t.timing.Timing.trrd)
+     | _ -> ());
+    match List.nth_opt t.act_history 3 with
+    | Some fourth when at < fourth + t.timing.Timing.tfaw ->
+      push Four_activate (fourth + t.timing.Timing.tfaw)
+    | _ -> ()
+  end;
+  let violations = List.rev !viol in
+  if violations = [] then begin
+    t.states.(bank) <- Active row;
+    t.next_column.(bank) <- at + t.timing.Timing.trcd;
+    t.next_precharge.(bank) <- at + t.timing.Timing.tras;
+    t.next_activate.(bank) <- at + t.timing.Timing.trc;
+    t.act_history <- at :: t.act_history;
+    match t.act_history with
+    | a :: b :: c :: d :: _ -> t.act_history <- [ a; b; c; d ]
+    | _ -> ()
+  end;
+  violations
+
+let column t ~bank ~at ~write =
+  let command = if write then Write else Read in
+  match t.states.(bank) with
+  | Idle -> [ { command; kind = Bank_busy; bank; at; earliest = at } ]
+  | Active _ ->
+    if at < t.next_column.(bank) then
+      [ { command; kind = Col_timing; bank; at;
+          earliest = t.next_column.(bank) } ]
+    else begin
+      t.next_column.(bank) <- at + t.timing.Timing.tccd;
+      let release =
+        if write then
+          at + t.timing.Timing.twl + t.timing.Timing.tccd
+          + t.timing.Timing.twr
+        else at + t.timing.Timing.trtp
+      in
+      t.next_precharge.(bank) <- max t.next_precharge.(bank) release;
+      []
+    end
+
+let precharge t ~bank ~at =
+  match t.states.(bank) with
+  | Idle -> [ { command = Precharge; kind = Bank_busy; bank; at; earliest = at } ]
+  | Active _ ->
+    if at < t.next_precharge.(bank) then
+      [ { command = Precharge; kind = Pre_timing; bank; at;
+          earliest = t.next_precharge.(bank) } ]
+    else begin
+      t.states.(bank) <- Idle;
+      t.next_activate.(bank) <-
+        max t.next_activate.(bank) (at + t.timing.Timing.trp);
+      []
+    end
+
+let refresh t ~bank ~at =
+  match t.states.(bank) with
+  | Active _ -> [ { command = Refresh; kind = Bank_busy; bank; at; earliest = at } ]
+  | Idle ->
+    if at < t.next_activate.(bank) then
+      [ { command = Refresh; kind = Ref_timing; bank; at;
+          earliest = t.next_activate.(bank) } ]
+    else begin
+      t.next_activate.(bank) <- at + t.timing.Timing.trfc;
+      []
+    end

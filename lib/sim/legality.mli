@@ -1,0 +1,75 @@
+(** Standalone per-bank / rank command-legality checker.
+
+    Tracks the row state and timing windows of every bank in a rank
+    (per-bank tRC / tRCD / tRAS / tRP / tWR, rank-level tRRD and the
+    four-activate tFAW window) and judges each command against them.
+    Commands return the list of constraints they violate — the empty
+    list means the command was legal and the state transition was
+    applied; a violating command leaves the state untouched.
+
+    The simulator consumes this component ({!Bank} is its single-bank
+    view, {!Controller} drives a whole rank through it) and the lint
+    V08xx pattern pass replays command patterns through it, so the
+    simulator and `vdram lint` share one definition of legality. *)
+
+exception Timing_violation of string
+
+type bank_state =
+  | Idle
+  | Active of int  (** open row *)
+
+type command = Activate | Read | Write | Precharge | Refresh
+
+type kind =
+  | Bank_busy      (** the bank's row state forbids the command *)
+  | Act_to_act     (** same-bank activate inside the tRC/tRP window *)
+  | Act_spacing    (** rank-level tRRD between activates *)
+  | Four_activate  (** more than four activates per tFAW window *)
+  | Col_timing     (** column command before tRCD/tCCD allow *)
+  | Pre_timing     (** precharge before tRAS/tWR allow *)
+  | Ref_timing     (** refresh before tRP/tRC allow *)
+
+type violation = {
+  command : command;
+  kind : kind;
+  bank : int;
+  at : int;        (** issue cycle of the offending command *)
+  earliest : int;  (** first cycle at which it would have been legal *)
+}
+
+type t
+
+val create : Timing.t -> banks:int -> t
+(** A rank of [banks] idle banks.  Raises [Invalid_argument] when
+    [banks < 1]. *)
+
+val banks : t -> int
+val timing : t -> Timing.t
+val state : t -> int -> bank_state
+
+val earliest_activate : t -> int -> int
+val earliest_column : t -> int -> int
+(** Meaningful only while the bank's row is open. *)
+
+val earliest_precharge : t -> int -> int
+
+val activate_gate : t -> int
+(** The rank-level earliest activate cycle implied by tRRD and tFAW
+    over the recent activate history (0 when unconstrained). *)
+
+val activate : t -> bank:int -> at:int -> row:int -> violation list
+val column : t -> bank:int -> at:int -> write:bool -> violation list
+val precharge : t -> bank:int -> at:int -> violation list
+val refresh : t -> bank:int -> at:int -> violation list
+(** All-bank refresh component for one bank: requires the bank idle,
+    occupies tRFC. *)
+
+val command_name : command -> string
+val message : violation -> string
+(** The human rendering of a violation (the strings the simulator's
+    [Timing_violation] exceptions have always carried). *)
+
+val enforce : violation list -> unit
+(** [()] on the empty list; raises [Timing_violation] with the
+    {!message} of the first violation otherwise — the bridge from the
+    collecting interface to the simulator's exception discipline. *)

@@ -10,6 +10,7 @@ let () =
       ("core", Test_core.suite);
       ("dsl", Test_dsl.suite);
       ("diagnostics", Test_diagnostics.suite);
+      ("semantic", Test_semantic.suite);
       ("datasheets", Test_datasheets.suite);
       ("configs", Test_configs.suite);
       ("analysis", Test_analysis.suite);

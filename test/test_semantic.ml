@@ -1,0 +1,663 @@
+(* Semantic lint v2: error-accumulating elaboration, structured
+   fix-its (--fix), floorplan coordinate checks (V07xx), bank-aware
+   pattern legality (V08xx, shared with the simulator's scheduler),
+   the SARIF renderer and the exit-code contract. *)
+
+module Code = Vdram_diagnostics.Code
+module Span = Vdram_diagnostics.Span
+module D = Vdram_diagnostics.Diagnostic
+module Fix = Vdram_diagnostics.Fix
+module Suggest = Vdram_diagnostics.Suggest
+module Parser = Vdram_dsl.Parser
+module Printer = Vdram_dsl.Printer
+module Ast = Vdram_dsl.Ast
+module Elaborate = Vdram_dsl.Elaborate
+module Lint = Vdram_lint.Lint
+module Timing = Vdram_sim.Timing
+module Legality = Vdram_sim.Legality
+module Pattern = Vdram_core.Pattern
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay
+    && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let codes_of diags = List.map (fun (d : D.t) -> d.D.code) diags
+
+(* ----- registry self-check ----------------------------------------- *)
+
+let test_registry_self_check () =
+  Alcotest.(check (list string))
+    "registry passes its startup self-check" [] (Code.self_check ());
+  Helpers.check_true "V07xx band reserved"
+    (List.mem_assoc "V07" Code.bands);
+  Helpers.check_true "V08xx band reserved"
+    (List.mem_assoc "V08" Code.bands)
+
+(* ----- error-accumulating elaboration ------------------------------ *)
+
+let accumulating_source =
+  String.concat "\n"
+    [ "Device"; "Part name=acc node=banana"; "";
+      "Specification"; "IO width=16 datarate=1.6Gbps";
+      "Density mbits=zero"; "";
+      "Technology"; "Set cbitlinez=75fF"; "";
+      "FloorplanSignaling"; "WriteDta length=450um toggle=25%"; "" ]
+
+let test_accumulates_errors () =
+  (* One run must surface at least three distinct elaboration errors
+     (the old fail-fast driver stopped at the first). *)
+  let r = Lint.run accumulating_source in
+  let errs =
+    List.filter D.is_error r.Lint.diagnostics |> codes_of
+    |> List.sort_uniq compare
+  in
+  Helpers.check_true
+    (Printf.sprintf "at least 3 distinct error codes in one run (got %s)"
+       (String.concat "," errs))
+    (List.length errs >= 3);
+  (* Every error points somewhere in the source. *)
+  List.iter
+    (fun (d : D.t) ->
+      if D.is_error d then
+        Helpers.check_true (d.D.code ^ " is spanned")
+          (not (Span.is_none d.D.span)))
+    r.Lint.diagnostics
+
+let test_elaborate_tuple_contract () =
+  match Parser.parse accumulating_source with
+  | Error _ -> Alcotest.fail "source must parse"
+  | Ok ast ->
+    let cfg, diags = Elaborate.elaborate ast in
+    Helpers.check_true "diagnostics accumulated"
+      (List.length (List.filter D.is_error diags) >= 2);
+    (* to_result gives the old fail-fast view. *)
+    (match Elaborate.to_result (cfg, diags) with
+     | Ok _ -> Alcotest.fail "errors must surface through to_result"
+     | Error e ->
+       Helpers.check_true "first error is coded" (e.Parser.code <> ""));
+    (* A clean description elaborates with no diagnostics. *)
+    (match Parser.parse "Device\nPart name=t node=65nm\n" with
+     | Error _ -> Alcotest.fail "clean source must parse"
+     | Ok ast ->
+       let cfg, diags = Elaborate.elaborate ast in
+       Helpers.check_true "clean description has a config" (cfg <> None);
+       Alcotest.(check (list string)) "clean description has no diags" []
+         (codes_of diags))
+
+(* ----- structured fix-its ------------------------------------------ *)
+
+let span line a b = Span.of_cols ~start:a ~stop:b line
+
+let test_fix_apply () =
+  let source = "IO widht=16\nSet x=1" in
+  (* Replacement. *)
+  let fixed, n = Fix.apply ~source [ Fix.v ~span:(span 1 4 9) "width" ] in
+  Alcotest.(check string) "replace" "IO width=16\nSet x=1" fixed;
+  Alcotest.(check int) "one applied" 1 n;
+  (* Zero-width span inserts. *)
+  let fixed, n = Fix.apply ~source [ Fix.v ~span:(span 1 4 4) "re" ] in
+  Alcotest.(check string) "insert" "IO rewidht=16\nSet x=1" fixed;
+  Alcotest.(check int) "insert applied" 1 n;
+  (* Overlapping fixes: first in source order wins. *)
+  let fixed, n =
+    Fix.apply ~source
+      [ Fix.v ~span:(span 1 4 9) "width"; Fix.v ~span:(span 1 4 9) "depth" ]
+  in
+  Alcotest.(check string) "first wins" "IO width=16\nSet x=1" fixed;
+  Alcotest.(check int) "conflict dropped" 1 n;
+  (* Disjoint fixes on one line both apply. *)
+  let fixed, n =
+    Fix.apply ~source
+      [ Fix.v ~span:(span 1 1 3) "DQ"; Fix.v ~span:(span 1 4 9) "width" ]
+  in
+  Alcotest.(check string) "both apply" "DQ width=16\nSet x=1" fixed;
+  Alcotest.(check int) "two applied" 2 n;
+  (* Spanless or out-of-range fixes are ignored. *)
+  let _, n =
+    Fix.apply ~source
+      [ Fix.v ~span:Span.none "x"; Fix.v ~span:(span 9 1 2) "y" ]
+  in
+  Alcotest.(check int) "nothing applied" 0 n
+
+let test_suggest () =
+  Alcotest.(check int) "transposition distance" 2
+    (Suggest.distance "widht" "width");
+  Alcotest.(check int) "identity distance" 0
+    (Suggest.distance "width" "width");
+  Alcotest.(check (option string)) "near miss" (Some "width")
+    (Suggest.nearest ~candidates:[ "width"; "datarate" ] "widht");
+  Alcotest.(check (option string)) "case-insensitive" (Some "voltages")
+    (Suggest.nearest ~candidates:[ "voltages" ] "Voltagez");
+  Alcotest.(check (option string)) "too far" None
+    (Suggest.nearest ~candidates:[ "width" ] "frequency")
+
+let fixable = "fixtures/fixable.dram"
+
+let test_fix_roundtrip () =
+  (* The acceptance loop behind `vdram lint --fix`: every finding in
+     the fixture carries a fix; applying them yields a description
+     that re-lints clean. *)
+  if Sys.file_exists fixable then begin
+    let r = Lint.run_file fixable in
+    Helpers.check_true "fixture has findings" (r.Lint.diagnostics <> []);
+    List.iter
+      (fun (d : D.t) ->
+        Helpers.check_true (d.D.code ^ " carries a fix") (d.D.fixes <> []))
+      r.Lint.diagnostics;
+    let fixed, applied = Lint.apply_fixes r in
+    Helpers.check_true "fixes applied" (applied >= 3);
+    let r' = Lint.run ~file:fixable fixed in
+    if r'.Lint.diagnostics <> [] then
+      Alcotest.failf "fixed source not clean:\n%s"
+        (Format.asprintf "%a" Lint.pp_text r')
+  end
+
+(* ----- print/parse round trip -------------------------------------- *)
+
+(* The AST with spans erased: what --fix relies on Printer.print to
+   preserve. *)
+let strip ast =
+  List.map
+    (fun (s : Ast.section) ->
+      ( s.Ast.section_name,
+        List.map
+          (fun (st : Ast.stmt) -> (st.Ast.keyword, st.Ast.args, st.Ast.positional))
+          s.Ast.stmts ))
+    ast
+
+let test_print_parse_roundtrip () =
+  let files =
+    [ "../examples/ddr3_1gb.dram"; "../examples/ddr5_16g.dram";
+      "../examples/lpddr_mobile.dram"; "../examples/sdr_128m.dram";
+      "fixtures/bad_vpp_headroom.dram"; "fixtures/fixable.dram" ]
+  in
+  List.iter
+    (fun path ->
+      if Sys.file_exists path then begin
+        let source = In_channel.with_open_text path In_channel.input_all in
+        match Parser.parse source with
+        | Error e ->
+          Alcotest.failf "%s: %s" path
+            (Format.asprintf "%a" Parser.pp_error e)
+        | Ok ast ->
+          (match Parser.parse (Printer.print ast) with
+           | Error e ->
+             Alcotest.failf "%s: reprint does not parse: %s" path
+               (Format.asprintf "%a" Parser.pp_error e)
+           | Ok ast' ->
+             if strip ast <> strip ast' then
+               Alcotest.failf "%s: print/parse round trip changed the AST"
+                 path)
+      end)
+    files
+
+(* ----- floorplan coordinate checks (V07xx) ------------------------- *)
+
+let fp_base signaling =
+  String.concat "\n"
+    [ "Device"; "Part name=fp node=170nm"; "";
+      "FloorplanPhysical";
+      "CellArray BitsPerBL=256 BitsPerLWL=256 BLtype=folded Page=8192";
+      "Horizontal blocks = A0 R0 A1";
+      "Vertical blocks = C0 AR0 P0 AR1 C1";
+      "SizeHorizontal R0=400um";
+      "SizeVertical C0=380um P0=1000um C1=380um"; "";
+      "FloorplanSignaling"; signaling; "" ]
+
+let test_floorplan_codes () =
+  (* start= outside the declared 3 x 5 grid: error, caught during
+     elaboration. *)
+  let r = Lint.run (fp_base "RowAddress wires=12 start=0_9 end=1_2") in
+  Helpers.check_true "V0701 out-of-grid"
+    (List.mem "V0701" (codes_of r.Lint.diagnostics));
+  Helpers.check_true "V0701 is an error" (Lint.errors r > 0);
+  (match
+     List.find_opt
+       (fun (d : D.t) -> d.D.code = "V0701")
+       r.Lint.diagnostics
+   with
+   | Some d ->
+     Helpers.check_true "V0701 points at the coordinate"
+       (d.D.span.Span.line > 0 && d.D.span.Span.col_start > 1)
+   | None -> Alcotest.fail "V0701 missing");
+  (* start = end: zero-length route, warning. *)
+  let r = Lint.run (fp_base "Command wires=4 start=1_2 end=1_2") in
+  Helpers.check_true "V0702 zero-length route"
+    (List.mem "V0702" (codes_of r.Lint.diagnostics));
+  Alcotest.(check int) "V0702 is a warning" 0 (Lint.errors r);
+  (* fraction outside (0, 1]. *)
+  let r =
+    Lint.run (fp_base "ReadData wires=16 inside=1_2 fraction=150% dir=h")
+  in
+  Helpers.check_true "V0703 fraction out of range"
+    (List.mem "V0703" (codes_of r.Lint.diagnostics));
+  (* All in-grid, distinct, sane fraction: silent. *)
+  let r =
+    Lint.run (fp_base "Command wires=4 start=0_2 end=2_2 toggle=25%")
+  in
+  Helpers.check_true "legal signaling stays clean"
+    (not
+       (List.exists
+          (fun c -> List.mem c [ "V0701"; "V0702"; "V0703" ])
+          (codes_of r.Lint.diagnostics)))
+
+(* ----- bank-aware pattern legality (V08xx) ------------------------- *)
+
+let ddr3ish pattern_loop =
+  String.concat "\n"
+    [ "Device"; "Part name=burst node=65nm"; "";
+      "Specification"; "IO width=8 datarate=1.6Gbps";
+      "Banks number=8"; "Timing trc=37.5ns trcd=13.75ns trp=13.75ns"; "";
+      "Pattern"; "Pattern loop= " ^ pattern_loop; "" ]
+
+let reject : Legality.violation Alcotest.testable =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Legality.message v))
+    ( = )
+
+let test_bank_legality_vs_aggregate () =
+  (* Two back-to-back activates in a 16-cycle loop: the old aggregate
+     bounds (acts * tRC <= cycles * banks, acts * tFAW <= cycles * 4)
+     accept it, but the scheduler rejects the placement — tRRD keeps
+     activates apart regardless of the average rate. *)
+  let loop =
+    "act act nop nop nop nop nop nop nop nop nop nop nop nop nop nop"
+  in
+  let r = Lint.run (ddr3ish loop) in
+  let cs = codes_of r.Lint.diagnostics in
+  Helpers.check_true "no aggregate V0602 (superseded)"
+    (not (List.mem "V0602" cs));
+  Helpers.check_true "V0802 tRRD spacing flagged" (List.mem "V0802" cs);
+  Alcotest.(check int) "legality findings are warnings" 0 (Lint.errors r);
+  (* The aggregate bounds really do accept this pattern. *)
+  (match Elaborate.load_string (ddr3ish loop) with
+   | Error _ -> Alcotest.fail "description must elaborate"
+   | Ok { Elaborate.config; pattern } ->
+     let p = Option.get pattern in
+     let t = Timing.of_config config in
+     let banks = config.Vdram_core.Config.spec.Vdram_core.Spec.banks in
+     let acts = Pattern.count p Pattern.Act in
+     let cycles = Pattern.cycles p in
+     Helpers.check_true "old tRC aggregate bound accepts the pattern"
+       (acts * t.Timing.trc <= cycles * banks);
+     Helpers.check_true "old tFAW aggregate bound accepts the pattern"
+       (acts * t.Timing.tfaw <= cycles * 4);
+     (* Shared component: the simulator's own legality checker rejects
+        the same command stream, so lint and sim cannot disagree. *)
+     let rank = Legality.create t ~banks in
+     Alcotest.(check (list reject)) "first activate legal" []
+       (Legality.activate rank ~bank:0 ~at:0 ~row:0);
+     let vs = Legality.activate rank ~bank:1 ~at:1 ~row:0 in
+     Helpers.check_true "scheduler rejects the second activate"
+       (List.exists
+          (fun v -> v.Legality.kind = Legality.Act_spacing)
+          vs);
+     Helpers.check_true "enforce raises for the simulator"
+       (try
+          Legality.enforce vs;
+          false
+        with Legality.Timing_violation _ -> true))
+
+let test_trc_reuse_flagged () =
+  (* Two banks, two activates per 32-cycle loop: the round-robin
+     rotation wraps back to bank 0 only 32 cycles after its previous
+     activate — inside tRC (40 clocks at 800 MHz) even though the
+     bank precharged legally: V0801. *)
+  let nops n = String.concat " " (List.init n (fun _ -> "nop")) in
+  let source =
+    String.concat "\n"
+      [ "Device"; "Part name=twobank node=65nm"; "";
+        "Specification"; "IO width=8 datarate=1.6Gbps";
+        "Banks number=2"; "Control frequency=800MHz";
+        "Timing trc=50ns trcd=15ns trp=15ns"; "";
+        "Pattern";
+        Printf.sprintf "Pattern loop= act %s act %s pre nop pre nop"
+          (nops 7) (nops 19); "" ]
+  in
+  let r = Lint.run source in
+  Helpers.check_true
+    (Printf.sprintf "V0801 tRC reuse flagged (got %s)"
+       (String.concat "," (codes_of r.Lint.diagnostics)))
+    (List.mem "V0801" (codes_of r.Lint.diagnostics))
+
+let test_four_activate_window () =
+  (* Direct shared-component check of the tFAW window: five activates
+     legal on tRRD spacing but the fifth inside tFAW. *)
+  let t =
+    {
+      Timing.tck = 1e-9; trcd = 4; trp = 4; tras = 10; trc = 14; trrd = 2;
+      tfaw = 20; tccd = 2; tccd_l = 2; bank_groups = 1; cl = 4; twl = 3;
+      twr = 4; trtp = 3; trefi = 7800; trfc = 128; txp = 3;
+    }
+  in
+  let rank = Legality.create t ~banks:8 in
+  List.iteri
+    (fun i at ->
+      Alcotest.(check int)
+        (Printf.sprintf "activate %d legal" i)
+        0
+        (List.length (Legality.activate rank ~bank:i ~at ~row:0)))
+    [ 0; 2; 4; 6 ];
+  let vs = Legality.activate rank ~bank:4 ~at:8 ~row:0 in
+  Helpers.check_true "fifth activate trips tFAW"
+    (List.exists
+       (fun v -> v.Legality.kind = Legality.Four_activate)
+       vs);
+  (* Past the window it becomes legal (state untouched by the
+     rejection). *)
+  Alcotest.(check int) "fifth activate legal after the window" 0
+    (List.length (Legality.activate rank ~bank:4 ~at:20 ~row:0))
+
+let test_examples_bank_legal () =
+  (* The shipped example patterns are schedulable: the V08xx replay
+     stays silent on all of them. *)
+  List.iter
+    (fun name ->
+      let path = Filename.concat "../examples" name in
+      if Sys.file_exists path then begin
+        let r = Lint.run_file path in
+        List.iter
+          (fun (d : D.t) ->
+            if List.mem d.D.code [ "V0801"; "V0802"; "V0803" ] then
+              Alcotest.failf "%s: unexpected %s: %s" name d.D.code
+                d.D.message)
+          r.Lint.diagnostics
+      end)
+    [ "ddr3_1gb.dram"; "ddr5_16g.dram"; "lpddr_mobile.dram";
+      "sdr_128m.dram" ]
+
+(* ----- SARIF ------------------------------------------------------- *)
+
+(* A tiny JSON reader — just enough to check the SARIF output is
+   well-formed and structurally a 2.1.0 log.  No external deps. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    String.iter (fun c -> expect c) lit;
+    v
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some 'u' ->
+           advance ();
+           let hex = String.sub s !pos 4 in
+           pos := !pos + 4;
+           Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+           go ()
+         | Some c ->
+           advance ();
+           Buffer.add_char b
+             (match c with
+              | 'n' -> '\n'
+              | 't' -> '\t'
+              | 'r' -> '\r'
+              | 'b' -> '\b'
+              | 'f' -> '\012'
+              | c -> c);
+           go ()
+         | None -> fail "bad escape")
+      | Some c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let numchar = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> numchar c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (number ())
+    | None -> fail "unexpected end"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj fields ->
+    (match List.assoc_opt k fields with
+     | Some v -> v
+     | None -> raise (Bad_json ("missing member " ^ k)))
+  | _ -> raise (Bad_json ("not an object looking up " ^ k))
+
+let as_str = function
+  | Str s -> s
+  | _ -> raise (Bad_json "expected string")
+
+let as_arr = function
+  | Arr l -> l
+  | _ -> raise (Bad_json "expected array")
+
+let as_num = function
+  | Num f -> f
+  | _ -> raise (Bad_json "expected number")
+
+let test_sarif_structure () =
+  (* The SARIF log must be well-formed JSON and satisfy the 2.1.0
+     schema's required properties for the pieces we emit: version,
+     runs[].tool.driver.name, results[].message.text, physical
+     locations with 1-based regions, and rule metadata every result
+     indexes into. *)
+  let r1 = Lint.run ~file:"a.dram" accumulating_source in
+  let r2 =
+    Lint.run ~file:"b.dram" (fp_base "Command wires=4 start=1_2 end=1_2")
+  in
+  let log = Lint.to_sarif [ r1; r2 ] in
+  let j = parse_json log in
+  Alcotest.(check string) "version" "2.1.0" (as_str (member "version" j));
+  Helpers.check_true "schema URI names 2.1.0"
+    (contains (as_str (member "$schema" j)) "sarif-schema-2.1.0");
+  (match as_arr (member "runs" j) with
+   | [ run ] ->
+     let driver = member "driver" (member "tool" run) in
+     Alcotest.(check string) "tool name" "vdram lint"
+       (as_str (member "name" driver));
+     let rules = as_arr (member "rules" driver) in
+     let rule_ids =
+       List.map (fun r -> as_str (member "id" r)) rules
+     in
+     Helpers.check_true "rules declared" (rules <> []);
+     let results = as_arr (member "results" run) in
+     let expected =
+       List.length r1.Lint.diagnostics + List.length r2.Lint.diagnostics
+     in
+     Alcotest.(check int) "one result per diagnostic" expected
+       (List.length results);
+     List.iter
+       (fun res ->
+         let rule_id = as_str (member "ruleId" res) in
+         Helpers.check_true (rule_id ^ " indexed in rules")
+           (List.mem rule_id rule_ids);
+         let idx = int_of_float (as_num (member "ruleIndex" res)) in
+         Alcotest.(check string) "ruleIndex points at its rule" rule_id
+           (List.nth rule_ids idx);
+         Helpers.check_true "level is a schema value"
+           (List.mem
+              (as_str (member "level" res))
+              [ "error"; "warning"; "note" ]);
+         Helpers.check_true "message text present"
+           (as_str (member "text" (member "message" res)) <> "");
+         match as_arr (member "locations" res) with
+         | [ loc ] ->
+           let phys = member "physicalLocation" loc in
+           let uri =
+             as_str (member "uri" (member "artifactLocation" phys))
+           in
+           Helpers.check_true "uri is one of the inputs"
+             (List.mem uri [ "a.dram"; "b.dram" ]);
+           let region = member "region" phys in
+           Helpers.check_true "startLine is 1-based"
+             (as_num (member "startLine" region) >= 1.0);
+           Helpers.check_true "columns ordered"
+             (as_num (member "endColumn" region)
+              >= as_num (member "startColumn" region))
+         | _ -> Alcotest.fail "expected one location per result")
+       results;
+     (* Fix-carrying diagnostics surface as SARIF fixes. *)
+     let with_fixes =
+       List.filter
+         (fun res ->
+           match res with
+           | Obj fields -> List.mem_assoc "fixes" fields
+           | _ -> false)
+         results
+     in
+     Helpers.check_true "at least one result carries fixes"
+       (with_fixes <> [])
+   | _ -> Alcotest.fail "expected exactly one run")
+
+(* ----- multi-file + exit-code contract ----------------------------- *)
+
+let test_exit_code_contract () =
+  let clean = Lint.run "Device\nPart name=t node=65nm\n" in
+  let warn =
+    Lint.run "Device\nPart name=t node=65nm\n\nSpecification\nIO widht=16\n"
+  in
+  let err = Lint.run accumulating_source in
+  Alcotest.(check int) "clean -> 0" 0 (Lint.exit_code [ clean ]);
+  Alcotest.(check int) "warnings tolerated -> 0" 0 (Lint.exit_code [ warn ]);
+  Alcotest.(check int) "warnings denied -> 1" 1
+    (Lint.exit_code ~deny_warnings:true [ warn ]);
+  Alcotest.(check int) "errors -> 2" 2 (Lint.exit_code [ err ]);
+  Alcotest.(check int) "errors dominate warnings" 2
+    (Lint.exit_code ~deny_warnings:true [ clean; warn; err ]);
+  Alcotest.(check int) "multi-file clean" 0
+    (Lint.exit_code [ clean; clean ])
+
+let test_dedup () =
+  (* The dimensions pass and accumulating elaboration see the same bad
+     literal; the driver must report it once. *)
+  let r = Lint.run "Device\nPart name=t node=banana\n" in
+  let at_span =
+    List.filter
+      (fun (d : D.t) -> d.D.span.Span.line = 2)
+      r.Lint.diagnostics
+  in
+  Alcotest.(check int) "one diagnostic for one bad literal" 1
+    (List.length at_span)
+
+let suite =
+  [
+    Alcotest.test_case "registry self-check" `Quick test_registry_self_check;
+    Alcotest.test_case "accumulates errors" `Quick test_accumulates_errors;
+    Alcotest.test_case "elaborate tuple contract" `Quick
+      test_elaborate_tuple_contract;
+    Alcotest.test_case "fix application" `Quick test_fix_apply;
+    Alcotest.test_case "suggestions" `Quick test_suggest;
+    Alcotest.test_case "fix round trip" `Quick test_fix_roundtrip;
+    Alcotest.test_case "print/parse round trip" `Quick
+      test_print_parse_roundtrip;
+    Alcotest.test_case "floorplan codes" `Quick test_floorplan_codes;
+    Alcotest.test_case "bank legality vs aggregate" `Quick
+      test_bank_legality_vs_aggregate;
+    Alcotest.test_case "tRC reuse flagged" `Quick test_trc_reuse_flagged;
+    Alcotest.test_case "four-activate window" `Quick
+      test_four_activate_window;
+    Alcotest.test_case "examples bank-legal" `Quick test_examples_bank_legal;
+    Alcotest.test_case "SARIF structure" `Quick test_sarif_structure;
+    Alcotest.test_case "exit codes" `Quick test_exit_code_contract;
+    Alcotest.test_case "front-end dedup" `Quick test_dedup;
+  ]
