@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench examples clean doc export
+.PHONY: all build test check lint bench bench-analysis examples clean doc export
 
 all: build
 
@@ -16,6 +16,9 @@ check: test lint
 bench:
 	dune exec bench/main.exe
 	dune exec bench/bench_lint.exe
+
+bench-analysis:
+	dune exec bin/vdram.exe -- bench-analysis
 
 examples:
 	dune exec examples/quickstart.exe

@@ -28,6 +28,11 @@ module Compare = Vdram_datasheets.Compare
 module Idd = Vdram_datasheets.Idd
 module Sensitivity = Vdram_analysis.Sensitivity
 module Trends = Vdram_analysis.Trends
+module Engine = Vdram_engine.Engine
+
+(* One shared engine for every regeneration below: repeated devices hit
+   the stage caches, and batches fan out on the domain pool. *)
+let engine = Engine.create ()
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -139,7 +144,7 @@ let vendor_spread () =
   List.iter
     (fun spread ->
       let d =
-        Vdram_analysis.Corners.run ~samples:150 ~spread ~seed:11 cfg
+        Vdram_analysis.Corners.run ~engine ~samples:150 ~spread ~seed:11 cfg
       in
       Format.printf "  %a@." Vdram_analysis.Corners.pp d)
     [ 0.05; 0.10; 0.15 ];
@@ -156,7 +161,7 @@ let fig10 () =
   header "Figure 10: power change under +-20% parameter variation";
   List.iter
     (fun cfg ->
-      let s = Sensitivity.run cfg in
+      let s = Sensitivity.run ~engine cfg in
       Printf.printf "\n-- %s (nominal %.1f mW, %s) --\n" cfg.Config.name
         (s.Sensitivity.nominal_power *. 1e3)
         s.Sensitivity.pattern_name;
@@ -170,7 +175,7 @@ let fig10 () =
 
 let fig10_chart () =
   header "Figure 10 (chart): tornado for 2G DDR3 55nm";
-  let s = Sensitivity.run Devices.ddr3_2g in
+  let s = Sensitivity.run ~engine Devices.ddr3_2g in
   print_string
     (Vdram_plot.Chart.bars
        (List.map
@@ -182,7 +187,7 @@ let table3 () =
   header "Table III: top-10 sensitivity ranking";
   let tops =
     List.map
-      (fun cfg -> (cfg.Config.name, Sensitivity.top 10 (Sensitivity.run cfg)))
+      (fun cfg -> (cfg.Config.name, Sensitivity.top 10 (Sensitivity.run ~engine cfg)))
       Devices.table3_devices
   in
   List.iter (fun (name, _) -> Printf.printf "%-38s" name) tops;
@@ -201,7 +206,7 @@ let table3 () =
     print_newline ()
   done
 
-let trend_points = lazy (Trends.all ())
+let trend_points = lazy (Trends.all ~engine ())
 
 let fig11 () =
   header "Figure 11: voltage trends";
@@ -284,10 +289,10 @@ let fig13 () =
 
 let section5 () =
   header "Section V: power-reduction scheme comparison (2G DDR3 55nm)";
-  let results = Vdram_schemes.Evaluate.run_all Devices.ddr3_2g in
+  let results = Vdram_schemes.Evaluate.run_all ~engine Devices.ddr3_2g in
   Format.printf "%a@." Vdram_schemes.Evaluate.pp_table results;
   let combo =
-    Vdram_schemes.Evaluate.run_combined Devices.ddr3_2g
+    Vdram_schemes.Evaluate.run_combined ~engine Devices.ddr3_2g
       [ Vdram_schemes.Scheme.selective_bitline_activation;
         Vdram_schemes.Scheme.segmented_data_lines;
         Vdram_schemes.Scheme.low_voltage ]
@@ -336,16 +341,18 @@ let ablations () =
     Format.printf "%a@?" Vdram_analysis.Ablation.pp pts
   in
   show "activation granularity (motivates Section V)"
-    (Vdram_analysis.Ablation.page_size ~node
-       ~pages:[ 2048; 4096; 8192; 16384 ]);
+    (Vdram_analysis.Ablation.page_size ~engine ~node
+       ~pages:[ 2048; 4096; 8192; 16384 ] ());
   show "cells per bitline (energy vs array efficiency)"
-    (Vdram_analysis.Ablation.bitline_length ~node ~bits:[ 256; 512; 1024 ]);
+    (Vdram_analysis.Ablation.bitline_length ~engine ~node
+       ~bits:[ 256; 512; 1024 ] ());
   show "open vs folded bitline (Table II's 6F2 step)"
-    (Vdram_analysis.Ablation.bitline_style ~node);
+    (Vdram_analysis.Ablation.bitline_style ~engine ~node ());
   show "prefetch at fixed pin rate (the low-cost-core choice)"
-    (Vdram_analysis.Ablation.prefetch ~node ~prefetches:[ 2; 4; 8; 16 ]);
+    (Vdram_analysis.Ablation.prefetch ~engine ~node ~prefetches:[ 2; 4; 8; 16 ] ());
   show "cells per local wordline (segmentation is an area choice)"
-    (Vdram_analysis.Ablation.subarray_height ~node ~bits:[ 256; 512; 1024 ])
+    (Vdram_analysis.Ablation.subarray_height ~engine ~node
+       ~bits:[ 256; 512; 1024 ] ())
 
 let architectures () =
   header "Architecture variants (Section II) and standby states";
@@ -373,11 +380,13 @@ let architectures () =
   (* Where the power goes, per category: the paper's array-to-logic
      shift, old device vs future device. *)
   Printf.printf "\npower by category (Idd7-like pattern):\n";
-  List.iter
-    (fun cfg ->
-      let r =
-        Model.pattern_power cfg (Pattern.idd7_mixed cfg.Config.spec)
-      in
+  let reports =
+    Engine.map_jobs engine
+      (fun cfg -> Engine.eval engine cfg (Pattern.idd7_mixed cfg.Config.spec))
+      Devices.table3_devices
+  in
+  List.iter2
+    (fun cfg r ->
       Printf.printf "%-24s" cfg.Config.name;
       List.iter
         (fun (c, w) ->
@@ -386,7 +395,7 @@ let architectures () =
             (100.0 *. w /. r.Vdram_core.Report.power))
         (Vdram_core.Report.by_category r);
       print_newline ())
-    Devices.table3_devices
+    Devices.table3_devices reports
 
 let system_view () =
   header "System view: device + link (the paper's excluded Vddq piece)";
@@ -470,7 +479,7 @@ let bechamel_suite () =
         (Staged.stage
            (silent (fun () ->
                 ignore
-                  (Vdram_analysis.Ablation.bitline_style ~node:Node.N55))));
+                  (Vdram_analysis.Ablation.bitline_style ~node:Node.N55 ()))));
       Test.make ~name:"architectures: standby comparison"
         (Staged.stage
            (silent (fun () ->

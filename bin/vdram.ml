@@ -63,6 +63,29 @@ let pattern_arg =
     & info [ "pattern" ] ~docv:"LOOP"
         ~doc:"Command loop, e.g. 'act nop wrt nop rd nop pre nop'.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for batched evaluations (default: the \
+              recommended domain count of this machine).")
+
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:"Print per-stage timing and cache-hit counters to stderr.")
+
+let make_engine jobs = Vdram_engine.Engine.create ?jobs ()
+
+let report_timings timings engine =
+  if timings then
+    Format.eprintf "engine (%d jobs):@.%a@."
+      (Vdram_engine.Engine.jobs engine)
+      Vdram_engine.Engine.pp_stats
+      (Vdram_engine.Engine.stats engine)
+
 let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
 
 let load_config ?file ?density_mbits ?io_width ?datarate ~node () =
@@ -171,14 +194,16 @@ let sensitivity_cmd =
       value & opt int 15
       & info [ "top" ] ~docv:"N" ~doc:"Entries to print.")
   in
-  let run file node top pattern =
+  let run file node top pattern jobs timings =
     match load_config ?file ~node () with
     | Error e -> fail "%s" e
     | Ok (config, stored) ->
       (match resolve_pattern config stored pattern with
        | Error e -> fail "%s" e
        | Ok p ->
-         let s = Vdram_analysis.Sensitivity.run ~pattern:p config in
+         let engine = make_engine jobs in
+         let s = Vdram_analysis.Sensitivity.run ~engine ~pattern:p config in
+         report_timings timings engine;
          Format.printf "%s | %s | nominal %s@." s.Vdram_analysis.Sensitivity.config_name
            s.Vdram_analysis.Sensitivity.pattern_name
            (Vdram_units.Si.format_eng ~unit_symbol:"W"
@@ -194,34 +219,42 @@ let sensitivity_cmd =
   in
   let doc = "Rank parameters by power impact (Fig 10 / Table III)." in
   Cmd.v (Cmd.info "sensitivity" ~doc)
-    Term.(ret (const run $ file $ node $ top $ pattern_arg))
+    Term.(
+      ret (const run $ file $ node $ top $ pattern_arg $ jobs_arg
+         $ timings_arg))
 
 (* ----- trends ------------------------------------------------------ *)
 
 let trends_cmd =
-  let run () =
+  let run jobs timings =
+    let engine = make_engine jobs in
     List.iter
       (fun p -> Format.printf "%a@." Vdram_analysis.Trends.pp_point p)
-      (Vdram_analysis.Trends.all ());
+      (Vdram_analysis.Trends.all ~engine ());
+    report_timings timings engine;
     `Ok ()
   in
   let doc = "DRAM roadmap trends (Figs 11-13)." in
-  Cmd.v (Cmd.info "trends" ~doc) Term.(ret (const run $ const ()))
+  Cmd.v (Cmd.info "trends" ~doc)
+    Term.(ret (const run $ jobs_arg $ timings_arg))
 
 (* ----- schemes ----------------------------------------------------- *)
 
 let schemes_cmd =
-  let run file node =
+  let run file node jobs timings =
     match load_config ?file ~node () with
     | Error e -> fail "%s" e
     | Ok (config, _) ->
-      let results = Vdram_schemes.Evaluate.run_all config in
+      let engine = make_engine jobs in
+      let results = Vdram_schemes.Evaluate.run_all ~engine config in
+      report_timings timings engine;
       Format.printf "baseline: %s@.@.%a@." config.Config.name
         Vdram_schemes.Evaluate.pp_table results;
       `Ok ()
   in
   let doc = "Evaluate the Section V power-reduction schemes." in
-  Cmd.v (Cmd.info "schemes" ~doc) Term.(ret (const run $ file $ node))
+  Cmd.v (Cmd.info "schemes" ~doc)
+    Term.(ret (const run $ file $ node $ jobs_arg $ timings_arg))
 
 (* ----- simulate ---------------------------------------------------- *)
 
@@ -360,13 +393,22 @@ let lint_cmd =
           ~doc:"Apply the structured fix-its to the files in place \
                 (non-overlapping edits only) and lint the result.")
   in
-  let run files format deny allow fix =
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"With $(b,--fix): print a unified diff of the edits to \
+                standard output instead of rewriting the files.")
+  in
+  let run files format deny allow fix dry_run =
     match List.find_opt (fun c -> not (Code.is_known c)) allow with
     | Some c ->
       fail "unknown lint code %S (doc/DSL.md lists the inventory)" c
     | None ->
-      if fix && List.mem "-" files then
-        fail "--fix cannot rewrite standard input"
+      if dry_run && not fix then
+        fail "--dry-run only makes sense with --fix"
+      else if fix && (not dry_run) && List.mem "-" files then
+        fail "--fix cannot rewrite standard input (try --dry-run)"
       else begin
         let lint_one f =
           if f = "-" then Lint.run (In_channel.input_all In_channel.stdin)
@@ -378,6 +420,17 @@ let lint_cmd =
         in
         let reports =
           if not fix then List.map snd reports
+          else if dry_run then
+            List.map
+              (fun (f, r) ->
+                (match Lint.preview_fixes r with
+                 | None -> ()
+                 | Some (diff, applied) ->
+                   Printf.eprintf "%s: %d fix(es) available (dry run)\n%!"
+                     f applied;
+                   print_string diff);
+                r)
+              reports
           else
             List.map
               (fun (f, r) ->
@@ -426,7 +479,9 @@ let lint_cmd =
      warnings remain under $(b,--deny-warnings), 2 on errors."
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(ret (const run $ files $ format $ deny_warnings $ allow $ fix))
+    Term.(
+      ret
+        (const run $ files $ format $ deny_warnings $ allow $ fix $ dry_run))
 
 (* ----- corners ------------------------------------------------------ *)
 
@@ -439,21 +494,29 @@ let corners_cmd =
       value & opt float 0.10
       & info [ "spread" ] ~doc:"Half-width of the parameter band (0.10 = +-10%).")
   in
-  let run file node samples spread pattern =
+  let run file node samples spread pattern jobs timings =
     match load_config ?file ~node () with
     | Error e -> fail "%s" e
     | Ok (config, stored) ->
       (match resolve_pattern config stored pattern with
        | Error e -> fail "%s" e
        | Ok p ->
-         let d = Vdram_analysis.Corners.run ~samples ~spread ~pattern:p config in
+         let engine = make_engine jobs in
+         let d =
+           Vdram_analysis.Corners.run ~engine ~samples ~spread ~pattern:p
+             config
+         in
+         report_timings timings engine;
          Format.printf "%s | %s@.%a@." config.Config.name p.Pattern.name
            Vdram_analysis.Corners.pp d;
          `Ok ())
   in
   let doc = "Monte-Carlo parameter spread (the vendor-spread story)." in
   Cmd.v (Cmd.info "corners" ~doc)
-    Term.(ret (const run $ file $ node $ samples $ spread $ pattern_arg))
+    Term.(
+      ret
+        (const run $ file $ node $ samples $ spread $ pattern_arg $ jobs_arg
+       $ timings_arg))
 
 (* ----- states ------------------------------------------------------- *)
 
@@ -497,25 +560,123 @@ let ablate_cmd =
           `Activation
       & info [ "sweep" ] ~doc:"Which design choice to sweep.")
   in
-  let run node which =
+  let run node which jobs timings =
+    let engine = make_engine jobs in
     let pts =
       match which with
       | `Activation ->
-        Vdram_analysis.Ablation.page_size ~node
-          ~pages:[ 1024; 2048; 4096; 8192; 16384 ]
+        Vdram_analysis.Ablation.page_size ~engine ~node
+          ~pages:[ 1024; 2048; 4096; 8192; 16384 ] ()
       | `Bitline ->
-        Vdram_analysis.Ablation.bitline_length ~node ~bits:[ 256; 512; 1024 ]
-      | `Style -> Vdram_analysis.Ablation.bitline_style ~node
+        Vdram_analysis.Ablation.bitline_length ~engine ~node
+          ~bits:[ 256; 512; 1024 ] ()
+      | `Style -> Vdram_analysis.Ablation.bitline_style ~engine ~node ()
       | `Prefetch ->
-        Vdram_analysis.Ablation.prefetch ~node ~prefetches:[ 2; 4; 8; 16; 32 ]
+        Vdram_analysis.Ablation.prefetch ~engine ~node
+          ~prefetches:[ 2; 4; 8; 16; 32 ] ()
       | `Wordline ->
-        Vdram_analysis.Ablation.subarray_height ~node ~bits:[ 256; 512; 1024 ]
+        Vdram_analysis.Ablation.subarray_height ~engine ~node
+          ~bits:[ 256; 512; 1024 ] ()
     in
+    report_timings timings engine;
     Format.printf "%a@?" Vdram_analysis.Ablation.pp pts;
     `Ok ()
   in
   let doc = "Sweep one architectural design choice." in
-  Cmd.v (Cmd.info "ablate" ~doc) Term.(ret (const run $ node $ which))
+  Cmd.v (Cmd.info "ablate" ~doc)
+    Term.(ret (const run $ node $ which $ jobs_arg $ timings_arg))
+
+(* ----- bench-analysis ---------------------------------------------- *)
+
+let bench_analysis_cmd =
+  let module Engine = Vdram_engine.Engine in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_analysis.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output JSON path.")
+  in
+  let samples =
+    Arg.(
+      value & opt int 400
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Monte-Carlo corner samples in the workload.")
+  in
+  let run jobs samples out =
+    let cfg = Vdram_configs.Devices.ddr3_2g in
+    let parallel_jobs =
+      match jobs with
+      | Some j -> max 1 j
+      | None -> max 4 (Domain.recommended_domain_count ())
+    in
+    (* The acceptance workload: the Fig 10 tornado plus a Monte-Carlo
+       corner population, both on the 2G DDR3 55 nm device. *)
+    let workload engine =
+      let s = Vdram_analysis.Sensitivity.run ~engine cfg in
+      let c = Vdram_analysis.Corners.run ~engine ~samples cfg in
+      (s, c)
+    in
+    let timed engine =
+      let t0 = Unix.gettimeofday () in
+      let r = workload engine in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let serial_engine = Engine.create ~jobs:1 () in
+    let serial_result, serial_s = timed serial_engine in
+    let parallel_engine = Engine.create ~jobs:parallel_jobs () in
+    let parallel_result, parallel_s = timed parallel_engine in
+    (* The determinism contract, checked structurally: every float of
+       both analyses must agree bit for bit. *)
+    let identical = serial_result = parallel_result in
+    let speedup = serial_s /. Float.max 1e-9 parallel_s in
+    let stage name (s : Engine.stage_stats) =
+      Printf.sprintf
+        "{\"stage\":%S,\"hits\":%d,\"misses\":%d,\"time_ms\":%.3f}" name
+        s.Engine.hits s.Engine.misses
+        (float_of_int s.Engine.time_ns /. 1e6)
+    in
+    let stage_list engine =
+      let st = Engine.stats engine in
+      String.concat ","
+        [
+          stage "geometry" st.Engine.geometry_stats;
+          stage "extraction" st.Engine.extraction_stats;
+          stage "mix" st.Engine.mix_stats;
+        ]
+    in
+    let json =
+      Printf.sprintf
+        "{\n\
+        \  \"device\": %S,\n\
+        \  \"workload\": \"sensitivity + corners(%d samples)\",\n\
+        \  \"jobs_serial\": 1,\n\
+        \  \"jobs_parallel\": %d,\n\
+        \  \"serial_s\": %.6f,\n\
+        \  \"parallel_s\": %.6f,\n\
+        \  \"speedup\": %.3f,\n\
+        \  \"identical_output\": %b,\n\
+        \  \"serial_stages\": [%s],\n\
+        \  \"parallel_stages\": [%s]\n\
+         }\n"
+        cfg.Config.name samples parallel_jobs serial_s parallel_s speedup
+        identical (stage_list serial_engine) (stage_list parallel_engine)
+    in
+    Out_channel.with_open_text out (fun oc ->
+        Out_channel.output_string oc json);
+    Format.printf
+      "device %s | serial %.3f s | parallel (%d jobs) %.3f s | speedup \
+       %.2fx | identical %b@.wrote %s@."
+      cfg.Config.name serial_s parallel_jobs parallel_s speedup identical out;
+    if identical then `Ok ()
+    else fail "parallel output differs from serial output"
+  in
+  let doc =
+    "Benchmark the staged engine: the sensitivity + corners workload run \
+     serially and on the domain pool, with per-stage cache counters, \
+     written as JSON."
+  in
+  Cmd.v (Cmd.info "bench-analysis" ~doc)
+    Term.(ret (const run $ jobs_arg $ samples $ out))
 
 (* ----- export ------------------------------------------------------- *)
 
@@ -603,5 +764,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ power_cmd; verify_cmd; sensitivity_cmd; trends_cmd; schemes_cmd;
-            simulate_cmd; corners_cmd; states_cmd; ablate_cmd; export_cmd;
-            validate_cmd; lint_cmd; channel_cmd; dump_cmd ]))
+            simulate_cmd; corners_cmd; states_cmd; ablate_cmd;
+            bench_analysis_cmd; export_cmd; validate_cmd; lint_cmd;
+            channel_cmd; dump_cmd ]))

@@ -3,11 +3,10 @@
 module Node = Vdram_tech.Node
 module Config = Vdram_core.Config
 module Pattern = Vdram_core.Pattern
-module Model = Vdram_core.Model
 module Operation = Vdram_core.Operation
 module Report = Vdram_core.Report
-module Floorplan = Vdram_floorplan.Floorplan
 module Array_geometry = Vdram_floorplan.Array_geometry
+module Engine = Vdram_engine.Engine
 
 type point = {
   label : string;
@@ -18,38 +17,50 @@ type point = {
   array_efficiency : float;
 }
 
-let measure ~label cfg =
-  let r = Model.pattern_power cfg (Pattern.idd7_mixed cfg.Config.spec) in
+let measure ~engine ~label cfg =
+  let r = Engine.eval engine cfg (Pattern.idd7_mixed cfg.Config.spec) in
+  let g = Engine.geometry engine cfg in
   {
     label;
     power = r.Report.power;
     energy_per_bit = Option.value ~default:0.0 r.Report.energy_per_bit;
-    activate_energy = Operation.energy cfg Operation.Activate;
-    die_area = Floorplan.die_area cfg.Config.floorplan;
-    array_efficiency = Floorplan.array_efficiency cfg.Config.floorplan;
+    activate_energy = Engine.op_energy engine cfg Operation.Activate;
+    die_area = g.Engine.die_area;
+    array_efficiency = g.Engine.array_efficiency;
   }
 
-let build ~node f = f (fun ?page_bits ?bits_per_bitline ?bits_per_lwl
-                           ?style ?prefetch () ->
-    Config.commodity ?page_bits ?bits_per_bitline ?bits_per_lwl ?style
-      ?prefetch ~node ())
+(* Each ablation first builds its (label, configuration) variants —
+   cheap — then fans the model evaluations out on the pool. *)
+let measure_all ~engine variants =
+  Engine.map_jobs engine
+    (fun (label, cfg) -> measure ~engine ~label cfg)
+    variants
 
-let page_size ~node ~pages =
-  build ~node (fun make ->
+let build ?engine ~node f =
+  let engine =
+    match engine with Some e -> e | None -> Engine.serial ()
+  in
+  let variants =
+    f (fun ?page_bits ?bits_per_bitline ?bits_per_lwl ?style ?prefetch () ->
+        Config.commodity ?page_bits ?bits_per_bitline ?bits_per_lwl ?style
+          ?prefetch ~node ())
+  in
+  measure_all ~engine variants
+
+let page_size ?engine ~node ~pages () =
+  build ?engine ~node (fun make ->
       let cfg = make () in
       let full = Config.page_bits cfg in
       List.map
         (fun page ->
           let page = min page full in
-          measure
-            ~label:
-              (Printf.sprintf "%d-bit activation (%d B)" page (page / 8))
-            (Config.with_activation_fraction cfg
-               (float_of_int page /. float_of_int full)))
+          ( Printf.sprintf "%d-bit activation (%d B)" page (page / 8),
+            Config.with_activation_fraction cfg
+              (float_of_int page /. float_of_int full) ))
         pages)
 
-let bitline_length ~node ~bits =
-  build ~node (fun make ->
+let bitline_length ?engine ~node ~bits () =
+  build ?engine ~node (fun make ->
       List.map
         (fun n ->
           (* Shorter bitlines carry proportionally less capacitance. *)
@@ -69,39 +80,33 @@ let bitline_length ~node ~bits =
                   t.Vdram_tech.Params.c_bitline *. scale;
               }
           in
-          measure ~label:(Printf.sprintf "%d cells per bitline" n) cfg)
+          (Printf.sprintf "%d cells per bitline" n, cfg))
         bits)
 
-let bitline_style ~node =
-  build ~node (fun make ->
+let bitline_style ?engine ~node () =
+  build ?engine ~node (fun make ->
       [
-        measure ~label:"open bitline (6F2-style)"
-          (make ~style:Array_geometry.Open ());
-        measure ~label:"folded bitline (8F2-style)"
-          (make ~style:Array_geometry.Folded ());
+        ("open bitline (6F2-style)", make ~style:Array_geometry.Open ());
+        ("folded bitline (8F2-style)", make ~style:Array_geometry.Folded ());
       ])
 
-let prefetch ~node ~prefetches =
-  build ~node (fun make ->
+let prefetch ?engine ~node ~prefetches () =
+  build ?engine ~node (fun make ->
       List.map
         (fun n ->
-          measure
-            ~label:
-              (Printf.sprintf "prefetch %dn (core %s)" n
-                 (Vdram_units.Si.format_eng ~unit_symbol:"Hz"
-                    ((Vdram_tech.Roadmap.generation node)
-                       .Vdram_tech.Roadmap.datarate
-                    /. float_of_int n)))
-            (make ~prefetch:n ()))
+          ( Printf.sprintf "prefetch %dn (core %s)" n
+              (Vdram_units.Si.format_eng ~unit_symbol:"Hz"
+                 ((Vdram_tech.Roadmap.generation node)
+                    .Vdram_tech.Roadmap.datarate
+                 /. float_of_int n)),
+            make ~prefetch:n () ))
         prefetches)
 
-let subarray_height ~node ~bits =
-  build ~node (fun make ->
+let subarray_height ?engine ~node ~bits () =
+  build ?engine ~node (fun make ->
       List.map
         (fun n ->
-          measure
-            ~label:(Printf.sprintf "%d cells per local wordline" n)
-            (make ~bits_per_lwl:n ()))
+          (Printf.sprintf "%d cells per local wordline" n, make ~bits_per_lwl:n ()))
         bits)
 
 let pp_point ppf p =

@@ -2,7 +2,7 @@
 
 module Config = Vdram_core.Config
 module Pattern = Vdram_core.Pattern
-module Model = Vdram_core.Model
+module Engine = Vdram_engine.Engine
 
 type distribution = {
   samples : int;
@@ -34,7 +34,10 @@ let corner_lenses =
     (fun l -> l.Lenses.name <> "external voltage Vdd")
     (Lenses.technology @ Lenses.voltages @ Lenses.logic)
 
-let run ?(samples = 200) ?(spread = 0.10) ?(seed = 1) ?pattern cfg =
+let run ?engine ?(samples = 200) ?(spread = 0.10) ?(seed = 1) ?pattern cfg =
+  let engine =
+    match engine with Some e -> e | None -> Engine.serial ()
+  in
   let pattern =
     match pattern with
     | Some p -> p
@@ -42,24 +45,26 @@ let run ?(samples = 200) ?(spread = 0.10) ?(seed = 1) ?pattern cfg =
   in
   let rng = { state = Int64.of_int (max 1 seed) } in
   let sample () =
-    let perturbed =
-      List.fold_left
-        (fun acc lens ->
-          let f = 1.0 +. (spread *. ((2.0 *. next_float rng) -. 1.0)) in
-          (* Efficiencies must stay within (0, 1]. *)
-          let f =
-            if
-              String.length lens.Lenses.name >= 10
-              && String.sub lens.Lenses.name 0 10 = "generator "
-            then Float.min f (1.0 /. Float.max 1e-9 (lens.Lenses.get acc))
-            else f
-          in
-          Lenses.scale lens f acc)
-        cfg corner_lenses
-    in
-    Model.idd perturbed pattern
+    List.fold_left
+      (fun acc lens ->
+        let f = 1.0 +. (spread *. ((2.0 *. next_float rng) -. 1.0)) in
+        (* Efficiencies must stay within (0, 1]. *)
+        let f =
+          if
+            String.length lens.Lenses.name >= 10
+            && String.sub lens.Lenses.name 0 10 = "generator "
+          then Float.min f (1.0 /. Float.max 1e-9 (lens.Lenses.get acc))
+          else f
+        in
+        Lenses.scale lens f acc)
+      cfg corner_lenses
   in
-  let values = List.init samples (fun _ -> sample ()) in
+  (* Draw every perturbed configuration first (the LCG is sequential
+     state), then fan the pure evaluations out on the pool. *)
+  let configs = List.init samples (fun _ -> sample ()) in
+  let values =
+    Engine.map_jobs engine (fun c -> Engine.current engine c pattern) configs
+  in
   let sorted = List.sort Float.compare values in
   let n = float_of_int samples in
   let mean = List.fold_left ( +. ) 0.0 values /. n in

@@ -22,6 +22,7 @@ type distribution = {
 }
 
 val run :
+  ?engine:Vdram_engine.Engine.t ->
   ?samples:int ->
   ?spread:float ->
   ?seed:int ->
@@ -30,7 +31,10 @@ val run :
   distribution
 (** Idd distribution of a pattern under parameter spread.  Defaults:
     200 samples, ±10 % uniform spread, seed 1, the device's Idd4R
-    loop (the figure-8/9 measurement with the widest vendor spread). *)
+    loop (the figure-8/9 measurement with the widest vendor spread).
+    Perturbed configurations are drawn sequentially (the generator is
+    deterministic), then evaluated as one batch on [engine]'s pool —
+    the distribution is identical at any job count. *)
 
 val covers : distribution -> float -> bool
 (** Whether a current (e.g. a vendor datasheet value) lies within the

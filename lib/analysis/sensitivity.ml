@@ -2,7 +2,7 @@
 
 module Config = Vdram_core.Config
 module Pattern = Vdram_core.Pattern
-module Model = Vdram_core.Model
+module Engine = Vdram_engine.Engine
 
 type entry = {
   lens_name : string;
@@ -22,26 +22,45 @@ type t = {
 let default_lenses =
   List.filter (fun l -> l.Lenses.name <> "external voltage Vdd") Lenses.all
 
-let run ?(variation = 0.20) ?(lenses = default_lenses) ?pattern cfg =
+let run ?engine ?(variation = 0.20) ?(lenses = default_lenses) ?pattern cfg =
+  let engine =
+    match engine with Some e -> e | None -> Engine.serial ()
+  in
   let pattern =
     match pattern with
     | Some p -> p
     | None -> Pattern.idd7_mixed cfg.Config.spec
   in
-  let power c = (Model.pattern_power c pattern).Vdram_core.Report.power in
-  let nominal = power cfg in
-  let entries =
-    List.map
+  let nominal = Engine.power engine cfg pattern in
+  (* One job per perturbed configuration; the pool evaluates the batch
+     and the ordered merge pairs results back up with their lenses. *)
+  let perturbed =
+    List.concat_map
       (fun lens ->
-        let power_plus = power (Lenses.scale lens (1.0 +. variation) cfg) in
-        let power_minus = power (Lenses.scale lens (1.0 -. variation) cfg) in
-        {
-          lens_name = lens.Lenses.name;
-          power_minus;
-          power_plus;
-          span_percent = (power_plus -. power_minus) /. nominal *. 100.0;
-        })
+        [
+          Lenses.scale lens (1.0 +. variation) cfg;
+          Lenses.scale lens (1.0 -. variation) cfg;
+        ])
       lenses
+  in
+  let powers =
+    Engine.map_jobs engine (fun c -> Engine.power engine c pattern) perturbed
+  in
+  let rec pair lenses powers =
+    match (lenses, powers) with
+    | [], [] -> []
+    | lens :: lenses, power_plus :: power_minus :: powers ->
+      {
+        lens_name = lens.Lenses.name;
+        power_minus;
+        power_plus;
+        span_percent = (power_plus -. power_minus) /. nominal *. 100.0;
+      }
+      :: pair lenses powers
+    | _ -> assert false
+  in
+  let entries =
+    pair lenses powers
     |> List.sort (fun a b ->
            Float.compare (Float.abs b.span_percent) (Float.abs a.span_percent))
   in

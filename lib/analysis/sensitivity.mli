@@ -25,6 +25,7 @@ type t = {
 }
 
 val run :
+  ?engine:Vdram_engine.Engine.t ->
   ?variation:float ->
   ?lenses:Lenses.t list ->
   ?pattern:Vdram_core.Pattern.t ->
@@ -32,7 +33,9 @@ val run :
   t
 (** Defaults: 20 % variation, all lenses except the external supply
     voltage, and the paper's Idd7-like pattern with half the reads
-    replaced by writes. *)
+    replaced by writes.  All evaluations run as one batch on
+    [engine]'s pool (default: a fresh serial engine); results are
+    bit-identical at any job count. *)
 
 val top : int -> t -> entry list
 

@@ -2,8 +2,8 @@
 
 module Config = Vdram_core.Config
 module Pattern = Vdram_core.Pattern
-module Model = Vdram_core.Model
 module Report = Vdram_core.Report
+module Engine = Vdram_engine.Engine
 
 type sample = {
   value : float;
@@ -19,16 +19,19 @@ type t = {
   samples : sample list;
 }
 
-let run ~lens ~values ?pattern cfg =
+let run ?engine ~lens ~values ?pattern cfg =
+  let engine =
+    match engine with Some e -> e | None -> Engine.serial ()
+  in
   let pattern =
     match pattern with
     | Some p -> p
     | None -> Pattern.idd7_mixed cfg.Config.spec
   in
   let samples =
-    List.map
+    Engine.map_jobs engine
       (fun value ->
-        let r = Model.pattern_power (lens.Lenses.set cfg value) pattern in
+        let r = Engine.eval engine (lens.Lenses.set cfg value) pattern in
         {
           value;
           power = r.Report.power;
@@ -44,9 +47,11 @@ let run ~lens ~values ?pattern cfg =
     samples;
   }
 
-let run_relative ~lens ~factors ?pattern cfg =
+let run_relative ?engine ~lens ~factors ?pattern cfg =
   let nominal = lens.Lenses.get cfg in
-  run ~lens ~values:(List.map (fun f -> f *. nominal) factors) ?pattern cfg
+  run ?engine ~lens
+    ~values:(List.map (fun f -> f *. nominal) factors)
+    ?pattern cfg
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s sweep on %s (%s)@," t.lens_name t.config_name

@@ -15,15 +15,18 @@ type t = {
 }
 
 val run :
+  ?engine:Vdram_engine.Engine.t ->
   lens:Lenses.t ->
   values:float list ->
   ?pattern:Vdram_core.Pattern.t ->
   Vdram_core.Config.t ->
   t
-(** Evaluate the pattern at each absolute lens value.  The default
+(** Evaluate the pattern at each absolute lens value, batched on
+    [engine]'s pool (default: a fresh serial engine).  The default
     pattern is the Idd7-like mixed loop. *)
 
 val run_relative :
+  ?engine:Vdram_engine.Engine.t ->
   lens:Lenses.t ->
   factors:float list ->
   ?pattern:Vdram_core.Pattern.t ->

@@ -4,10 +4,9 @@ module Node = Vdram_tech.Node
 module Roadmap = Vdram_tech.Roadmap
 module Config = Vdram_core.Config
 module Pattern = Vdram_core.Pattern
-module Model = Vdram_core.Model
 module Spec = Vdram_core.Spec
-module Floorplan = Vdram_floorplan.Floorplan
 module Domains = Vdram_circuits.Domains
+module Engine = Vdram_engine.Engine
 
 type point = {
   node : Node.t;
@@ -27,12 +26,15 @@ type point = {
   energy_per_bit_idd7 : float;
 }
 
-let point node =
+let point ?engine node =
+  let engine =
+    match engine with Some e -> e | None -> Engine.serial ()
+  in
   let cfg = Vdram_configs.Generations.at node in
   let spec = cfg.Config.spec in
   let d = cfg.Config.domains in
   let epb pattern =
-    match Model.energy_per_bit cfg pattern with
+    match Engine.energy_per_bit engine cfg pattern with
     | Some e -> e
     | None -> assert false
   in
@@ -48,21 +50,26 @@ let point node =
     core_frequency = Spec.core_clock spec;
     trc = spec.Spec.trc;
     trcd = spec.Spec.trcd;
-    die_area = Floorplan.die_area cfg.Config.floorplan;
+    die_area = (Engine.geometry engine cfg).Engine.die_area;
     density_bits = spec.Spec.density_bits;
     energy_per_bit_idd4 = epb (Pattern.idd4r spec);
     energy_per_bit_idd7 = epb (Pattern.idd7_mixed spec);
   }
 
-let all () = List.map point Node.all
+let all ?engine () =
+  let engine =
+    match engine with Some e -> e | None -> Engine.serial ()
+  in
+  Engine.map_jobs engine (fun node -> point ~engine node) Node.all
 
-let category_shares () =
-  List.map
+let category_shares ?engine () =
+  let engine =
+    match engine with Some e -> e | None -> Engine.serial ()
+  in
+  Engine.map_jobs engine
     (fun node ->
       let cfg = Vdram_configs.Generations.at node in
-      let r =
-        Model.pattern_power cfg (Pattern.idd7_mixed cfg.Config.spec)
-      in
+      let r = Engine.eval engine cfg (Pattern.idd7_mixed cfg.Config.spec) in
       let shares =
         List.map
           (fun (c, w) -> (c, w /. r.Vdram_core.Report.power))

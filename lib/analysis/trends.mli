@@ -24,13 +24,16 @@ type point = {
       (** J/bit with interleaved activate/read/write (random access) *)
 }
 
-val point : Vdram_tech.Node.t -> point
+val point : ?engine:Vdram_engine.Engine.t -> Vdram_tech.Node.t -> point
 
-val all : unit -> point list
-(** All fourteen generations. *)
+val all : ?engine:Vdram_engine.Engine.t -> unit -> point list
+(** All fourteen generations, evaluated as one batch on [engine]'s
+    pool (default: a fresh serial engine). *)
 
 val category_shares :
-  unit -> (Vdram_tech.Node.t * (Vdram_core.Report.category * float) list) list
+  ?engine:Vdram_engine.Engine.t ->
+  unit ->
+  (Vdram_tech.Node.t * (Vdram_core.Report.category * float) list) list
 (** Power share per {!Vdram_core.Report.category} for every
     generation under the Idd7-like pattern — the Section VI
     observation that "the share of power usage is shifting away from

@@ -28,20 +28,23 @@ let state_name = function
   | Power_down -> "power-down"
   | Self_refresh -> "self refresh"
 
-let refresh_power (cfg : Config.t) =
+(* Rows a refresh command must restore: every bank refreshes one row
+   per 8k-row slice of its address space. *)
+let rows_per_refresh (cfg : Config.t) =
   let spec = cfg.Config.spec in
   let rows_per_bank =
     spec.Spec.density_bits
     /. float_of_int (spec.Spec.banks * Config.page_bits cfg)
   in
-  let rows_per_refresh =
-    Float.max 1.0 (rows_per_bank /. 8192.0) *. float_of_int spec.Spec.banks
-  in
-  let trefi = 7.8e-6 in
-  rows_per_refresh
+  Float.max 1.0 (rows_per_bank /. 8192.0) *. float_of_int spec.Spec.banks
+
+let refresh_energy (cfg : Config.t) =
+  rows_per_refresh cfg
   *. (Operation.energy cfg Operation.Activate
      +. Operation.energy cfg Operation.Precharge)
-  /. trefi
+
+let refresh_power (cfg : Config.t) =
+  refresh_energy cfg /. cfg.Config.spec.Spec.trefi
 
 let powerdown_power (cfg : Config.t) =
   let d = cfg.Config.domains in
@@ -49,27 +52,7 @@ let powerdown_power (cfg : Config.t) =
 
 let idd5b (cfg : Config.t) =
   let spec = cfg.Config.spec in
-  let rows_per_bank =
-    spec.Spec.density_bits
-    /. float_of_int (spec.Spec.banks * Config.page_bits cfg)
-  in
-  let rows_per_refresh =
-    Float.max 1.0 (rows_per_bank /. 8192.0) *. float_of_int spec.Spec.banks
-  in
-  let gbit = spec.Spec.density_bits /. (2.0 ** 30.0) in
-  let trfc =
-    if gbit <= 1.0 then 110e-9
-    else if gbit <= 2.0 then 160e-9
-    else if gbit <= 4.0 then 260e-9
-    else 350e-9
-  in
-  let power =
-    background_power cfg
-    +. rows_per_refresh
-       *. (Operation.energy cfg Operation.Activate
-          +. Operation.energy cfg Operation.Precharge)
-       /. trfc
-  in
+  let power = background_power cfg +. (refresh_energy cfg /. spec.Spec.trfc) in
   power /. cfg.Config.domains.Domains.vdd
 
 let state_power cfg = function
@@ -91,18 +74,59 @@ let op_counts pattern =
       if count > 0 then Some (kind, count) else None)
     Operation.all
 
-let pattern_power (cfg : Config.t) pattern =
+(* ----- staged evaluation seams ------------------------------------- *)
+
+(* The capacitance-extraction stage: every per-operation contribution
+   list and its total energy, derived once from the configuration.  A
+   pattern mix (below) only reads this record, so evaluating several
+   patterns against one configuration — or caching extractions behind a
+   content key, as [Vdram_engine] does — never re-extracts. *)
+type extraction = {
+  per_op : (Operation.kind * C.t list) list;
+  op_energy : (Operation.kind * float) list;
+}
+
+let extract ?activated_bits (cfg : Config.t) =
+  let per_op =
+    List.map
+      (fun kind -> (kind, Operation.contributions ?activated_bits cfg kind))
+      Operation.all
+  in
+  let op_energy =
+    List.map
+      (fun (kind, cs) -> (kind, C.total_at_vdd cfg.Config.domains cs))
+      per_op
+  in
+  { per_op; op_energy }
+
+let extraction_contributions ex kind = List.assoc kind ex.per_op
+let extraction_energy ex kind = List.assoc kind ex.op_energy
+
+let background_power_staged ex (cfg : Config.t) =
+  let spec = cfg.Config.spec in
+  let nop = extraction_energy ex Operation.Nop in
+  let d = cfg.Config.domains in
+  (nop *. spec.Spec.control_clock)
+  +. (d.Domains.i_constant *. d.Domains.vdd)
+  +. receiver_bias_power cfg
+
+(* The pattern-mix stage: rates from the command loop times the
+   extracted per-operation energies.  Bit-identical to evaluating the
+   configuration directly, because the same contribution lists feed the
+   same float operations in the same order. *)
+let pattern_power_staged ex (cfg : Config.t) pattern =
   let spec = cfg.Config.spec in
   let d = cfg.Config.domains in
   let loop_time =
     float_of_int (Pattern.cycles pattern) /. spec.Spec.control_clock
   in
   let counts = op_counts pattern in
-  let background = background_power cfg in
+  let background = background_power_staged ex cfg in
   let op_power =
     List.fold_left
       (fun acc (kind, count) ->
-        acc +. (float_of_int count *. Operation.energy cfg kind /. loop_time))
+        acc
+        +. (float_of_int count *. extraction_energy ex kind /. loop_time))
       0.0 counts
   in
   let power = background +. op_power in
@@ -123,10 +147,10 @@ let pattern_power (cfg : Config.t) pattern =
     (fun (kind, count) ->
       add_contributions
         (float_of_int count /. loop_time)
-        (Operation.contributions cfg kind))
+        (extraction_contributions ex kind))
     counts;
   add_contributions spec.Spec.control_clock
-    (Operation.contributions cfg Operation.Nop);
+    (extraction_contributions ex Operation.Nop);
   add "constant current sink" (d.Domains.i_constant *. d.Domains.vdd);
   add "input receiver bias" (receiver_bias_power cfg);
   let breakdown =
@@ -158,6 +182,9 @@ let pattern_power (cfg : Config.t) pattern =
         counts;
     breakdown;
   }
+
+let pattern_power (cfg : Config.t) pattern =
+  pattern_power_staged (extract cfg) cfg pattern
 
 let idd cfg pattern = (pattern_power cfg pattern).Report.current
 

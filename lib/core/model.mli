@@ -20,17 +20,50 @@ val state_power : Config.t -> state -> float
     quarter of the clocked background; self-refresh adds the internal
     refresh row cycling. *)
 
+val rows_per_refresh : Config.t -> float
+(** Rows one refresh command must restore: every bank refreshes one
+    row per 8k-row slice of its address space. *)
+
+val refresh_energy : Config.t -> float
+(** Energy of one refresh command: {!rows_per_refresh} row cycles. *)
+
 val refresh_power : Config.t -> float
-(** Average power of distributed refresh: every tREFI (7.8 us) the
-    device row-cycles [rows_per_bank / 8192] rows in every bank. *)
+(** Average power of distributed refresh: one refresh command
+    ({!refresh_energy}) every [Spec.trefi]. *)
 
 val powerdown_power : Config.t -> float
 (** [state_power cfg Power_down]. *)
 
 val idd5b : Config.t -> float
 (** Burst-refresh current (datasheet Idd5B view): refresh commands
-    back-to-back at tRFC, i.e. the device row-cycles
-    [rows_per_bank / 8192] rows in all banks every tRFC, amperes. *)
+    back-to-back at [Spec.trfc], i.e. one {!refresh_energy} every
+    tRFC on top of the background, amperes. *)
+
+type extraction
+(** The capacitance-extraction stage: per-operation contribution lists
+    and their supply energies, derived once from a configuration.  The
+    pattern-mix stage only reads this record, so several patterns can
+    be evaluated — or the record cached behind a content key, as
+    [Vdram_engine] does — without re-extracting. *)
+
+val extract : ?activated_bits:int -> Config.t -> extraction
+(** Run capacitance extraction for every operation.  [activated_bits]
+    optionally feeds in an already-resolved page size (see
+    {!Operation.contributions}). *)
+
+val extraction_contributions :
+  extraction -> Operation.kind -> Vdram_circuits.Contribution.t list
+(** The cached equivalent of {!Operation.contributions}. *)
+
+val extraction_energy : extraction -> Operation.kind -> float
+(** The cached equivalent of {!Operation.energy}. *)
+
+val background_power_staged : extraction -> Config.t -> float
+(** {!background_power} from a prior extraction. *)
+
+val pattern_power_staged : extraction -> Config.t -> Pattern.t -> Report.t
+(** The pattern-mix stage: {!pattern_power} from a prior extraction.
+    Bit-identical to {!pattern_power} on the same configuration. *)
 
 val pattern_power : Config.t -> Pattern.t -> Report.t
 (** Average power of a continuously repeating command loop:

@@ -84,10 +84,17 @@ let dq_interface (cfg : Config.t) ~bits ~write =
              ~voltage:d.Vdram_circuits.Domains.vdd);
   ]
 
-let contributions (cfg : Config.t) kind =
+(* [activated_bits] lets a caller that has already resolved the
+   floorplan (the staged engine's geometry stage) feed the page size in
+   instead of re-deriving it from the configuration. *)
+let contributions ?activated_bits (cfg : Config.t) kind =
   let p = cfg.Config.tech and d = cfg.Config.domains in
   let g = Config.geometry cfg in
-  let page = Config.activated_bits cfg in
+  let page =
+    match activated_bits with
+    | Some bits -> bits
+    | None -> Config.activated_bits cfg
+  in
   let bits = Spec.bits_per_column_command cfg.Config.spec in
   let logic = logic_contributions cfg kind in
   match kind with

@@ -6,11 +6,14 @@ type kind = Activate | Precharge | Read | Write | Nop
 val all : kind list
 val name : kind -> string
 
-val contributions : Config.t -> kind -> Vdram_circuits.Contribution.t list
+val contributions :
+  ?activated_bits:int -> Config.t -> kind -> Vdram_circuits.Contribution.t list
 (** Every labelled charge/discharge bundle of one occurrence of the
     operation: array and row/column path events, bus transfers and
     triggered logic blocks.  [Nop] is the per-control-clock-cycle
-    background (clock tree, always-on logic). *)
+    background (clock tree, always-on logic).  [activated_bits] lets a
+    caller that already resolved the floorplan (the staged engine's
+    geometry stage) feed the page size in instead of re-deriving it. *)
 
 val energy : Config.t -> kind -> float
 (** Energy drawn from the external supply per occurrence (generator

@@ -18,11 +18,26 @@ type t = {
   trcd : float;
   trp : float;
   tfaw : float;
+  trefi : float;
+  trfc : float;
 }
 
-let v ?(clock_wires = 1) ?(misc_control = 6) ?tfaw ~io_width ~datarate
-    ~control_clock ~bank_bits ~row_bits ~col_bits ~prefetch ~burst_length
-    ~banks ~density_bits ~trc ~trcd ~trp () =
+(* JEDEC refresh-command interval at normal temperature. *)
+let default_trefi = 7.8e-6
+
+(* Refresh cycle time steps with device capacity (JEDEC DDR3/DDR4
+   tables): 110 ns up to 1 Gb, 160 ns at 2 Gb, 260 ns at 4 Gb, 350 ns
+   beyond. *)
+let default_trfc ~density_bits =
+  let gbit = density_bits /. (2.0 ** 30.0) in
+  if gbit <= 1.0 then 110e-9
+  else if gbit <= 2.0 then 160e-9
+  else if gbit <= 4.0 then 260e-9
+  else 350e-9
+
+let v ?(clock_wires = 1) ?(misc_control = 6) ?tfaw ?trefi ?trfc ~io_width
+    ~datarate ~control_clock ~bank_bits ~row_bits ~col_bits ~prefetch
+    ~burst_length ~banks ~density_bits ~trc ~trcd ~trp () =
   let pos name x = if x <= 0 then invalid_arg ("Spec.v: " ^ name) in
   let posf name x = if x <= 0.0 then invalid_arg ("Spec.v: " ^ name) in
   pos "io_width" io_width;
@@ -51,6 +66,8 @@ let v ?(clock_wires = 1) ?(misc_control = 6) ?tfaw ~io_width ~datarate
     trcd;
     trp;
     tfaw = (match tfaw with Some t -> t | None -> 0.8 *. trc);
+    trefi = (match trefi with Some t -> t | None -> default_trefi);
+    trfc = (match trfc with Some t -> t | None -> default_trfc ~density_bits);
   }
 
 let bits_per_clock t = t.datarate /. t.control_clock

@@ -19,18 +19,30 @@ type t = {
   trcd : float;            (** activate-to-column delay, s *)
   trp : float;             (** precharge time, s *)
   tfaw : float;            (** four-activate window, s *)
+  trefi : float;           (** average refresh-command interval, s *)
+  trfc : float;            (** refresh cycle time, s *)
 }
+
+val default_trefi : float
+(** JEDEC refresh-command interval at normal temperature, 7.8 us. *)
+
+val default_trfc : density_bits:float -> float
+(** JEDEC refresh cycle time, stepped with device capacity:
+    110 ns up to 1 Gb, 160 ns at 2 Gb, 260 ns at 4 Gb, 350 ns beyond. *)
 
 val v :
   ?clock_wires:int -> ?misc_control:int -> ?tfaw:float ->
+  ?trefi:float -> ?trfc:float ->
   io_width:int -> datarate:float -> control_clock:float ->
   bank_bits:int -> row_bits:int -> col_bits:int ->
   prefetch:int -> burst_length:int -> banks:int ->
   density_bits:float -> trc:float -> trcd:float -> trp:float ->
   unit -> t
 (** [data_clock] is set equal to [control_clock]; [clock_wires]
-    defaults to 1, [misc_control] to 6 and [tfaw] to [0.8 * trc].
-    Raises [Invalid_argument] on non-positive counts or rates. *)
+    defaults to 1, [misc_control] to 6 and [tfaw] to [0.8 * trc];
+    [trefi] defaults to {!default_trefi} and [trfc] to
+    {!default_trfc}.  Raises [Invalid_argument] on non-positive
+    counts or rates. *)
 
 val bits_per_clock : t -> float
 (** Bits transferred per DQ pin per control clock:

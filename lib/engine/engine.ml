@@ -1,0 +1,194 @@
+(* Staged evaluation: content-keyed stage caches + a domain pool. *)
+
+module Config = Vdram_core.Config
+module Model = Vdram_core.Model
+module Operation = Vdram_core.Operation
+module Pattern = Vdram_core.Pattern
+module Report = Vdram_core.Report
+module Floorplan = Vdram_floorplan.Floorplan
+
+(* Stage keys are plain-data records (no closures anywhere in Config.t
+   or Pattern.t), so structural equality is the content identity.  The
+   default [Hashtbl.hash] only samples ~10 leaves — far too few for a
+   record carrying bus and logic-block lists — so hash deeply. *)
+module Key (T : sig
+  type t
+end) =
+struct
+  type t = T.t
+
+  let equal = ( = )
+  let hash k = Hashtbl.hash_param 256 256 k
+end
+
+module Geom_tbl = Hashtbl.Make (Key (struct
+  type t = Floorplan.t * float
+end))
+
+module Ext_tbl = Hashtbl.Make (Key (struct
+  type t = Config.t
+end))
+
+module Mix_tbl = Hashtbl.Make (Key (struct
+  type t = Config.t * Pattern.t
+end))
+
+type geometry = {
+  geometry : Vdram_floorplan.Array_geometry.t;
+  page_bits : int;
+  activated_bits : int;
+  die_area : float;
+  array_efficiency : float;
+}
+
+(* Per-stage counters; atomics because the pool's worker domains share
+   the engine. *)
+type counters = {
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  time_ns : int Atomic.t;
+}
+
+let counters () =
+  { hits = Atomic.make 0; misses = Atomic.make 0; time_ns = Atomic.make 0 }
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;
+  geom_tbl : geometry Geom_tbl.t;
+  ext_tbl : Model.extraction Ext_tbl.t;
+  mix_tbl : Report.t Mix_tbl.t;
+  geom_c : counters;
+  ext_c : counters;
+  mix_c : counters;
+}
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  {
+    jobs;
+    lock = Mutex.create ();
+    geom_tbl = Geom_tbl.create 64;
+    ext_tbl = Ext_tbl.create 64;
+    mix_tbl = Mix_tbl.create 64;
+    geom_c = counters ();
+    ext_c = counters ();
+    mix_c = counters ();
+  }
+
+let serial () = create ~jobs:1 ()
+let jobs t = t.jobs
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Look up under the lock; compute misses outside it (stages are pure,
+   so a rare duplicate computation is just the value computed twice,
+   and last-write-wins stores the same bits). *)
+let cached t c ~find ~add key compute =
+  match locked t (fun () -> find key) with
+  | Some v ->
+    Atomic.incr c.hits;
+    v
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let v = compute () in
+    let dt = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    Atomic.incr c.misses;
+    ignore (Atomic.fetch_and_add c.time_ns dt);
+    locked t (fun () -> add key v);
+    v
+
+let geometry t (cfg : Config.t) =
+  cached t t.geom_c
+    ~find:(Geom_tbl.find_opt t.geom_tbl)
+    ~add:(Geom_tbl.replace t.geom_tbl)
+    (cfg.Config.floorplan, cfg.Config.activation_fraction)
+    (fun () ->
+      {
+        geometry = Config.geometry cfg;
+        page_bits = Config.page_bits cfg;
+        activated_bits = Config.activated_bits cfg;
+        die_area = Floorplan.die_area cfg.Config.floorplan;
+        array_efficiency = Floorplan.array_efficiency cfg.Config.floorplan;
+      })
+
+(* The name identifies a configuration to humans, not to physics: two
+   configurations differing only in [name] share every stage output. *)
+let physics_key (cfg : Config.t) = { cfg with Config.name = "" }
+
+let extraction t (cfg : Config.t) =
+  let g = geometry t cfg in
+  cached t t.ext_c
+    ~find:(Ext_tbl.find_opt t.ext_tbl)
+    ~add:(Ext_tbl.replace t.ext_tbl)
+    (physics_key cfg)
+    (fun () -> Model.extract ~activated_bits:g.activated_bits cfg)
+
+let eval t (cfg : Config.t) pattern =
+  let r =
+    cached t t.mix_c
+      ~find:(Mix_tbl.find_opt t.mix_tbl)
+      ~add:(Mix_tbl.replace t.mix_tbl)
+      (physics_key cfg, pattern)
+      (fun () ->
+        let ex = extraction t cfg in
+        let r = Model.pattern_power_staged ex cfg pattern in
+        { r with Report.config_name = "" })
+  in
+  { r with Report.config_name = cfg.Config.name }
+
+let power t cfg pattern = (eval t cfg pattern).Report.power
+let current t cfg pattern = (eval t cfg pattern).Report.current
+
+let energy_per_bit t cfg pattern = (eval t cfg pattern).Report.energy_per_bit
+
+let op_energy t cfg kind = Model.extraction_energy (extraction t cfg) kind
+
+let map_jobs t f xs = Pool.map ~jobs:t.jobs f xs
+
+type stage_stats = { hits : int; misses : int; time_ns : int }
+
+type stats = {
+  geometry_stats : stage_stats;
+  extraction_stats : stage_stats;
+  mix_stats : stage_stats;
+}
+
+let stage_stats (c : counters) =
+  {
+    hits = Atomic.get c.hits;
+    misses = Atomic.get c.misses;
+    time_ns = Atomic.get c.time_ns;
+  }
+
+let stats t =
+  {
+    geometry_stats = stage_stats t.geom_c;
+    extraction_stats = stage_stats t.ext_c;
+    mix_stats = stage_stats t.mix_c;
+  }
+
+let reset_counters (c : counters) =
+  Atomic.set c.hits 0;
+  Atomic.set c.misses 0;
+  Atomic.set c.time_ns 0
+
+let reset_stats t =
+  reset_counters t.geom_c;
+  reset_counters t.ext_c;
+  reset_counters t.mix_c
+
+let pp_stage ppf (name, s) =
+  Format.fprintf ppf "%-10s %6d hit %6d miss  %8.3f ms" name s.hits s.misses
+    (float_of_int s.time_ns /. 1e6)
+
+let pp_stats ppf s =
+  Format.fprintf ppf "@[<v>%a@,%a@,%a@]" pp_stage
+    ("geometry", s.geometry_stats)
+    pp_stage
+    ("extraction", s.extraction_stats)
+    pp_stage ("mix", s.mix_stats)

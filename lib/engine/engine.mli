@@ -1,0 +1,87 @@
+(** Staged evaluation engine: the Figure 4 pipeline split into pure,
+    content-cached stages, with a domain pool for batch evaluation.
+
+    A model run decomposes as
+
+    {v config -> geometry -> extraction -> pattern mix -> report v}
+
+    and each stage output is memoized behind a key built from exactly
+    the inputs that stage reads.  Perturbing a voltage lens therefore
+    re-runs extraction and mix but replays geometry from cache;
+    re-evaluating one configuration against several patterns replays
+    both geometry and extraction.  See [doc/ENGINE.md] for the stage
+    graph, the cache keys and the determinism contract. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** A fresh engine with empty stage caches.  [jobs] bounds the domain
+    pool used by {!map_jobs}; it defaults to
+    [Domain.recommended_domain_count ()].  Caches are shared across
+    domains behind a mutex, so one engine may serve a whole batch. *)
+
+val serial : unit -> t
+(** [create ~jobs:1 ()] — the drop-in default the analysis drivers use
+    when no engine is supplied. *)
+
+val jobs : t -> int
+
+(** {1 Stages} *)
+
+type geometry = {
+  geometry : Vdram_floorplan.Array_geometry.t;
+  page_bits : int;
+  activated_bits : int;
+  die_area : float;          (** m^2 *)
+  array_efficiency : float;  (** fraction of die that is cell array *)
+}
+
+val geometry : t -> Vdram_core.Config.t -> geometry
+(** Geometry/floorplan stage.  Keyed on the floorplan and the
+    activation fraction — the only configuration fields it reads. *)
+
+val extraction : t -> Vdram_core.Config.t -> Vdram_core.Model.extraction
+(** Capacitance-extraction stage ({!Vdram_core.Model.extract}).  Keyed
+    on the physical configuration (every field except [name]). *)
+
+val eval : t -> Vdram_core.Config.t -> Vdram_core.Pattern.t ->
+  Vdram_core.Report.t
+(** Pattern-mix stage: the full report.  Keyed on the physical
+    configuration and the pattern; the report's [config_name] is
+    patched to the caller's configuration name on every return, so a
+    cache hit from a renamed twin stays correctly labelled.
+    Bit-identical to {!Vdram_core.Model.pattern_power}. *)
+
+val power : t -> Vdram_core.Config.t -> Vdram_core.Pattern.t -> float
+val current : t -> Vdram_core.Config.t -> Vdram_core.Pattern.t -> float
+val energy_per_bit :
+  t -> Vdram_core.Config.t -> Vdram_core.Pattern.t -> float option
+
+val op_energy : t -> Vdram_core.Config.t -> Vdram_core.Operation.kind -> float
+(** Per-occurrence supply energy of one operation, from the cached
+    extraction ({!Vdram_core.Operation.energy} equivalent). *)
+
+(** {1 Batch execution} *)
+
+val map_jobs : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Evaluate a batch on the engine's domain pool ({!Pool.map} with the
+    engine's [jobs]).  Results are returned in input order and are
+    bit-identical to the serial [List.map] — see [doc/ENGINE.md]. *)
+
+(** {1 Instrumentation} *)
+
+type stage_stats = {
+  hits : int;
+  misses : int;
+  time_ns : int;  (** wall time spent computing misses *)
+}
+
+type stats = {
+  geometry_stats : stage_stats;
+  extraction_stats : stage_stats;
+  mix_stats : stage_stats;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,18 @@
+(** Domain-based worker pool with deterministic ordered merge.
+
+    [map ~jobs f xs] applies [f] to every element of [xs] on up to
+    [jobs] domains and returns the results in input order — the output
+    is the same list [List.map f xs] would produce, element for
+    element.  Work is distributed by atomic index stealing, so uneven
+    job costs balance automatically; results land in a slot per input
+    position, so scheduling order never leaks into the output. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Runs serially when [jobs <= 1], when the list has fewer than two
+    elements, or when called from inside another [map] worker (nested
+    parallelism degrades to serial instead of oversubscribing).  If
+    [f] raises, the first exception in {e input} order is re-raised
+    with its backtrace after all domains have joined. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)

@@ -196,6 +196,14 @@ let apply_fixes r =
   let source = String.concat "\n" (Array.to_list r.source) in
   Fix.apply ~source (fixes r)
 
+let preview_fixes ?(context = 3) r =
+  let before = String.concat "\n" (Array.to_list r.source) in
+  let after, applied = Fix.apply ~source:before (fixes r) in
+  if applied = 0 then None
+  else
+    let path = Option.value ~default:"<stdin>" r.file in
+    Some (Udiff.render ~context ~path ~before ~after (), applied)
+
 let to_sarif reports =
   Sarif.render
     (List.map (fun r -> (r.file, r.diagnostics)) reports)

@@ -50,6 +50,11 @@ val apply_fixes : report -> string * int
 (** The report's source with all non-overlapping fix-its applied, and
     how many were applied (see {!Vdram_diagnostics.Fix.apply}). *)
 
+val preview_fixes : ?context:int -> report -> (string * int) option
+(** A unified diff of what {!apply_fixes} would change, and how many
+    fix-its it covers; [None] when no fix applies.  Backs
+    [vdram lint --fix --dry-run]. *)
+
 val to_sarif : report list -> string
 (** A single SARIF 2.1.0 log covering the given reports (one run, one
     result per diagnostic, fix-its as [fixes]). *)

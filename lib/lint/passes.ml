@@ -168,6 +168,31 @@ let literal_code = function
   | Q.Mismatch _ -> "V0101"
   | Q.Non_finite -> "V0104"
 
+(* Fix-it for a wrong-dimension literal: the number is usually right
+   and the base unit wrong ("trcd=16.5nm"), so keep the number and any
+   SI prefix and swap the unit for the expected dimension's symbol.  A
+   bare number offers no prefix to anchor the magnitude, and
+   dimensionless expectations simply drop the unit.  The candidate is
+   re-classified before being proposed. *)
+let mismatch_fix span key dim value =
+  let num, suffix = Q.split_literal (String.trim value) in
+  if num = "" || suffix = "" then []
+  else
+    let prefix =
+      match Vdram_units.Si.split_prefix suffix with
+      | Some (_, base) when base <> "" && base <> suffix ->
+        String.sub suffix 0 (String.length suffix - String.length base)
+      | _ -> ""
+    in
+    let lit =
+      match Q.unit_symbol dim with "" -> num | u -> num ^ prefix ^ u
+    in
+    if lit = String.trim value then []
+    else
+      match Q.classify dim lit with
+      | Ok _ -> [ Fix.v ~span (key ^ "=" ^ lit) ]
+      | Error _ -> []
+
 let dimensions ast =
   let out = ref [] in
   let add d = out := d :: !out in
@@ -175,7 +200,18 @@ let dimensions ast =
     match Q.classify dim value with
     | Ok _ -> ()
     | Error (kind, msg) ->
-      add (D.errorf ~code:(literal_code kind) ~span "%s: %s" key msg)
+      let fixes =
+        match kind with
+        | Q.Mismatch _ -> mismatch_fix span key dim value
+        | _ -> []
+      in
+      let help =
+        match fixes with
+        | { Fix.replacement; _ } :: _ ->
+          Some (Printf.sprintf "did you mean %s?" replacement)
+        | [] -> None
+      in
+      add (D.errorf ~code:(literal_code kind) ~span ?help ~fixes "%s: %s" key msg)
   in
   List.iter
     (fun (sec : Ast.section) ->

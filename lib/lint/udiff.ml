@@ -1,0 +1,87 @@
+(* Minimal unified diff between two texts, for previewing fix-its.
+   Line-based LCS; the inputs are single DRAM descriptions, so the
+   quadratic table is tiny. *)
+
+type op = Keep of string | Del of string | Add of string
+
+let script a b =
+  let n = Array.length a and m = Array.length b in
+  let tbl = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      tbl.(i).(j) <-
+        (if a.(i) = b.(j) then 1 + tbl.(i + 1).(j + 1)
+         else max tbl.(i + 1).(j) tbl.(i).(j + 1))
+    done
+  done;
+  let rec walk i j acc =
+    if i < n && j < m && a.(i) = b.(j) then
+      walk (i + 1) (j + 1) (Keep a.(i) :: acc)
+    else if i < n && (j = m || tbl.(i + 1).(j) >= tbl.(i).(j + 1)) then
+      walk (i + 1) j (Del a.(i) :: acc)
+    else if j < m then walk i (j + 1) (Add b.(j) :: acc)
+    else List.rev acc
+  in
+  walk 0 0 []
+
+let render ?(context = 3) ~path ~before ~after () =
+  if String.equal before after then ""
+  else begin
+    let split s = Array.of_list (String.split_on_char '\n' s) in
+    let ops = Array.of_list (script (split before) (split after)) in
+    let n = Array.length ops in
+    (* A line belongs to a hunk when it is within [context] of an
+       actual change; consecutive marked lines form one hunk. *)
+    let near = Array.make n false in
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Keep _ -> ()
+        | Del _ | Add _ ->
+          for j = max 0 (i - context) to min (n - 1) (i + context) do
+            near.(j) <- true
+          done)
+      ops;
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf "--- a/%s\n+++ b/%s\n" path path;
+    let old_line = ref 1 and new_line = ref 1 in
+    let i = ref 0 in
+    while !i < n do
+      if not near.(!i) then begin
+        (match ops.(!i) with
+         | Keep _ ->
+           incr old_line;
+           incr new_line
+         | Del _ -> incr old_line
+         | Add _ -> incr new_line);
+        incr i
+      end
+      else begin
+        let start = !i in
+        let stop = ref start in
+        while !stop < n && near.(!stop) do incr stop done;
+        let o0 = !old_line and n0 = !new_line in
+        let ocount = ref 0 and ncount = ref 0 in
+        let body = Buffer.create 128 in
+        for k = start to !stop - 1 do
+          match ops.(k) with
+          | Keep l ->
+            Printf.bprintf body " %s\n" l;
+            incr ocount;
+            incr ncount
+          | Del l ->
+            Printf.bprintf body "-%s\n" l;
+            incr ocount
+          | Add l ->
+            Printf.bprintf body "+%s\n" l;
+            incr ncount
+        done;
+        old_line := o0 + !ocount;
+        new_line := n0 + !ncount;
+        Printf.bprintf buf "@@ -%d,%d +%d,%d @@\n%s" o0 !ocount n0 !ncount
+          (Buffer.contents body);
+        i := !stop
+      end
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,10 @@
+(** Minimal unified diffs, for previewing fix-its without rewriting
+    the file ([vdram lint --fix --dry-run]). *)
+
+val render :
+  ?context:int -> path:string -> before:string -> after:string -> unit ->
+  string
+(** [render ~path ~before ~after ()] is a unified diff from [before]
+    to [after] with [--- a/path] / [+++ b/path] headers and hunks of
+    [context] (default 3) surrounding lines.  Empty when the texts are
+    equal. *)

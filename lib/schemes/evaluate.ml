@@ -2,10 +2,8 @@
 
 module Config = Vdram_core.Config
 module Pattern = Vdram_core.Pattern
-module Model = Vdram_core.Model
 module Operation = Vdram_core.Operation
-module Report = Vdram_core.Report
-module Floorplan = Vdram_floorplan.Floorplan
+module Engine = Vdram_engine.Engine
 
 type result = {
   scheme : Scheme.t;
@@ -21,9 +19,11 @@ type result = {
   die_area_after : float;
 }
 
-let power cfg pattern = (Model.pattern_power cfg pattern).Report.power
-
-let run baseline scheme =
+let run ?engine baseline scheme =
+  let engine =
+    match engine with Some e -> e | None -> Engine.serial ()
+  in
+  let power cfg pattern = Engine.power engine cfg pattern in
   let modified = scheme.Scheme.transform baseline in
   let saving pattern_of =
     let before = power baseline (pattern_of baseline.Config.spec) in
@@ -32,17 +32,18 @@ let run baseline scheme =
   in
   let epb cfg =
     match
-      Model.energy_per_bit cfg (Pattern.idd7_mixed cfg.Config.spec)
+      Engine.energy_per_bit engine cfg (Pattern.idd7_mixed cfg.Config.spec)
     with
     | Some e -> e
     | None -> assert false
   in
-  let die = Floorplan.die_area baseline.Config.floorplan in
+  let die = (Engine.geometry engine baseline).Engine.die_area in
   {
     scheme;
     baseline_name = baseline.Config.name;
-    activate_energy_before = Operation.energy baseline Operation.Activate;
-    activate_energy_after = Operation.energy modified Operation.Activate;
+    activate_energy_before =
+      Engine.op_energy engine baseline Operation.Activate;
+    activate_energy_after = Engine.op_energy engine modified Operation.Activate;
     idd0_saving = saving Pattern.idd0;
     idd4r_saving = saving Pattern.idd4r;
     idd7_saving = saving Pattern.idd7_mixed;
@@ -52,7 +53,11 @@ let run baseline scheme =
     die_area_after = die *. scheme.Scheme.area_factor;
   }
 
-let run_all baseline = List.map (run baseline) Scheme.all
+let run_all ?engine baseline =
+  let engine =
+    match engine with Some e -> e | None -> Engine.serial ()
+  in
+  Engine.map_jobs engine (fun s -> run ~engine baseline s) Scheme.all
 
 let compose schemes =
   match schemes with
@@ -77,7 +82,8 @@ let compose schemes =
       area_note = "combined area impacts multiply";
     }
 
-let run_combined baseline schemes = run baseline (compose schemes)
+let run_combined ?engine baseline schemes =
+  run ?engine baseline (compose schemes)
 
 let pct f = f *. 100.0
 

@@ -16,17 +16,23 @@ type result = {
   die_area_after : float;          (** with the scheme's area factor *)
 }
 
-val run : Vdram_core.Config.t -> Scheme.t -> result
+val run :
+  ?engine:Vdram_engine.Engine.t -> Vdram_core.Config.t -> Scheme.t -> result
 
-val run_all : Vdram_core.Config.t -> result list
-(** Every scheme of {!Scheme.all} against the same baseline. *)
+val run_all :
+  ?engine:Vdram_engine.Engine.t -> Vdram_core.Config.t -> result list
+(** Every scheme of {!Scheme.all} against the same baseline, one pool
+    job per scheme.  The shared engine means the baseline's stages are
+    extracted once, not once per scheme. *)
 
 val compose : Scheme.t list -> Scheme.t
 (** Stack schemes: transforms apply left to right, area factors
     multiply; the name joins the parts.  Raises [Invalid_argument] on
     an empty list. *)
 
-val run_combined : Vdram_core.Config.t -> Scheme.t list -> result
+val run_combined :
+  ?engine:Vdram_engine.Engine.t ->
+  Vdram_core.Config.t -> Scheme.t list -> result
 (** Evaluate a stack of schemes as one — Section V's point that
     proposals must be compared (and combined) under one model.
     Savings compose sub-additively; the result quantifies by how

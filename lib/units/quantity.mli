@@ -26,6 +26,11 @@ val unit_symbol : dim -> string
 (** Canonical unit symbol for a dimension, e.g. ["m"]; empty for
     [Scalar] and [Fraction]. *)
 
+val split_literal : string -> string * string
+(** Split a literal into its numeric part and unit suffix:
+    ["165nm"] becomes [("165", "nm")], a bare number keeps an empty
+    suffix.  Purely lexical — neither part is validated. *)
+
 val parse : string -> (float * dim, string) result
 (** [parse s] parses a literal with optional unit suffix.  The float is
     returned in base SI units.  ["25%"] parses to [(0.25, Fraction)];

@@ -7,7 +7,7 @@ let node = Node.N55
 
 let test_activation_granularity () =
   let pts =
-    Ablation.page_size ~node ~pages:[ 2048; 4096; 8192; 16384 ]
+    Ablation.page_size ~node ~pages:[ 2048; 4096; 8192; 16384 ] ()
   in
   Alcotest.(check int) "four points" 4 (List.length pts);
   (* Activate energy grows with activation size; die area is
@@ -26,7 +26,7 @@ let test_activation_granularity () =
     (first.Ablation.power < last.Ablation.power)
 
 let test_bitline_length () =
-  let pts = Ablation.bitline_length ~node ~bits:[ 256; 512; 1024 ] in
+  let pts = Ablation.bitline_length ~node ~bits:[ 256; 512; 1024 ] () in
   let p256 = List.nth pts 0 and p512 = List.nth pts 1
   and p1024 = List.nth pts 2 in
   (* Energy versus area: short bitlines cost stripes (lower array
@@ -39,7 +39,7 @@ let test_bitline_length () =
     && p512.Ablation.array_efficiency < p1024.Ablation.array_efficiency)
 
 let test_bitline_style () =
-  match Ablation.bitline_style ~node with
+  match Ablation.bitline_style ~node () with
   | [ open_bl; folded ] ->
     (* Table II: the move to 6F2 open bitline "leads to smaller die
        size". *)
@@ -50,7 +50,7 @@ let test_bitline_style () =
   | _ -> Alcotest.fail "expected two style points"
 
 let test_prefetch () =
-  let pts = Ablation.prefetch ~node ~prefetches:[ 2; 4; 8; 16 ] in
+  let pts = Ablation.prefetch ~node ~prefetches:[ 2; 4; 8; 16 ] () in
   Alcotest.(check int) "four points" 4 (List.length pts);
   (* Higher prefetch at the same pin rate moves more bits per row
      cycle: random-access energy per bit falls. *)
@@ -59,7 +59,7 @@ let test_prefetch () =
     (epb 3 < epb 0)
 
 let test_subarray_height () =
-  let pts = Ablation.subarray_height ~node ~bits:[ 256; 512; 1024 ] in
+  let pts = Ablation.subarray_height ~node ~bits:[ 256; 512; 1024 ] () in
   (* Wordline segmentation is an area choice, nearly energy-neutral:
      local wordline capacitance per page is constant. *)
   let p256 = List.nth pts 0 and p1024 = List.nth pts 2 in

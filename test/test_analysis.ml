@@ -252,7 +252,7 @@ let test_csv () =
   let rows = Vdram_datasheets.Compare.fig9 () in
   Alcotest.(check int) "verification rows" (1 + List.length rows)
     (count_lines (Csv.verification rows));
-  let abl = Ablation.bitline_style ~node:Node.N55 in
+  let abl = Ablation.bitline_style ~node:Node.N55 () in
   Alcotest.(check int) "ablation rows" 3 (count_lines (Csv.ablation abl));
   (* write_file round trip *)
   let path = Filename.temp_file "vdram_csv" ".csv" in

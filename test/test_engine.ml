@@ -1,0 +1,191 @@
+(* The staged evaluation engine: the parallel pool must be
+   bit-identical to serial evaluation, and the stage caches must hit
+   and invalidate along the config -> geometry -> extraction -> mix
+   pipeline. *)
+
+module Engine = Vdram_engine.Engine
+module Pool = Vdram_engine.Pool
+module Model = Vdram_core.Model
+module Config = Vdram_core.Config
+module Pattern = Vdram_core.Pattern
+module Report = Vdram_core.Report
+module Params = Vdram_tech.Params
+module Sensitivity = Vdram_analysis.Sensitivity
+module Corners = Vdram_analysis.Corners
+
+let base () = Lazy.force Helpers.ddr3_2g
+
+let scale_bitline cfg factor =
+  let t = cfg.Config.tech in
+  Config.with_tech cfg { t with Params.c_bitline = t.Params.c_bitline *. factor }
+
+(* ----- pool ---------------------------------------------------------- *)
+
+let pool_ordering () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> (x * x) + 1) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d preserves input order" jobs)
+        expected
+        (Pool.map ~jobs (fun x -> (x * x) + 1) xs))
+    [ 1; 2; 4; 7 ]
+
+let pool_exception_order () =
+  (* Several items fail; the error surfaced must be the first failing
+     item in input order, regardless of which domain hits it first. *)
+  match
+    Pool.map ~jobs:4
+      (fun i -> if i >= 3 then failwith (string_of_int i) else i)
+      (List.init 16 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure msg ->
+    Alcotest.(check string) "first failure in input order" "3" msg
+
+(* ----- engine vs model ----------------------------------------------- *)
+
+let eval_matches_model () =
+  let cfg = base () in
+  let engine = Engine.serial () in
+  List.iter
+    (fun (label, p) ->
+      Helpers.check_true
+        (label ^ ": Engine.eval structurally equals Model.pattern_power")
+        (Engine.eval engine cfg p = Model.pattern_power cfg p))
+    [ ("idd0", Pattern.idd0 cfg.Config.spec);
+      ("idd4r", Pattern.idd4r cfg.Config.spec);
+      ("idd7_mixed", Pattern.idd7_mixed cfg.Config.spec) ]
+
+let renamed_twin_hits_cache () =
+  let cfg = base () in
+  let engine = Engine.serial () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  ignore (Engine.eval engine cfg p);
+  let twin = { cfg with Config.name = "renamed twin" } in
+  let r = Engine.eval engine twin p in
+  let s = Engine.stats engine in
+  Alcotest.(check int) "mix stage hit for renamed twin" 1
+    s.Engine.mix_stats.hits;
+  Alcotest.(check string) "report labelled with the caller's name"
+    "renamed twin" r.Report.config_name
+
+(* ----- cache hit and invalidation accounting ------------------------- *)
+
+let cache_counters () =
+  let cfg = base () in
+  let engine = Engine.serial () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  ignore (Engine.eval engine cfg p);
+  let s = Engine.stats engine in
+  Alcotest.(check int) "cold run: one geometry miss" 1
+    s.Engine.geometry_stats.misses;
+  Alcotest.(check int) "cold run: one extraction miss" 1
+    s.Engine.extraction_stats.misses;
+  Alcotest.(check int) "cold run: one mix miss" 1 s.Engine.mix_stats.misses;
+  ignore (Engine.eval engine cfg p);
+  let s = Engine.stats engine in
+  Alcotest.(check int) "warm run: mix hit" 1 s.Engine.mix_stats.hits;
+  Alcotest.(check int) "warm run: no extra mix miss" 1
+    s.Engine.mix_stats.misses;
+  (* Same configuration, different pattern: geometry and extraction
+     replay from cache, only the mix recomputes. *)
+  ignore (Engine.eval engine cfg (Pattern.idd4r cfg.Config.spec));
+  let s = Engine.stats engine in
+  Alcotest.(check int) "new pattern: extraction hit" 1
+    s.Engine.extraction_stats.hits;
+  Alcotest.(check int) "new pattern: mix miss" 2 s.Engine.mix_stats.misses;
+  Engine.reset_stats engine;
+  let s = Engine.stats engine in
+  Alcotest.(check int) "reset clears counters" 0 s.Engine.mix_stats.misses
+
+let upstream_invalidation () =
+  let cfg = base () in
+  let engine = Engine.serial () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  ignore (Engine.eval engine cfg p);
+  Engine.reset_stats engine;
+  (* A bitline-capacitance perturbation leaves the floorplan alone:
+     geometry must replay from cache while extraction and mix rerun. *)
+  ignore (Engine.eval engine (scale_bitline cfg 1.1) p);
+  let s = Engine.stats engine in
+  Alcotest.(check int) "perturbed tech: geometry hit" 1
+    s.Engine.geometry_stats.hits;
+  Alcotest.(check int) "perturbed tech: geometry not recomputed" 0
+    s.Engine.geometry_stats.misses;
+  Alcotest.(check int) "perturbed tech: extraction miss" 1
+    s.Engine.extraction_stats.misses;
+  Alcotest.(check int) "perturbed tech: mix miss" 1 s.Engine.mix_stats.misses
+
+(* ----- determinism properties ---------------------------------------- *)
+
+(* One engine shared across iterations, so later iterations exercise
+   genuine cache hits against cold references. *)
+let shared_engine = lazy (Engine.create ~jobs:1 ())
+
+let eval_determinism =
+  QCheck.Test.make
+    ~name:"eval: warm cache, cold engine and direct model bit-identical"
+    ~count:25
+    QCheck.(float_range 0.7 1.3)
+    (fun factor ->
+      let cfg = scale_bitline (base ()) factor in
+      let p = Pattern.idd0 cfg.Config.spec in
+      let reference = Model.pattern_power cfg p in
+      let warm = Lazy.force shared_engine in
+      let first = Engine.eval warm cfg p in
+      let cached = Engine.eval warm cfg p in
+      let cold = Engine.eval (Engine.serial ()) cfg p in
+      first = reference && cached = reference && cold = reference)
+
+let map_jobs_determinism =
+  QCheck.Test.make ~name:"map_jobs: parallel bit-identical to serial"
+    ~count:10
+    QCheck.(pair (int_range 2 6) (list_of_size (Gen.int_range 1 12)
+                                    (float_range 0.8 1.2)))
+    (fun (jobs, factors) ->
+      let cfg = base () in
+      let p = Pattern.idd0 cfg.Config.spec in
+      let cfgs = List.map (scale_bitline cfg) factors in
+      let parallel = Engine.create ~jobs () in
+      Engine.map_jobs parallel (fun c -> Engine.eval parallel c p) cfgs
+      = List.map (fun c -> Model.pattern_power c p) cfgs)
+
+(* ----- drivers: serial vs parallel ----------------------------------- *)
+
+let sensitivity_serial_parallel () =
+  let cfg = base () in
+  let serial = Sensitivity.run ~engine:(Engine.serial ()) cfg in
+  let parallel = Sensitivity.run ~engine:(Engine.create ~jobs:4 ()) cfg in
+  Helpers.check_true "sensitivity identical under --jobs 4"
+    (serial = parallel)
+
+let corners_serial_parallel () =
+  let cfg = base () in
+  let run engine =
+    Corners.run ~engine ~samples:60 ~seed:7
+      ~pattern:(Pattern.idd7_mixed cfg.Config.spec) cfg
+  in
+  Helpers.check_true "corners identical under --jobs 4 (same seed)"
+    (run (Engine.serial ()) = run (Engine.create ~jobs:4 ()))
+
+let suite =
+  [
+    Alcotest.test_case "pool preserves input order" `Quick pool_ordering;
+    Alcotest.test_case "pool re-raises first error in input order" `Quick
+      pool_exception_order;
+    Alcotest.test_case "eval matches Model.pattern_power" `Quick
+      eval_matches_model;
+    Alcotest.test_case "renamed twin hits the mix cache" `Quick
+      renamed_twin_hits_cache;
+    Alcotest.test_case "stage cache counters" `Quick cache_counters;
+    Alcotest.test_case "tech perturbation keeps geometry cached" `Quick
+      upstream_invalidation;
+    Helpers.qcheck eval_determinism;
+    Helpers.qcheck map_jobs_determinism;
+    Alcotest.test_case "sensitivity: serial = parallel" `Quick
+      sensitivity_serial_parallel;
+    Alcotest.test_case "corners: serial = parallel" `Quick
+      corners_serial_parallel;
+  ]

@@ -8,6 +8,7 @@ let () =
       ("floorplan", Test_floorplan.suite);
       ("circuits", Test_circuits.suite);
       ("core", Test_core.suite);
+      ("engine", Test_engine.suite);
       ("dsl", Test_dsl.suite);
       ("diagnostics", Test_diagnostics.suite);
       ("semantic", Test_semantic.suite);

@@ -156,6 +156,72 @@ let test_fix_roundtrip () =
         (Format.asprintf "%a" Lint.pp_text r')
   end
 
+let wrong_dim_source =
+  String.concat "\n"
+    [ "Device"; "Part name=dims node=55nm"; "";
+      "Specification"; "IO width=16 datarate=1.6GHz";
+      "Timing trc=50nm trcd=16.5ns trp=15"; "" ]
+
+let test_v0101_fixit () =
+  (* Wrong-dimension literals keep their number and SI prefix and swap
+     the base unit for the expected one; a bare number offers no
+     prefix, so no fix is proposed. *)
+  let r = Lint.run wrong_dim_source in
+  let v0101 =
+    List.filter (fun (d : D.t) -> d.D.code = "V0101") r.Lint.diagnostics
+  in
+  Alcotest.(check int) "three wrong-dimension findings" 3
+    (List.length v0101);
+  let replacements =
+    List.concat_map
+      (fun (d : D.t) ->
+        List.map (fun (f : Fix.t) -> f.Fix.replacement) d.D.fixes)
+      v0101
+  in
+  Alcotest.(check (list string)) "unit swapped, prefix and number kept"
+    [ "datarate=1.6Gbps"; "trc=50ns" ]
+    (List.sort compare replacements);
+  let fixed, applied = Lint.apply_fixes r in
+  Alcotest.(check int) "both fixes apply" 2 applied;
+  Helpers.check_true "fixed literals present"
+    (contains fixed "trc=50ns" && contains fixed "datarate=1.6Gbps");
+  (* The bare-scalar finding (trp=15) remains after fixing. *)
+  let r' = Lint.run fixed in
+  Alcotest.(check (list string)) "only the prefix-less finding remains"
+    [ "V0101" ]
+    (codes_of (List.filter D.is_error r'.Lint.diagnostics))
+
+let test_preview_fixes () =
+  (* --fix --dry-run: a unified diff of what would change, with the
+     file left untouched (the report is built from a string here, so
+     there is nothing to touch — the diff itself is the contract). *)
+  let r = Lint.run wrong_dim_source in
+  match Lint.preview_fixes r with
+  | None -> Alcotest.fail "fixable report must produce a preview"
+  | Some (diff, applied) ->
+    Alcotest.(check int) "preview covers both fixes" 2 applied;
+    Helpers.check_true "unified headers" (contains diff "--- a/<stdin>");
+    Helpers.check_true "hunk header" (contains diff "@@ -");
+    Helpers.check_true "old line removed" (contains diff "-Timing trc=50nm");
+    Helpers.check_true "new line added" (contains diff "+Timing trc=50ns");
+    (* Context lines ride along unchanged. *)
+    Helpers.check_true "context line" (contains diff " Specification");
+    (* A clean report previews nothing. *)
+    (match Lint.preview_fixes (Lint.run "Device\nPart name=t node=65nm\n")
+     with
+     | None -> ()
+     | Some _ -> Alcotest.fail "clean report must preview no fixes")
+
+let test_udiff_render () =
+  let render a b =
+    Vdram_lint.Udiff.render ~path:"f" ~before:a ~after:b ()
+  in
+  Alcotest.(check string) "equal texts diff empty" "" (render "a\nb" "a\nb");
+  let d = render "a\nb\nc" "a\nB\nc" in
+  Helpers.check_true "replacement shows - then +"
+    (contains d "-b\n+B\n");
+  Helpers.check_true "hunk coordinates" (contains d "@@ -1,3 +1,3 @@")
+
 (* ----- print/parse round trip -------------------------------------- *)
 
 (* The AST with spans erased: what --fix relies on Printer.print to
@@ -648,6 +714,9 @@ let suite =
     Alcotest.test_case "fix application" `Quick test_fix_apply;
     Alcotest.test_case "suggestions" `Quick test_suggest;
     Alcotest.test_case "fix round trip" `Quick test_fix_roundtrip;
+    Alcotest.test_case "wrong-dimension fix-its" `Quick test_v0101_fixit;
+    Alcotest.test_case "fix preview (dry run)" `Quick test_preview_fixes;
+    Alcotest.test_case "unified diff renderer" `Quick test_udiff_render;
     Alcotest.test_case "print/parse round trip" `Quick
       test_print_parse_roundtrip;
     Alcotest.test_case "floorplan codes" `Quick test_floorplan_codes;
