@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-analysis examples clean doc export
+.PHONY: all build test check lint bench bench-analysis bench-gate examples clean doc export
 
 all: build
 
@@ -19,6 +19,10 @@ bench:
 
 bench-analysis:
 	dune exec bin/vdram.exe -- bench-analysis
+
+bench-gate: build
+	dune exec bin/vdram.exe -- bench-analysis --out BENCH_fresh.json
+	dune exec tools/bench_gate.exe -- BENCH_analysis.json BENCH_fresh.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -538,4 +538,6 @@ let () =
   architectures ();
   system_view ();
   bechamel_suite ();
+  header "Engine cache counters (whole run)";
+  Format.printf "%a@." Engine.pp_stats (Engine.stats engine);
   print_newline ()

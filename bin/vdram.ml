@@ -68,23 +68,72 @@ let jobs_arg =
     value
     & opt (some int) None
     & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:"Worker domains for batched evaluations (default: the \
-              recommended domain count of this machine).")
+        ~doc:"Worker domains for batched evaluations (default: \
+              $(b,VDRAM_JOBS), else the recommended domain count of \
+              this machine).")
 
 let timings_arg =
   Arg.(
     value & flag
     & info [ "timings" ]
-        ~doc:"Print per-stage timing and cache-hit counters to stderr.")
+        ~doc:"Print per-stage timing, cache-hit and disk-cache \
+              counters to stderr.")
 
-let make_engine jobs = Vdram_engine.Engine.create ?jobs ()
+let cache_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:"Share extraction and pattern-mix results across runs \
+              through the persistent on-disk cache (see \
+              $(b,--cache-dir)).  Stale or corrupt snapshots are \
+              ignored, never served.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the persistent cache even when $(b,--cache) or \
+              $(b,--cache-dir) is given.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Persistent cache directory (implies $(b,--cache); \
+              default $(b,VDRAM_CACHE_DIR), else _build/.vdram-cache).")
+
+(* One term shared by every analysis command: [--jobs] plus the
+   persistent-cache trio, yielding an engine factory. *)
+let engine_term =
+  let make jobs cache no_cache cache_dir () =
+    let store =
+      if no_cache || ((not cache) && cache_dir = None) then None
+      else Some (Vdram_engine.Engine.store_open ?dir:cache_dir ())
+    in
+    Vdram_engine.Engine.create ?jobs ?store ()
+  in
+  Term.(const make $ jobs_arg $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
 let report_timings timings engine =
-  if timings then
+  if timings then begin
     Format.eprintf "engine (%d jobs):@.%a@."
       (Vdram_engine.Engine.jobs engine)
       Vdram_engine.Engine.pp_stats
-      (Vdram_engine.Engine.stats engine)
+      (Vdram_engine.Engine.stats engine);
+    match Vdram_engine.Engine.store engine with
+    | None -> ()
+    | Some st ->
+      let ext, mix = Vdram_engine.Engine.preloaded engine in
+      Format.eprintf "disk cache %s: preloaded %d extraction / %d mix@."
+        (Vdram_engine.Store.dir st) ext mix
+  end
+
+(* End-of-command bookkeeping: write the caches back to the store (a
+   no-op without one), then report counters. *)
+let finish timings engine =
+  Vdram_engine.Engine.flush_store engine;
+  report_timings timings engine
 
 let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
 
@@ -194,16 +243,16 @@ let sensitivity_cmd =
       value & opt int 15
       & info [ "top" ] ~docv:"N" ~doc:"Entries to print.")
   in
-  let run file node top pattern jobs timings =
+  let run file node top pattern mk_engine timings =
     match load_config ?file ~node () with
     | Error e -> fail "%s" e
     | Ok (config, stored) ->
       (match resolve_pattern config stored pattern with
        | Error e -> fail "%s" e
        | Ok p ->
-         let engine = make_engine jobs in
+         let engine = mk_engine () in
          let s = Vdram_analysis.Sensitivity.run ~engine ~pattern:p config in
-         report_timings timings engine;
+         finish timings engine;
          Format.printf "%s | %s | nominal %s@." s.Vdram_analysis.Sensitivity.config_name
            s.Vdram_analysis.Sensitivity.pattern_name
            (Vdram_units.Si.format_eng ~unit_symbol:"W"
@@ -220,41 +269,41 @@ let sensitivity_cmd =
   let doc = "Rank parameters by power impact (Fig 10 / Table III)." in
   Cmd.v (Cmd.info "sensitivity" ~doc)
     Term.(
-      ret (const run $ file $ node $ top $ pattern_arg $ jobs_arg
+      ret (const run $ file $ node $ top $ pattern_arg $ engine_term
          $ timings_arg))
 
 (* ----- trends ------------------------------------------------------ *)
 
 let trends_cmd =
-  let run jobs timings =
-    let engine = make_engine jobs in
+  let run mk_engine timings =
+    let engine = mk_engine () in
     List.iter
       (fun p -> Format.printf "%a@." Vdram_analysis.Trends.pp_point p)
       (Vdram_analysis.Trends.all ~engine ());
-    report_timings timings engine;
+    finish timings engine;
     `Ok ()
   in
   let doc = "DRAM roadmap trends (Figs 11-13)." in
   Cmd.v (Cmd.info "trends" ~doc)
-    Term.(ret (const run $ jobs_arg $ timings_arg))
+    Term.(ret (const run $ engine_term $ timings_arg))
 
 (* ----- schemes ----------------------------------------------------- *)
 
 let schemes_cmd =
-  let run file node jobs timings =
+  let run file node mk_engine timings =
     match load_config ?file ~node () with
     | Error e -> fail "%s" e
     | Ok (config, _) ->
-      let engine = make_engine jobs in
+      let engine = mk_engine () in
       let results = Vdram_schemes.Evaluate.run_all ~engine config in
-      report_timings timings engine;
+      finish timings engine;
       Format.printf "baseline: %s@.@.%a@." config.Config.name
         Vdram_schemes.Evaluate.pp_table results;
       `Ok ()
   in
   let doc = "Evaluate the Section V power-reduction schemes." in
   Cmd.v (Cmd.info "schemes" ~doc)
-    Term.(ret (const run $ file $ node $ jobs_arg $ timings_arg))
+    Term.(ret (const run $ file $ node $ engine_term $ timings_arg))
 
 (* ----- simulate ---------------------------------------------------- *)
 
@@ -400,14 +449,28 @@ let lint_cmd =
           ~doc:"With $(b,--fix): print a unified diff of the edits to \
                 standard output instead of rewriting the files.")
   in
-  let run files format deny allow fix dry_run =
-    match List.find_opt (fun c -> not (Code.is_known c)) allow with
+  let fix_only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fix-only" ] ~docv:"CODE"
+          ~doc:"Like $(b,--fix), but apply only the fix-its attached \
+                to one diagnostic code, e.g. $(b,--fix-only V0101), \
+                leaving every other edit alone.  Composes with \
+                $(b,--dry-run).")
+  in
+  let run files format deny allow fix dry_run only =
+    let fixing = fix || only <> None in
+    match
+      List.find_opt (fun c -> not (Code.is_known c))
+        (allow @ Option.to_list only)
+    with
     | Some c ->
       fail "unknown lint code %S (doc/DSL.md lists the inventory)" c
     | None ->
-      if dry_run && not fix then
-        fail "--dry-run only makes sense with --fix"
-      else if fix && (not dry_run) && List.mem "-" files then
+      if dry_run && not fixing then
+        fail "--dry-run only makes sense with --fix or --fix-only"
+      else if fixing && (not dry_run) && List.mem "-" files then
         fail "--fix cannot rewrite standard input (try --dry-run)"
       else begin
         let lint_one f =
@@ -419,11 +482,11 @@ let lint_cmd =
             files
         in
         let reports =
-          if not fix then List.map snd reports
+          if not fixing then List.map snd reports
           else if dry_run then
             List.map
               (fun (f, r) ->
-                (match Lint.preview_fixes r with
+                (match Lint.preview_fixes ?only r with
                  | None -> ()
                  | Some (diff, applied) ->
                    Printf.eprintf "%s: %d fix(es) available (dry run)\n%!"
@@ -434,7 +497,7 @@ let lint_cmd =
           else
             List.map
               (fun (f, r) ->
-                let fixed, applied = Lint.apply_fixes r in
+                let fixed, applied = Lint.apply_fixes ?only r in
                 if applied = 0 then r
                 else begin
                   Out_channel.with_open_text f (fun oc ->
@@ -481,7 +544,8 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       ret
-        (const run $ files $ format $ deny_warnings $ allow $ fix $ dry_run))
+        (const run $ files $ format $ deny_warnings $ allow $ fix $ dry_run
+       $ fix_only))
 
 (* ----- corners ------------------------------------------------------ *)
 
@@ -494,19 +558,19 @@ let corners_cmd =
       value & opt float 0.10
       & info [ "spread" ] ~doc:"Half-width of the parameter band (0.10 = +-10%).")
   in
-  let run file node samples spread pattern jobs timings =
+  let run file node samples spread pattern mk_engine timings =
     match load_config ?file ~node () with
     | Error e -> fail "%s" e
     | Ok (config, stored) ->
       (match resolve_pattern config stored pattern with
        | Error e -> fail "%s" e
        | Ok p ->
-         let engine = make_engine jobs in
+         let engine = mk_engine () in
          let d =
            Vdram_analysis.Corners.run ~engine ~samples ~spread ~pattern:p
              config
          in
-         report_timings timings engine;
+         finish timings engine;
          Format.printf "%s | %s@.%a@." config.Config.name p.Pattern.name
            Vdram_analysis.Corners.pp d;
          `Ok ())
@@ -515,8 +579,8 @@ let corners_cmd =
   Cmd.v (Cmd.info "corners" ~doc)
     Term.(
       ret
-        (const run $ file $ node $ samples $ spread $ pattern_arg $ jobs_arg
-       $ timings_arg))
+        (const run $ file $ node $ samples $ spread $ pattern_arg
+       $ engine_term $ timings_arg))
 
 (* ----- states ------------------------------------------------------- *)
 
@@ -560,8 +624,8 @@ let ablate_cmd =
           `Activation
       & info [ "sweep" ] ~doc:"Which design choice to sweep.")
   in
-  let run node which jobs timings =
-    let engine = make_engine jobs in
+  let run node which mk_engine timings =
+    let engine = mk_engine () in
     let pts =
       match which with
       | `Activation ->
@@ -578,18 +642,19 @@ let ablate_cmd =
         Vdram_analysis.Ablation.subarray_height ~engine ~node
           ~bits:[ 256; 512; 1024 ] ()
     in
-    report_timings timings engine;
+    finish timings engine;
     Format.printf "%a@?" Vdram_analysis.Ablation.pp pts;
     `Ok ()
   in
   let doc = "Sweep one architectural design choice." in
   Cmd.v (Cmd.info "ablate" ~doc)
-    Term.(ret (const run $ node $ which $ jobs_arg $ timings_arg))
+    Term.(ret (const run $ node $ which $ engine_term $ timings_arg))
 
 (* ----- bench-analysis ---------------------------------------------- *)
 
 let bench_analysis_cmd =
   let module Engine = Vdram_engine.Engine in
+  let module Store = Vdram_engine.Store in
   let out =
     Arg.(
       value
@@ -598,37 +663,99 @@ let bench_analysis_cmd =
   in
   let samples =
     Arg.(
-      value & opt int 400
+      value & opt int 5000
       & info [ "samples" ] ~docv:"N"
           ~doc:"Monte-Carlo corner samples in the workload.")
   in
-  let run jobs samples out =
+  let bench_cache_dir =
+    Arg.(
+      value
+      & opt string (Filename.concat "_build" ".vdram-bench-cache")
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Directory for the disk-cache passes (cleared before \
+                the cold pass, so it is honestly cold).")
+  in
+  let run jobs samples out cache_dir =
     let cfg = Vdram_configs.Devices.ddr3_2g in
     let parallel_jobs =
       match jobs with
       | Some j -> max 1 j
-      | None -> max 4 (Domain.recommended_domain_count ())
+      | None -> max 2 (Vdram_engine.Pool.default_jobs ())
     in
-    (* The acceptance workload: the Fig 10 tornado plus a Monte-Carlo
-       corner population, both on the 2G DDR3 55 nm device. *)
+    let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9 in
+    (* Benchmark hygiene, applied identically to every pass: a roomy
+       minor heap — OCaml 5 minor collections are stop-the-world, and
+       with more domains than cores the cross-domain handshake, not
+       the collection, dominates — and a level major-heap start. *)
+    let gc = Gc.get () in
+    Gc.set { gc with Gc.minor_heap_size = max gc.Gc.minor_heap_size 4_194_304 };
+    (* The acceptance workload: the Fig 10 tornado, a Monte-Carlo
+       corner population, per-operation energies and one full report —
+       all on the 2G DDR3 55 nm device.  The last two read the
+       extraction cache directly, so a warm pass exercises both
+       persistent stages even when every mix lookup hits. *)
+    let pat = Pattern.idd4r cfg.Config.spec in
     let workload engine =
       let s = Vdram_analysis.Sensitivity.run ~engine cfg in
       let c = Vdram_analysis.Corners.run ~engine ~samples cfg in
-      (s, c)
+      let ops =
+        List.map
+          (fun k -> Engine.op_energy engine cfg k)
+          Vdram_core.Operation.all
+      in
+      let r = Engine.eval engine cfg pat in
+      (s, c, ops, r)
     in
-    let timed engine =
-      let t0 = Unix.gettimeofday () in
+    (* Engine construction, the workload and the store flush are all
+       inside the timed window: the disk passes must pay for their
+       snapshot load and save, or cold vs warm would be a fiction. *)
+    let timed mk =
+      Gc.full_major ();
+      let t0 = now () in
+      let engine = mk () in
       let r = workload engine in
-      (r, Unix.gettimeofday () -. t0)
+      Engine.flush_store engine;
+      (engine, r, now () -. t0)
     in
-    let serial_engine = Engine.create ~jobs:1 () in
-    let serial_result, serial_s = timed serial_engine in
-    let parallel_engine = Engine.create ~jobs:parallel_jobs () in
-    let parallel_result, parallel_s = timed parallel_engine in
+    let _serial_engine, serial_result, serial_s =
+      timed (fun () -> Engine.create ~jobs:1 ())
+    in
+    let parallel_engine, parallel_result, parallel_s =
+      timed (fun () -> Engine.create ~jobs:parallel_jobs ())
+    in
+    let store () = Engine.store_open ~dir:cache_dir () in
+    (* Disk timings are at the mercy of writeback and unmarshal-GC
+       noise, so each disk pass reports the best of two repetitions
+       (the clear keeps every cold repetition honestly cold). *)
+    let cold_pass () =
+      Store.clear (store ());
+      timed (fun () -> Engine.create ~jobs:1 ~store:(store ()) ())
+    in
+    let _e, cold_result, cold_t1 = cold_pass () in
+    let _e, cold_result2, cold_t2 = cold_pass () in
+    let disk_cold_s = Float.min cold_t1 cold_t2 in
+    let warm_pass () =
+      timed (fun () -> Engine.create ~jobs:1 ~store:(store ()) ())
+    in
+    let w1, warm_result, warm_t1 = warm_pass () in
+    let w2, warm_result2, warm_t2 = warm_pass () in
+    let warm_engine, disk_warm_s =
+      if warm_t2 <= warm_t1 then (w2, warm_t2) else (w1, warm_t1)
+    in
     (* The determinism contract, checked structurally: every float of
-       both analyses must agree bit for bit. *)
-    let identical = serial_result = parallel_result in
+       every run must agree bit for bit. *)
+    let identical =
+      serial_result = parallel_result
+      && serial_result = cold_result
+      && serial_result = cold_result2
+      && serial_result = warm_result
+      && serial_result = warm_result2
+    in
     let speedup = serial_s /. Float.max 1e-9 parallel_s in
+    let disk_speedup = disk_cold_s /. Float.max 1e-9 disk_warm_s in
+    let warm_stats = Engine.stats warm_engine in
+    let warm_ext_hits = warm_stats.Engine.extraction_stats.Engine.hits in
+    let warm_mix_hits = warm_stats.Engine.mix_stats.Engine.hits in
     let stage name (s : Engine.stage_stats) =
       Printf.sprintf
         "{\"stage\":%S,\"hits\":%d,\"misses\":%d,\"time_ms\":%.3f}" name
@@ -648,35 +775,48 @@ let bench_analysis_cmd =
       Printf.sprintf
         "{\n\
         \  \"device\": %S,\n\
-        \  \"workload\": \"sensitivity + corners(%d samples)\",\n\
+        \  \"workload\": \"sensitivity + corners(%d samples) + op \
+         energies\",\n\
         \  \"jobs_serial\": 1,\n\
         \  \"jobs_parallel\": %d,\n\
         \  \"serial_s\": %.6f,\n\
         \  \"parallel_s\": %.6f,\n\
         \  \"speedup\": %.3f,\n\
+        \  \"disk_cold_s\": %.6f,\n\
+        \  \"disk_warm_s\": %.6f,\n\
+        \  \"disk_speedup\": %.3f,\n\
+        \  \"warm_extraction_hits\": %d,\n\
+        \  \"warm_mix_hits\": %d,\n\
+        \  \"cache_dir\": %S,\n\
         \  \"identical_output\": %b,\n\
-        \  \"serial_stages\": [%s],\n\
-        \  \"parallel_stages\": [%s]\n\
+        \  \"parallel_stages\": [%s],\n\
+        \  \"warm_stages\": [%s]\n\
          }\n"
         cfg.Config.name samples parallel_jobs serial_s parallel_s speedup
-        identical (stage_list serial_engine) (stage_list parallel_engine)
+        disk_cold_s disk_warm_s disk_speedup warm_ext_hits warm_mix_hits
+        cache_dir identical
+        (stage_list parallel_engine)
+        (stage_list warm_engine)
     in
     Out_channel.with_open_text out (fun oc ->
         Out_channel.output_string oc json);
     Format.printf
       "device %s | serial %.3f s | parallel (%d jobs) %.3f s | speedup \
-       %.2fx | identical %b@.wrote %s@."
-      cfg.Config.name serial_s parallel_jobs parallel_s speedup identical out;
+       %.2fx@.disk cold %.3f s | disk warm %.3f s | disk speedup %.2fx | \
+       warm hits %d ext / %d mix@.identical %b | wrote %s@."
+      cfg.Config.name serial_s parallel_jobs parallel_s speedup disk_cold_s
+      disk_warm_s disk_speedup warm_ext_hits warm_mix_hits identical out;
     if identical then `Ok ()
-    else fail "parallel output differs from serial output"
+    else fail "parallel/disk outputs differ from the serial output"
   in
   let doc =
     "Benchmark the staged engine: the sensitivity + corners workload run \
-     serially and on the domain pool, with per-stage cache counters, \
-     written as JSON."
+     serially, on the domain pool, and twice against the persistent disk \
+     cache (cold, then warm), with per-stage cache counters, written as \
+     JSON."
   in
   Cmd.v (Cmd.info "bench-analysis" ~doc)
-    Term.(ret (const run $ jobs_arg $ samples $ out))
+    Term.(ret (const run $ jobs_arg $ samples $ out $ bench_cache_dir))
 
 (* ----- export ------------------------------------------------------- *)
 

@@ -76,6 +76,17 @@ let op_counts pattern =
 
 (* ----- staged evaluation seams ------------------------------------- *)
 
+(* Bump whenever the physics changes in any way that can alter a
+   computed number: the staged engine stamps its persistent cache with
+   this, so stale on-disk entries are discarded instead of served. *)
+let version = "model-2026-08"
+
+(* The name identifies a configuration to humans, not to physics: two
+   configurations differing only in [name] share every stage output.
+   This projection is the content identity the engine's extraction and
+   pattern-mix caches key on. *)
+let physics_projection (cfg : Config.t) = { cfg with Config.name = "" }
+
 (* The capacitance-extraction stage: every per-operation contribution
    list and its total energy, derived once from the configuration.  A
    pattern mix (below) only reads this record, so evaluating several

@@ -39,6 +39,17 @@ val idd5b : Config.t -> float
     back-to-back at [Spec.trfc], i.e. one {!refresh_energy} every
     tRFC on top of the background, amperes. *)
 
+val version : string
+(** A stamp that changes whenever the model's physics changes.  The
+    staged engine writes it into its persistent cache header, so
+    results computed by an older model are discarded, never served. *)
+
+val physics_projection : Config.t -> Config.t
+(** The configuration with its [name] cleared — exactly the fields the
+    physics reads.  Two configurations with equal projections produce
+    bit-identical stage outputs; the engine fingerprints this value to
+    key its extraction and pattern-mix caches. *)
+
 type extraction
 (** The capacitance-extraction stage: per-operation contribution lists
     and their supply energies, derived once from a configuration.  The

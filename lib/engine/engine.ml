@@ -1,4 +1,5 @@
-(* Staged evaluation: content-keyed stage caches + a domain pool. *)
+(* Staged evaluation: fingerprint-keyed sharded stage caches + a
+   chunked domain pool + an optional persistent store. *)
 
 module Config = Vdram_core.Config
 module Model = Vdram_core.Model
@@ -6,32 +7,8 @@ module Operation = Vdram_core.Operation
 module Pattern = Vdram_core.Pattern
 module Report = Vdram_core.Report
 module Floorplan = Vdram_floorplan.Floorplan
-
-(* Stage keys are plain-data records (no closures anywhere in Config.t
-   or Pattern.t), so structural equality is the content identity.  The
-   default [Hashtbl.hash] only samples ~10 leaves — far too few for a
-   record carrying bus and logic-block lists — so hash deeply. *)
-module Key (T : sig
-  type t
-end) =
-struct
-  type t = T.t
-
-  let equal = ( = )
-  let hash k = Hashtbl.hash_param 256 256 k
-end
-
-module Geom_tbl = Hashtbl.Make (Key (struct
-  type t = Floorplan.t * float
-end))
-
-module Ext_tbl = Hashtbl.Make (Key (struct
-  type t = Config.t
-end))
-
-module Mix_tbl = Hashtbl.Make (Key (struct
-  type t = Config.t * Pattern.t
-end))
+module Fp = Fingerprint
+module Fp_tbl = Hashtbl.Make (Fingerprint)
 
 type geometry = {
   geometry : Vdram_floorplan.Array_geometry.t;
@@ -40,6 +17,35 @@ type geometry = {
   die_area : float;
   array_efficiency : float;
 }
+
+(* ----- sharded caches ---------------------------------------------- *)
+
+(* Each stage cache is striped over [nshards] independently locked
+   hash tables; the shard is picked from the key's fingerprint, so two
+   domains evaluating different configurations almost never contend on
+   the same mutex.  Critical sections are a single find or replace —
+   stage computation always happens outside any lock (stages are pure,
+   so a rare duplicate computation is just the same value computed
+   twice, and last-write-wins stores the same bits). *)
+
+let nshards = 16 (* power of two: shard index is a fingerprint mask *)
+
+type 'v shard = { lock : Mutex.t; tbl : 'v Fp_tbl.t }
+type 'v cache = 'v shard array
+
+let cache_create () : 'v cache =
+  Array.init nshards (fun _ ->
+      { lock = Mutex.create (); tbl = Fp_tbl.create 64 })
+
+let shard_of (cache : 'v cache) fp = cache.(Fp.hash fp land (nshards - 1))
+
+let cache_entries (cache : 'v cache) =
+  Array.to_list cache
+  |> List.concat_map (fun s ->
+         Mutex.lock s.lock;
+         let xs = Fp_tbl.fold (fun k v acc -> (k, v) :: acc) s.tbl [] in
+         Mutex.unlock s.lock;
+         xs)
 
 (* Per-stage counters; atomics because the pool's worker domains share
    the engine. *)
@@ -54,60 +60,161 @@ let counters () =
 
 type t = {
   jobs : int;
-  lock : Mutex.t;
-  geom_tbl : geometry Geom_tbl.t;
-  ext_tbl : Model.extraction Ext_tbl.t;
-  mix_tbl : Report.t Mix_tbl.t;
+  geom_cache : geometry cache;
+  ext_cache : Model.extraction cache;
+  mix_cache : Report.t cache;
   geom_c : counters;
   ext_c : counters;
   mix_c : counters;
+  store : Store.t option;
+  preloaded : int * int;
 }
 
-let create ?jobs () =
+(* ----- persistent store -------------------------------------------- *)
+
+(* The store stamp ties a snapshot to both the physics and the
+   fingerprint scheme: results computed by an older model, or keyed by
+   an older scheme, are discarded on load. *)
+let store_version = Model.version ^ "+" ^ Fp.scheme_version
+
+let store_open ?dir () = Store.open_ ?dir ~version:store_version ()
+
+let preload (cache : 'v cache) (entries : (Fp.t * 'v) array option) =
+  match entries with
+  | None -> 0
+  | Some arr ->
+    Array.iter
+      (fun (fp, v) ->
+        let s = shard_of cache fp in
+        Fp_tbl.replace s.tbl fp v)
+      arr;
+    Array.length arr
+
+let create ?jobs ?store () =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
+  let geom_cache = cache_create () in
+  let ext_cache : Model.extraction cache = cache_create () in
+  let mix_cache : Report.t cache = cache_create () in
+  let preloaded =
+    match store with
+    | None -> (0, 0)
+    | Some st ->
+      ( preload ext_cache
+          (Store.load st ~name:"extraction"
+            : (Fp.t * Model.extraction) array option),
+        preload mix_cache
+          (Store.load st ~name:"mix" : (Fp.t * Report.t) array option) )
+  in
   {
     jobs;
-    lock = Mutex.create ();
-    geom_tbl = Geom_tbl.create 64;
-    ext_tbl = Ext_tbl.create 64;
-    mix_tbl = Mix_tbl.create 64;
+    geom_cache;
+    ext_cache;
+    mix_cache;
     geom_c = counters ();
     ext_c = counters ();
     mix_c = counters ();
+    store;
+    preloaded;
   }
 
 let serial () = create ~jobs:1 ()
 let jobs t = t.jobs
+let store t = t.store
+let preloaded t = t.preloaded
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let flush_store t =
+  match t.store with
+  | None -> ()
+  | Some st ->
+    (* Persist without witnesses: on disk the 128-bit digest is the
+       identity (see Fingerprint.trusted), which keeps snapshots at a
+       fraction of the in-memory footprint.  A stage that never missed
+       holds nothing the snapshot lacks, so skip it — a fully warm run
+       costs a load but no save (and an idle engine never clobbers a
+       good snapshot with an empty one). *)
+    let dump cache =
+      Array.of_list
+        (List.map (fun (fp, v) -> (Fp.trusted fp, v)) (cache_entries cache))
+    in
+    if Atomic.get t.ext_c.misses > 0 then
+      Store.save st ~name:"extraction" (dump t.ext_cache);
+    if Atomic.get t.mix_c.misses > 0 then
+      Store.save st ~name:"mix" (dump t.mix_cache)
 
-(* Look up under the lock; compute misses outside it (stages are pure,
-   so a rare duplicate computation is just the value computed twice,
-   and last-write-wins stores the same bits). *)
-let cached t c ~find ~add key compute =
-  match locked t (fun () -> find key) with
+(* ----- fingerprint keys -------------------------------------------- *)
+
+(* A fingerprint is computed once per value and reused across every
+   stage lookup it feeds.  The memo is domain-local and keyed on
+   physical identity: all stage lookups for one configuration (mix ->
+   extraction -> geometry, op_energy after eval, ...) arrive with the
+   same immutable [Config.t] in hand, so one marshal serves them all.
+   Patterns repeat across whole batches (every sample of a corners run
+   shares the pattern value), so their memo hits almost always. *)
+
+let cfg_fp_memo : (Config.t * Fp.t) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let geom_fp_memo : (Config.t * Fp.t) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let pat_fp_memo : (Pattern.t * Fp.t) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let config_fp (cfg : Config.t) =
+  match Domain.DLS.get cfg_fp_memo with
+  | Some (c, fp) when c == cfg -> fp
+  | _ ->
+    let fp = Fp.of_value (Model.physics_projection cfg) in
+    Domain.DLS.set cfg_fp_memo (Some (cfg, fp));
+    fp
+
+let geometry_fp (cfg : Config.t) =
+  match Domain.DLS.get geom_fp_memo with
+  | Some (c, fp) when c == cfg -> fp
+  | _ ->
+    let fp =
+      Fp.of_value (cfg.Config.floorplan, cfg.Config.activation_fraction)
+    in
+    Domain.DLS.set geom_fp_memo (Some (cfg, fp));
+    fp
+
+let pattern_fp (p : Pattern.t) =
+  match Domain.DLS.get pat_fp_memo with
+  | Some (q, fp) when q == p -> fp
+  | _ ->
+    let fp = Fp.of_value p in
+    Domain.DLS.set pat_fp_memo (Some (p, fp));
+    fp
+
+(* ----- stages ------------------------------------------------------ *)
+
+(* Per-miss timing uses the monotonic clock: wall-clock deltas
+   (gettimeofday) can go backwards under NTP adjustment and corrupt
+   the accumulators with negative nanoseconds. *)
+let cached cache c fp compute =
+  let s = shard_of cache fp in
+  Mutex.lock s.lock;
+  let found = Fp_tbl.find_opt s.tbl fp in
+  Mutex.unlock s.lock;
+  match found with
   | Some v ->
     Atomic.incr c.hits;
     v
   | None ->
-    let t0 = Unix.gettimeofday () in
+    let t0 = Monotonic_clock.now () in
     let v = compute () in
-    let dt = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    let dt = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
     Atomic.incr c.misses;
     ignore (Atomic.fetch_and_add c.time_ns dt);
-    locked t (fun () -> add key v);
+    Mutex.lock s.lock;
+    Fp_tbl.replace s.tbl fp v;
+    Mutex.unlock s.lock;
     v
 
 let geometry t (cfg : Config.t) =
-  cached t t.geom_c
-    ~find:(Geom_tbl.find_opt t.geom_tbl)
-    ~add:(Geom_tbl.replace t.geom_tbl)
-    (cfg.Config.floorplan, cfg.Config.activation_fraction)
-    (fun () ->
+  cached t.geom_cache t.geom_c (geometry_fp cfg) (fun () ->
       {
         geometry = Config.geometry cfg;
         page_bits = Config.page_bits cfg;
@@ -116,25 +223,15 @@ let geometry t (cfg : Config.t) =
         array_efficiency = Floorplan.array_efficiency cfg.Config.floorplan;
       })
 
-(* The name identifies a configuration to humans, not to physics: two
-   configurations differing only in [name] share every stage output. *)
-let physics_key (cfg : Config.t) = { cfg with Config.name = "" }
-
 let extraction t (cfg : Config.t) =
-  let g = geometry t cfg in
-  cached t t.ext_c
-    ~find:(Ext_tbl.find_opt t.ext_tbl)
-    ~add:(Ext_tbl.replace t.ext_tbl)
-    (physics_key cfg)
-    (fun () -> Model.extract ~activated_bits:g.activated_bits cfg)
+  cached t.ext_cache t.ext_c (config_fp cfg) (fun () ->
+      let g = geometry t cfg in
+      Model.extract ~activated_bits:g.activated_bits cfg)
 
 let eval t (cfg : Config.t) pattern =
+  let fp = Fp.combine [ config_fp cfg; pattern_fp pattern ] in
   let r =
-    cached t t.mix_c
-      ~find:(Mix_tbl.find_opt t.mix_tbl)
-      ~add:(Mix_tbl.replace t.mix_tbl)
-      (physics_key cfg, pattern)
-      (fun () ->
+    cached t.mix_cache t.mix_c fp (fun () ->
         let ex = extraction t cfg in
         let r = Model.pattern_power_staged ex cfg pattern in
         { r with Report.config_name = "" })

@@ -5,26 +5,50 @@
 
     {v config -> geometry -> extraction -> pattern mix -> report v}
 
-    and each stage output is memoized behind a key built from exactly
-    the inputs that stage reads.  Perturbing a voltage lens therefore
-    re-runs extraction and mix but replays geometry from cache;
-    re-evaluating one configuration against several patterns replays
-    both geometry and extraction.  See [doc/ENGINE.md] for the stage
-    graph, the cache keys and the determinism contract. *)
+    and each stage output is memoized behind a {!Fingerprint.t} of
+    exactly the inputs that stage reads.  Perturbing a voltage lens
+    therefore re-runs extraction and mix but replays geometry from
+    cache; re-evaluating one configuration against several patterns
+    replays both geometry and extraction.  Caches are striped over
+    independently locked shards, so worker domains rarely contend.
+    See [doc/ENGINE.md] for the stage graph, the cache keys, the
+    on-disk format and the determinism contract. *)
 
 type t
 
-val create : ?jobs:int -> unit -> t
-(** A fresh engine with empty stage caches.  [jobs] bounds the domain
-    pool used by {!map_jobs}; it defaults to
-    [Domain.recommended_domain_count ()].  Caches are shared across
-    domains behind a mutex, so one engine may serve a whole batch. *)
+val create : ?jobs:int -> ?store:Store.t -> unit -> t
+(** A fresh engine.  [jobs] bounds the domain pool used by
+    {!map_jobs}; it defaults to {!Pool.default_jobs} (which honours
+    [VDRAM_JOBS]).  [store] attaches a persistent cross-process cache:
+    extraction and pattern-mix snapshots are loaded from it
+    immediately (stale or corrupt snapshots are silently discarded)
+    and written back by {!flush_store}. *)
 
 val serial : unit -> t
 (** [create ~jobs:1 ()] — the drop-in default the analysis drivers use
     when no engine is supplied. *)
 
 val jobs : t -> int
+
+(** {1 Persistent store} *)
+
+val store_open : ?dir:string -> unit -> Store.t
+(** A store handle stamped with the current model + fingerprint-scheme
+    version, rooted at [dir] (default {!Store.default_dir}).  Pass it
+    to {!create} to warm an engine from disk. *)
+
+val store : t -> Store.t option
+
+val preloaded : t -> int * int
+(** [(extraction, mix)] entry counts loaded from the store at
+    {!create} time; [(0, 0)] without a store or on a cold cache. *)
+
+val flush_store : t -> unit
+(** Write the extraction and pattern-mix caches back to the engine's
+    store (no-op without one).  Only stages that have missed since
+    {!create} are written — a fully warm run re-saves nothing.
+    Snapshots are written atomically, so a crash mid-flush leaves the
+    previous snapshot intact. *)
 
 (** {1 Stages} *)
 
@@ -42,7 +66,8 @@ val geometry : t -> Vdram_core.Config.t -> geometry
 
 val extraction : t -> Vdram_core.Config.t -> Vdram_core.Model.extraction
 (** Capacitance-extraction stage ({!Vdram_core.Model.extract}).  Keyed
-    on the physical configuration (every field except [name]). *)
+    on {!Vdram_core.Model.physics_projection} — every field except
+    [name]. *)
 
 val eval : t -> Vdram_core.Config.t -> Vdram_core.Pattern.t ->
   Vdram_core.Report.t
@@ -73,7 +98,7 @@ val map_jobs : t -> ('a -> 'b) -> 'a list -> 'b list
 type stage_stats = {
   hits : int;
   misses : int;
-  time_ns : int;  (** wall time spent computing misses *)
+  time_ns : int;  (** monotonic time spent computing misses *)
 }
 
 type stats = {

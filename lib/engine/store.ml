@@ -1,0 +1,103 @@
+(* Persistent cross-process cache: versioned, checksummed marshal
+   snapshots under _build/.vdram-cache (or $VDRAM_CACHE_DIR). *)
+
+type t = {
+  dir : string;
+  version : string;
+}
+
+let magic = "vdram-store 1"
+
+let default_dir () =
+  match Sys.getenv_opt "VDRAM_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> Filename.concat "_build" ".vdram-cache"
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let open_ ?dir ~version () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  { dir; version }
+
+let dir t = t.dir
+let version t = t.version
+
+let path t name = Filename.concat t.dir (name ^ ".cache")
+
+(* One snapshot file per stage:
+
+     vdram-store 1\n
+     <version stamp>\n
+     <md5 hex of payload>\n
+     <marshalled payload>
+
+   The checksum is verified before unmarshalling — [Marshal] offers no
+   safety against corrupt input, so a truncated or bit-flipped file
+   must never reach it.  Writes go to a temporary file in the same
+   directory, fsync'd and renamed into place, so concurrent processes
+   see either the old snapshot or the new one, never a torn write —
+   and the writer pays for its own writeback instead of leaking dirty
+   pages into whatever runs next. *)
+
+let save t ~name v =
+  mkdir_p t.dir;
+  let payload = Marshal.to_string v [ Marshal.No_sharing ] in
+  let tmp = Filename.temp_file ~temp_dir:t.dir ("." ^ name) ".tmp" in
+  let ok =
+    try
+      Out_channel.with_open_bin tmp (fun oc ->
+          Out_channel.output_string oc magic;
+          Out_channel.output_char oc '\n';
+          Out_channel.output_string oc t.version;
+          Out_channel.output_char oc '\n';
+          Out_channel.output_string oc (Digest.to_hex (Digest.string payload));
+          Out_channel.output_char oc '\n';
+          Out_channel.output_string oc payload;
+          Out_channel.flush oc;
+          try Unix.fsync (Unix.descr_of_out_channel oc)
+          with Unix.Unix_error _ -> ());
+      true
+    with Sys_error _ -> false
+  in
+  if ok then (try Sys.rename tmp (path t name) with Sys_error _ -> ())
+  else (try Sys.remove tmp with Sys_error _ -> ())
+
+let load t ~name =
+  let file = path t name in
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error _ -> None
+  | contents ->
+    (* Split off exactly three header lines; anything malformed,
+       version-skewed or failing the checksum is silently a miss. *)
+    let line from =
+      match String.index_from_opt contents from '\n' with
+      | None -> None
+      | Some i -> Some (String.sub contents from (i - from), i + 1)
+    in
+    (match line 0 with
+     | Some (m, p1) when m = magic ->
+       (match line p1 with
+        | Some (v, p2) when v = t.version ->
+          (match line p2 with
+           | Some (checksum, p3) ->
+             let payload =
+               String.sub contents p3 (String.length contents - p3)
+             in
+             if Digest.to_hex (Digest.string payload) <> checksum then None
+             else (try Some (Marshal.from_string payload 0) with _ -> None)
+           | _ -> None)
+        | _ -> None)
+     | _ -> None)
+
+let clear t =
+  if Sys.file_exists t.dir && Sys.is_directory t.dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".cache" then
+          try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ())
+      (Sys.readdir t.dir)

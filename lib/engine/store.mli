@@ -1,0 +1,50 @@
+(** Persistent cross-process stage cache.
+
+    A store is a directory of per-stage snapshot files (extraction and
+    pattern-mix results, marshalled with their fingerprint keys) that
+    repeated CLI invocations share: a second [vdram corners] run on
+    the same population replays every evaluation from disk.
+
+    Every snapshot carries a header — magic, a version stamp
+    (model version + fingerprint scheme, supplied by the engine), and
+    an MD5 checksum of the payload.  {!load} verifies all three before
+    unmarshalling, so corrupt, truncated or stale files are silently
+    treated as a miss and overwritten on the next {!save} ([Marshal]
+    itself offers no safety against hostile bytes; the checksum is the
+    guard).  Writes are atomic (temp file + rename), so concurrent
+    processes never observe a torn snapshot; the last writer wins. *)
+
+type t
+
+val open_ : ?dir:string -> version:string -> unit -> t
+(** A handle on the store directory.  [dir] defaults to
+    {!default_dir}; nothing is read or created until {!load}/{!save}.
+    [version] stamps every snapshot — loads under a different version
+    discard the file. *)
+
+val default_dir : unit -> string
+(** [$VDRAM_CACHE_DIR] when set and non-empty, else
+    [_build/.vdram-cache] relative to the working directory. *)
+
+val dir : t -> string
+val version : t -> string
+
+val path : t -> string -> string
+(** The snapshot file a stage name maps to (diagnostics, tests). *)
+
+val save : t -> name:string -> 'a -> unit
+(** Write a snapshot atomically, creating the directory if needed.
+    I/O failures are swallowed — a cache must never fail the run it
+    accelerates. *)
+
+val load : t -> name:string -> 'a option
+(** Read a snapshot back.  [None] on any problem: missing file,
+    wrong magic, version skew, checksum failure, undecodable payload.
+    Type-safety caveat: the caller must request the type that was
+    saved under [name]; the version stamp (which the engine derives
+    from the model version and fingerprint scheme) is what keeps the
+    two sides in agreement. *)
+
+val clear : t -> unit
+(** Remove every snapshot file in the store directory (cold-run
+    benchmarking, tests). *)

@@ -190,15 +190,24 @@ let to_json r =
 
 (* ----- fix-its and machine formats --------------------------------- *)
 
-let fixes r = List.concat_map (fun (d : D.t) -> d.D.fixes) r.diagnostics
+(* [only] narrows fix harvesting to the diagnostics carrying one code,
+   so a caller can apply a single class of rewrite and leave the rest
+   of the file untouched. *)
+let fixes ?only r =
+  let wanted (d : D.t) =
+    match only with None -> true | Some c -> String.equal c d.D.code
+  in
+  List.concat_map
+    (fun (d : D.t) -> if wanted d then d.D.fixes else [])
+    r.diagnostics
 
-let apply_fixes r =
+let apply_fixes ?only r =
   let source = String.concat "\n" (Array.to_list r.source) in
-  Fix.apply ~source (fixes r)
+  Fix.apply ~source (fixes ?only r)
 
-let preview_fixes ?(context = 3) r =
+let preview_fixes ?(context = 3) ?only r =
   let before = String.concat "\n" (Array.to_list r.source) in
-  let after, applied = Fix.apply ~source:before (fixes r) in
+  let after, applied = Fix.apply ~source:before (fixes ?only r) in
   if applied = 0 then None
   else
     let path = Option.value ~default:"<stdin>" r.file in

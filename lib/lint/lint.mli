@@ -42,18 +42,20 @@ val to_json : report -> string
 (** One JSON object:
     [{"file":...,"errors":N,"warnings":M,"diagnostics":[...]}]. *)
 
-val fixes : report -> Vdram_diagnostics.Fix.t list
+val fixes : ?only:string -> report -> Vdram_diagnostics.Fix.t list
 (** Every structured fix-it attached to the report's diagnostics, in
-    diagnostic order. *)
+    diagnostic order.  [only] restricts the harvest to diagnostics
+    with that code (backs [vdram lint --fix-only CODE]). *)
 
-val apply_fixes : report -> string * int
+val apply_fixes : ?only:string -> report -> string * int
 (** The report's source with all non-overlapping fix-its applied, and
-    how many were applied (see {!Vdram_diagnostics.Fix.apply}). *)
+    how many were applied (see {!Vdram_diagnostics.Fix.apply}).
+    [only] as in {!fixes}. *)
 
-val preview_fixes : ?context:int -> report -> (string * int) option
+val preview_fixes : ?context:int -> ?only:string -> report -> (string * int) option
 (** A unified diff of what {!apply_fixes} would change, and how many
     fix-its it covers; [None] when no fix applies.  Backs
-    [vdram lint --fix --dry-run]. *)
+    [vdram lint --fix --dry-run].  [only] as in {!fixes}. *)
 
 val to_sarif : report list -> string
 (** A single SARIF 2.1.0 log covering the given reports (one run, one

@@ -44,6 +44,62 @@ let pool_exception_order () =
   | exception Failure msg ->
     Alcotest.(check string) "first failure in input order" "3" msg
 
+let pool_chunked_determinism () =
+  (* Any chunk geometry — single-item steals, odd sizes, one chunk per
+     worker, one chunk for everything — must reproduce List.map. *)
+  let xs = List.init 257 Fun.id in
+  let expected = List.map (fun x -> (x * 3) - 1) xs in
+  List.iter
+    (fun chunk ->
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "chunk=%d jobs=%d matches List.map" chunk jobs)
+            expected
+            (Pool.map ~chunk ~jobs (fun x -> (x * 3) - 1) xs))
+        [ 2; 4 ])
+    [ 1; 3; 64; 1000 ]
+
+let pool_chunked_exception_order () =
+  List.iter
+    (fun chunk ->
+      match
+        Pool.map ~chunk ~jobs:4
+          (fun i -> if i mod 5 = 3 then failwith (string_of_int i) else i)
+          (List.init 64 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected the worker exception to propagate"
+      | exception Failure msg ->
+        Alcotest.(check string)
+          (Printf.sprintf "chunk=%d: first failure in input order" chunk)
+          "3" msg)
+    [ 1; 3; 16 ]
+
+let pool_default_chunk () =
+  Helpers.check_true "empty input still yields a legal chunk"
+    (Pool.default_chunk ~jobs:8 0 >= 1);
+  Helpers.check_true "huge inputs are capped"
+    (Pool.default_chunk ~jobs:1 1_000_000 <= 1024);
+  Alcotest.(check int) "about eight chunks per worker" 4
+    (Pool.default_chunk ~jobs:4 128)
+
+let vdram_jobs_env () =
+  let saved = Sys.getenv_opt "VDRAM_JOBS" in
+  let set v = Unix.putenv "VDRAM_JOBS" v in
+  Fun.protect
+    ~finally:(fun () -> set (Option.value ~default:"" saved))
+    (fun () ->
+      set "3";
+      Alcotest.(check int) "VDRAM_JOBS=3 honoured" 3 (Pool.default_jobs ());
+      set "0";
+      Alcotest.(check int) "zero clamped to 1" 1 (Pool.default_jobs ());
+      set "-2";
+      Alcotest.(check int) "negative clamped to 1" 1 (Pool.default_jobs ());
+      set "not-a-number";
+      Alcotest.(check int) "garbage falls back to the machine default"
+        (Domain.recommended_domain_count ())
+        (Pool.default_jobs ()))
+
 (* ----- engine vs model ----------------------------------------------- *)
 
 let eval_matches_model () =
@@ -152,6 +208,82 @@ let map_jobs_determinism =
       Engine.map_jobs parallel (fun c -> Engine.eval parallel c p) cfgs
       = List.map (fun c -> Model.pattern_power c p) cfgs)
 
+(* ----- fingerprints --------------------------------------------------- *)
+
+let fingerprint_faithful =
+  QCheck.Test.make
+    ~name:"fingerprint: equal iff physics projections equal, name-blind"
+    ~count:40
+    QCheck.(pair (float_range 0.7 1.3) (float_range 0.7 1.3))
+    (fun (f1, f2) ->
+      let module Fp = Vdram_engine.Fingerprint in
+      let c1 = scale_bitline (base ()) f1 in
+      let c2 = scale_bitline (base ()) f2 in
+      let fp c = Fp.of_value (Model.physics_projection c) in
+      let renamed = { c1 with Config.name = "fingerprint twin" } in
+      Fp.equal (fp c1) (fp renamed)
+      && Fp.equal (fp c1) (fp c2)
+         = (Model.physics_projection c1 = Model.physics_projection c2))
+
+(* ----- persistent store ----------------------------------------------- *)
+
+let store_dir =
+  Filename.concat (Filename.get_temp_dir_name ()) "vdram-test-store"
+
+let store_roundtrip () =
+  let module Store = Vdram_engine.Store in
+  let store () = Engine.store_open ~dir:store_dir () in
+  Store.clear (store ());
+  let cfg = base () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  let cold = Engine.create ~jobs:1 ~store:(store ()) () in
+  let r_cold = Engine.eval cold cfg p in
+  Engine.flush_store cold;
+  (* A fresh engine on the same directory replays both stages from
+     disk: the preload counters see the snapshot, the first eval is a
+     pure mix hit, and the replayed report is bit-identical. *)
+  let warm = Engine.create ~jobs:1 ~store:(store ()) () in
+  Helpers.check_true "snapshots preloaded"
+    (Engine.preloaded warm = (1, 1));
+  let r_warm = Engine.eval warm cfg p in
+  let s = Engine.stats warm in
+  Alcotest.(check int) "warm eval is a mix hit" 1 s.Engine.mix_stats.hits;
+  Alcotest.(check int) "warm eval misses nothing" 0
+    s.Engine.mix_stats.misses;
+  Helpers.check_true "disk replay bit-identical" (r_warm = r_cold);
+  Store.clear (store ())
+
+let store_corruption_recovery () =
+  let module Store = Vdram_engine.Store in
+  let st = Engine.store_open ~dir:store_dir () in
+  Store.clear st;
+  let cfg = base () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  let seed = Engine.create ~jobs:1 ~store:st () in
+  let reference = Engine.eval seed cfg p in
+  Engine.flush_store seed;
+  (* Total garbage: wrong magic. *)
+  Out_channel.with_open_text (Store.path st "extraction") (fun oc ->
+      Out_channel.output_string oc "not a vdram store at all");
+  (* Right magic and version but a checksum that does not match the
+     payload — the guard that keeps Marshal away from hostile bytes. *)
+  Out_channel.with_open_text (Store.path st "mix") (fun oc ->
+      Out_channel.output_string oc
+        (Printf.sprintf "vdram-store 1\n%s\n%s\nnot the payload"
+           (Store.version st)
+           (Digest.to_hex (Digest.string "something else"))));
+  let engine = Engine.create ~jobs:1 ~store:st () in
+  Helpers.check_true "corrupt snapshots are silently discarded"
+    (Engine.preloaded engine = (0, 0));
+  Helpers.check_true "engine recomputes past the corruption"
+    (Engine.eval engine cfg p = reference);
+  (* A version-skewed reader must treat good snapshots as misses. *)
+  Engine.flush_store engine;
+  let skewed = Store.open_ ~dir:store_dir ~version:"some-other-version" () in
+  Helpers.check_true "version skew discards the snapshot"
+    (Store.load skewed ~name:"mix" = None);
+  Store.clear st
+
 (* ----- drivers: serial vs parallel ----------------------------------- *)
 
 let sensitivity_serial_parallel () =
@@ -175,6 +307,12 @@ let suite =
     Alcotest.test_case "pool preserves input order" `Quick pool_ordering;
     Alcotest.test_case "pool re-raises first error in input order" `Quick
       pool_exception_order;
+    Alcotest.test_case "chunked scheduling matches List.map" `Quick
+      pool_chunked_determinism;
+    Alcotest.test_case "chunked exception replay order" `Quick
+      pool_chunked_exception_order;
+    Alcotest.test_case "adaptive chunk size" `Quick pool_default_chunk;
+    Alcotest.test_case "VDRAM_JOBS clamping" `Quick vdram_jobs_env;
     Alcotest.test_case "eval matches Model.pattern_power" `Quick
       eval_matches_model;
     Alcotest.test_case "renamed twin hits the mix cache" `Quick
@@ -184,6 +322,10 @@ let suite =
       upstream_invalidation;
     Helpers.qcheck eval_determinism;
     Helpers.qcheck map_jobs_determinism;
+    Helpers.qcheck fingerprint_faithful;
+    Alcotest.test_case "disk cache round-trip" `Quick store_roundtrip;
+    Alcotest.test_case "disk cache corruption recovery" `Quick
+      store_corruption_recovery;
     Alcotest.test_case "sensitivity: serial = parallel" `Quick
       sensitivity_serial_parallel;
     Alcotest.test_case "corners: serial = parallel" `Quick

@@ -212,6 +212,41 @@ let test_preview_fixes () =
      | None -> ()
      | Some _ -> Alcotest.fail "clean report must preview no fixes")
 
+let mixed_fix_source =
+  String.concat "\n"
+    [ "Device"; "Part name=mixed node=55nm"; "";
+      "Specification"; "IO widht=16 datarate=1.6GHz";
+      "Timing trc=50nm trcd=16.5ns"; "" ]
+
+let test_fix_only () =
+  (* `vdram lint --fix-only CODE`: a source mixing wrong-dimension
+     literals (V0101) with an argument typo (V0105) is repaired one
+     code at a time; the other code's edits are left untouched. *)
+  let r = Lint.run mixed_fix_source in
+  let codes = codes_of r.Lint.diagnostics in
+  Helpers.check_true "source mixes V0101 and V0105"
+    (List.mem "V0101" codes && List.mem "V0105" codes);
+  Alcotest.(check int) "only=V0101 narrows the harvest" 2
+    (List.length (Lint.fixes ~only:"V0101" r));
+  let fixed, applied = Lint.apply_fixes ~only:"V0101" r in
+  Alcotest.(check int) "only the dimension fixes apply" 2 applied;
+  Helpers.check_true "dimension literals repaired"
+    (contains fixed "trc=50ns" && contains fixed "datarate=1.6Gbps");
+  Helpers.check_true "the V0105 typo is left alone"
+    (contains fixed "widht=16");
+  let fixed', applied' = Lint.apply_fixes ~only:"V0105" r in
+  Alcotest.(check int) "exactly the typo fix applies" 1 applied';
+  Helpers.check_true "typo repaired, dimensions untouched"
+    (contains fixed' "width=16" && contains fixed' "trc=50nm");
+  match Lint.preview_fixes ~only:"V0105" r with
+  | None -> Alcotest.fail "filtered preview expected"
+  | Some (diff, n) ->
+    Alcotest.(check int) "preview counts only the filtered fix" 1 n;
+    Helpers.check_true "diff rewrites the typo line"
+      (contains diff "-IO widht=16" && contains diff "+IO width=16");
+    Helpers.check_true "diff leaves the timing line alone"
+      (not (contains diff "+Timing"))
+
 let test_udiff_render () =
   let render a b =
     Vdram_lint.Udiff.render ~path:"f" ~before:a ~after:b ()
@@ -716,6 +751,7 @@ let suite =
     Alcotest.test_case "fix round trip" `Quick test_fix_roundtrip;
     Alcotest.test_case "wrong-dimension fix-its" `Quick test_v0101_fixit;
     Alcotest.test_case "fix preview (dry run)" `Quick test_preview_fixes;
+    Alcotest.test_case "fix-only code filter" `Quick test_fix_only;
     Alcotest.test_case "unified diff renderer" `Quick test_udiff_render;
     Alcotest.test_case "print/parse round trip" `Quick
       test_print_parse_roundtrip;

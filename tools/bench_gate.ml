@@ -1,0 +1,84 @@
+(* CI gate over bench-analysis output.
+
+   Usage: bench_gate COMMITTED.json FRESH.json
+
+   Fails (exit 1) when the fresh run broke the determinism contract,
+   when its warm disk pass did not actually hit the persistent caches,
+   when the warm pass was not faster than the cold one, or when the
+   parallel speedup regressed more than 20% below the committed
+   baseline.  The parser is deliberately naive — the bench writes one
+   scalar per line — so the gate has no dependencies. *)
+
+let contents path =
+  try In_channel.with_open_text path In_channel.input_all
+  with Sys_error e ->
+    prerr_endline ("bench gate: " ^ e);
+    exit 2
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* The raw text of a top-level scalar field: everything between the
+   colon after ["key"] and the next comma, newline or brace. *)
+let field json key =
+  let needle = Printf.sprintf "\"%s\":" key in
+  match find_sub json needle with
+  | None -> failwith (Printf.sprintf "field %S missing" key)
+  | Some i ->
+    let start = i + String.length needle in
+    let stop = ref start in
+    let n = String.length json in
+    while
+      !stop < n && json.[!stop] <> ',' && json.[!stop] <> '\n'
+      && json.[!stop] <> '}'
+    do
+      incr stop
+    done;
+    String.trim (String.sub json start (!stop - start))
+
+let float_field j k = float_of_string (field j k)
+let int_field j k = int_of_string (field j k)
+let bool_field j k = bool_of_string (field j k)
+
+let () =
+  match Sys.argv with
+  | [| _; committed_path; fresh_path |] ->
+    let committed = contents committed_path in
+    let fresh = contents fresh_path in
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          prerr_endline ("bench gate: FAIL: " ^ m);
+          exit 1)
+        fmt
+    in
+    (try
+       if not (bool_field fresh "identical_output") then
+         fail "parallel/disk outputs differ from serial (identical_output)";
+       let ext = int_field fresh "warm_extraction_hits" in
+       let mix = int_field fresh "warm_mix_hits" in
+       if ext <= 0 then fail "warm pass never hit the extraction cache";
+       if mix <= 0 then fail "warm pass never hit the mix cache";
+       let disk = float_field fresh "disk_speedup" in
+       if disk <= 1.0 then
+         fail "warm disk pass slower than cold (disk_speedup %.2f)" disk;
+       let committed_speedup = float_field committed "speedup" in
+       let fresh_speedup = float_field fresh "speedup" in
+       let floor = 0.8 *. committed_speedup in
+       if fresh_speedup < floor then
+         fail "speedup %.3f regressed below 0.8x committed %.3f"
+           fresh_speedup committed_speedup;
+       Printf.printf
+         "bench gate: ok — speedup %.2fx (committed %.2fx), disk %.2fx, \
+          warm hits %d ext / %d mix\n"
+         fresh_speedup committed_speedup disk ext mix
+     with Failure m -> fail "%s" m)
+  | _ ->
+    prerr_endline "usage: bench_gate COMMITTED.json FRESH.json";
+    exit 2
