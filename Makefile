@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-analysis bench-gate examples clean doc export
+.PHONY: all build test check lint bench bench-analysis bench-gate chaos examples clean doc export
 
 all: build
 
@@ -23,6 +23,20 @@ bench-analysis:
 bench-gate: build
 	dune exec bin/vdram.exe -- bench-analysis --out BENCH_fresh.json
 	dune exec tools/bench_gate.exe -- BENCH_analysis.json BENCH_fresh.json
+
+# Supervised runtime under deterministic fault injection: must exit 3
+# (partial results) and report only injected mix-stage failures.
+chaos: build
+	@for seed in 7 11 42; do \
+	  code=0; \
+	  VDRAM_FAULTS="seed=$$seed,rate=0.02,raise=mix" \
+	    dune exec bin/vdram.exe -- corners --node 55nm --samples 400 \
+	      --jobs 2 --keep-going --fail-log chaos_$$seed.json || code=$$?; \
+	  [ "$$code" -eq 3 ] || { echo "seed $$seed: expected exit 3, got $$code"; exit 1; }; \
+	  grep -q '"injected": true' chaos_$$seed.json || { echo "seed $$seed: no injected failures"; exit 1; }; \
+	  ! grep -q '"injected": false' chaos_$$seed.json || { echo "seed $$seed: non-injected failure leaked"; exit 1; }; \
+	  echo "chaos seed $$seed: ok"; \
+	done
 
 examples:
 	dune exec examples/quickstart.exe

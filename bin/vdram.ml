@@ -86,7 +86,8 @@ let cache_arg =
         ~doc:"Share extraction and pattern-mix results across runs \
               through the persistent on-disk cache (see \
               $(b,--cache-dir)).  Stale or corrupt snapshots are \
-              ignored, never served.")
+              never served: they are quarantined under the cache \
+              directory and recomputed.")
 
 let no_cache_arg =
   Arg.(
@@ -115,27 +116,141 @@ let engine_term =
   in
   Term.(const make $ jobs_arg $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
-let report_timings timings engine =
+(* ----- supervised runtime flags ------------------------------------ *)
+
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "keep-going"; "k" ]
+        ~doc:"Isolate batch-item failures: record them (see \
+              $(b,--fail-log)) and report partial results instead of \
+              aborting on the first failure.  Exits 3 when any item \
+              failed.")
+
+let max_failures_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-failures" ] ~docv:"N"
+        ~doc:"Tolerate at most $(docv) failed items (implies \
+              $(b,--keep-going)); the batch stops once the budget is \
+              exceeded.")
+
+let fail_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fail-log" ] ~docv:"FILE"
+        ~doc:"Write the machine-readable failure report (JSON, schema \
+              version 1: one record per failed item with batch, \
+              index, stage, input fingerprint and message) to \
+              $(docv).  Implies supervision.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:"Per-item wall-clock budget: an item exceeding it is \
+              recorded as a deadline failure.  Implies supervision.")
+
+let supervise_flags =
+  Term.(
+    const (fun keep_going max_failures fail_log deadline ->
+        (keep_going, max_failures, fail_log, deadline))
+    $ keep_going_arg $ max_failures_arg $ fail_log_arg $ deadline_arg)
+
+(* A supervisor is built when any supervision flag is given or a
+   VDRAM_FAULTS plan is present; plain runs keep the unsupervised
+   engine path bit for bit. *)
+let build_supervision (keep_going, max_failures, fail_log, deadline) =
+  match Vdram_engine.Faults.of_env () with
+  | Error msg -> Error (Printf.sprintf "VDRAM_FAULTS: %s" msg)
+  | Ok env_plan ->
+    let wanted =
+      keep_going || max_failures <> None || fail_log <> None
+      || deadline <> None || env_plan <> None
+    in
+    if not wanted then Ok (None, fail_log)
+    else
+      let policy =
+        {
+          Vdram_engine.Supervise.keep_going =
+            keep_going || max_failures <> None;
+          max_failures;
+          deadline;
+        }
+      in
+      Ok (Some (Vdram_engine.Supervise.create ~policy ()), fail_log)
+
+let report_timings timings engine supervisor =
   if timings then begin
     Format.eprintf "engine (%d jobs):@.%a@."
       (Vdram_engine.Engine.jobs engine)
       Vdram_engine.Engine.pp_stats
       (Vdram_engine.Engine.stats engine);
-    match Vdram_engine.Engine.store engine with
+    (match Vdram_engine.Engine.store engine with
+     | None -> ()
+     | Some st ->
+       let ext, mix = Vdram_engine.Engine.preloaded engine in
+       Format.eprintf "disk cache %s: preloaded %d extraction / %d mix@."
+         (Vdram_engine.Store.dir st) ext mix;
+       Format.eprintf "disk cache i/o: %a@." Vdram_engine.Store.pp_stats
+         (Vdram_engine.Store.stats st));
+    match supervisor with
     | None -> ()
-    | Some st ->
-      let ext, mix = Vdram_engine.Engine.preloaded engine in
-      Format.eprintf "disk cache %s: preloaded %d extraction / %d mix@."
-        (Vdram_engine.Store.dir st) ext mix
+    | Some sup ->
+      Format.eprintf "supervised: %a@." Vdram_engine.Supervise.pp_counters
+        (Vdram_engine.Supervise.counters sup)
   end
 
 (* End-of-command bookkeeping: write the caches back to the store (a
-   no-op without one), then report counters. *)
-let finish timings engine =
+   no-op without one), persist the failure report, then report
+   counters.  Returns the failure count so callers can pick the exit
+   code. *)
+let finalize ~command timings engine supervisor fail_log =
   Vdram_engine.Engine.flush_store engine;
-  report_timings timings engine
+  (match (supervisor, fail_log) with
+   | Some sup, Some path ->
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc
+           (Vdram_engine.Supervise.report_to_json ~command sup))
+   | _ -> ());
+  report_timings timings engine supervisor;
+  match supervisor with
+  | None -> 0
+  | Some sup -> (Vdram_engine.Supervise.counters sup).Vdram_engine.Supervise.failures
 
 let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
+
+(* Exit-code contract of the supervised analysis commands: 0 clean,
+   3 partial results (failures were recorded under --keep-going);
+   aborts and usage errors go through cmdliner's own codes. *)
+let exit_partial = 3
+
+let run_supervised ~command ~timings ~engine ~supervisor ~fail_log body =
+  let module S = Vdram_engine.Supervise in
+  match body () with
+  | () ->
+    let failures = finalize ~command timings engine supervisor fail_log in
+    if failures = 0 then `Ok ()
+    else begin
+      Format.eprintf "%s: %d item(s) failed; results are partial%s@." command
+        failures
+        (match fail_log with
+         | Some path -> Printf.sprintf " (failure report: %s)" path
+         | None -> "");
+      exit exit_partial
+    end
+  | exception S.Aborted { failures; tolerated } ->
+    ignore (finalize ~command timings engine supervisor fail_log : int);
+    fail "%s: aborted after %d failure(s) (max tolerated %d)" command failures
+      tolerated
+  | exception e when Option.is_some supervisor ->
+    (* Even a run that dies outside the batch leaves its failure
+       report behind. *)
+    ignore (finalize ~command timings engine supervisor fail_log : int);
+    fail "%s: %s" command (Printexc.to_string e)
 
 let load_config ?file ?density_mbits ?io_width ?datarate ~node () =
   match file with
@@ -243,67 +358,84 @@ let sensitivity_cmd =
       value & opt int 15
       & info [ "top" ] ~docv:"N" ~doc:"Entries to print.")
   in
-  let run file node top pattern mk_engine timings =
+  let run file node top pattern mk_engine timings sup_flags =
     match load_config ?file ~node () with
     | Error e -> fail "%s" e
     | Ok (config, stored) ->
       (match resolve_pattern config stored pattern with
        | Error e -> fail "%s" e
        | Ok p ->
-         let engine = mk_engine () in
-         let s = Vdram_analysis.Sensitivity.run ~engine ~pattern:p config in
-         finish timings engine;
-         Format.printf "%s | %s | nominal %s@." s.Vdram_analysis.Sensitivity.config_name
-           s.Vdram_analysis.Sensitivity.pattern_name
-           (Vdram_units.Si.format_eng ~unit_symbol:"W"
-              s.Vdram_analysis.Sensitivity.nominal_power);
-         List.iteri
-           (fun i e ->
-             if i < top then
-               Format.printf "%2d  %-46s %+7.2f%%@." (i + 1)
-                 e.Vdram_analysis.Sensitivity.lens_name
-                 e.Vdram_analysis.Sensitivity.span_percent)
-           s.Vdram_analysis.Sensitivity.entries;
-         `Ok ())
+         (match build_supervision sup_flags with
+          | Error e -> fail "%s" e
+          | Ok (supervisor, fail_log) ->
+            let engine = mk_engine () in
+            run_supervised ~command:"sensitivity" ~timings ~engine ~supervisor
+              ~fail_log (fun () ->
+                let s =
+                  Vdram_analysis.Sensitivity.run ~engine ?supervisor
+                    ~pattern:p config
+                in
+                Format.printf "%s | %s | nominal %s@."
+                  s.Vdram_analysis.Sensitivity.config_name
+                  s.Vdram_analysis.Sensitivity.pattern_name
+                  (Vdram_units.Si.format_eng ~unit_symbol:"W"
+                     s.Vdram_analysis.Sensitivity.nominal_power);
+                List.iteri
+                  (fun i e ->
+                    if i < top then
+                      Format.printf "%2d  %-46s %+7.2f%%@." (i + 1)
+                        e.Vdram_analysis.Sensitivity.lens_name
+                        e.Vdram_analysis.Sensitivity.span_percent)
+                  s.Vdram_analysis.Sensitivity.entries)))
   in
   let doc = "Rank parameters by power impact (Fig 10 / Table III)." in
   Cmd.v (Cmd.info "sensitivity" ~doc)
     Term.(
       ret (const run $ file $ node $ top $ pattern_arg $ engine_term
-         $ timings_arg))
+         $ timings_arg $ supervise_flags))
 
 (* ----- trends ------------------------------------------------------ *)
 
 let trends_cmd =
-  let run mk_engine timings =
-    let engine = mk_engine () in
-    List.iter
-      (fun p -> Format.printf "%a@." Vdram_analysis.Trends.pp_point p)
-      (Vdram_analysis.Trends.all ~engine ());
-    finish timings engine;
-    `Ok ()
+  let run mk_engine timings sup_flags =
+    match build_supervision sup_flags with
+    | Error e -> fail "%s" e
+    | Ok (supervisor, fail_log) ->
+      let engine = mk_engine () in
+      run_supervised ~command:"trends" ~timings ~engine ~supervisor ~fail_log
+        (fun () ->
+          List.iter
+            (fun p -> Format.printf "%a@." Vdram_analysis.Trends.pp_point p)
+            (Vdram_analysis.Trends.all ~engine ?supervisor ()))
   in
   let doc = "DRAM roadmap trends (Figs 11-13)." in
   Cmd.v (Cmd.info "trends" ~doc)
-    Term.(ret (const run $ engine_term $ timings_arg))
+    Term.(ret (const run $ engine_term $ timings_arg $ supervise_flags))
 
 (* ----- schemes ----------------------------------------------------- *)
 
 let schemes_cmd =
-  let run file node mk_engine timings =
+  let run file node mk_engine timings sup_flags =
     match load_config ?file ~node () with
     | Error e -> fail "%s" e
     | Ok (config, _) ->
-      let engine = mk_engine () in
-      let results = Vdram_schemes.Evaluate.run_all ~engine config in
-      finish timings engine;
-      Format.printf "baseline: %s@.@.%a@." config.Config.name
-        Vdram_schemes.Evaluate.pp_table results;
-      `Ok ()
+      (match build_supervision sup_flags with
+       | Error e -> fail "%s" e
+       | Ok (supervisor, fail_log) ->
+         let engine = mk_engine () in
+         run_supervised ~command:"schemes" ~timings ~engine ~supervisor
+           ~fail_log (fun () ->
+             let results =
+               Vdram_schemes.Evaluate.run_all ~engine ?supervisor config
+             in
+             Format.printf "baseline: %s@.@.%a@." config.Config.name
+               Vdram_schemes.Evaluate.pp_table results))
   in
   let doc = "Evaluate the Section V power-reduction schemes." in
   Cmd.v (Cmd.info "schemes" ~doc)
-    Term.(ret (const run $ file $ node $ engine_term $ timings_arg))
+    Term.(
+      ret (const run $ file $ node $ engine_term $ timings_arg
+         $ supervise_flags))
 
 (* ----- simulate ---------------------------------------------------- *)
 
@@ -558,29 +690,32 @@ let corners_cmd =
       value & opt float 0.10
       & info [ "spread" ] ~doc:"Half-width of the parameter band (0.10 = +-10%).")
   in
-  let run file node samples spread pattern mk_engine timings =
+  let run file node samples spread pattern mk_engine timings sup_flags =
     match load_config ?file ~node () with
     | Error e -> fail "%s" e
     | Ok (config, stored) ->
       (match resolve_pattern config stored pattern with
        | Error e -> fail "%s" e
        | Ok p ->
-         let engine = mk_engine () in
-         let d =
-           Vdram_analysis.Corners.run ~engine ~samples ~spread ~pattern:p
-             config
-         in
-         finish timings engine;
-         Format.printf "%s | %s@.%a@." config.Config.name p.Pattern.name
-           Vdram_analysis.Corners.pp d;
-         `Ok ())
+         (match build_supervision sup_flags with
+          | Error e -> fail "%s" e
+          | Ok (supervisor, fail_log) ->
+            let engine = mk_engine () in
+            run_supervised ~command:"corners" ~timings ~engine ~supervisor
+              ~fail_log (fun () ->
+                let d =
+                  Vdram_analysis.Corners.run ~engine ?supervisor ~samples
+                    ~spread ~pattern:p config
+                in
+                Format.printf "%s | %s@.%a@." config.Config.name
+                  p.Pattern.name Vdram_analysis.Corners.pp d)))
   in
   let doc = "Monte-Carlo parameter spread (the vendor-spread story)." in
   Cmd.v (Cmd.info "corners" ~doc)
     Term.(
       ret
         (const run $ file $ node $ samples $ spread $ pattern_arg
-       $ engine_term $ timings_arg))
+       $ engine_term $ timings_arg $ supervise_flags))
 
 (* ----- states ------------------------------------------------------- *)
 
@@ -624,31 +759,38 @@ let ablate_cmd =
           `Activation
       & info [ "sweep" ] ~doc:"Which design choice to sweep.")
   in
-  let run node which mk_engine timings =
-    let engine = mk_engine () in
-    let pts =
-      match which with
-      | `Activation ->
-        Vdram_analysis.Ablation.page_size ~engine ~node
-          ~pages:[ 1024; 2048; 4096; 8192; 16384 ] ()
-      | `Bitline ->
-        Vdram_analysis.Ablation.bitline_length ~engine ~node
-          ~bits:[ 256; 512; 1024 ] ()
-      | `Style -> Vdram_analysis.Ablation.bitline_style ~engine ~node ()
-      | `Prefetch ->
-        Vdram_analysis.Ablation.prefetch ~engine ~node
-          ~prefetches:[ 2; 4; 8; 16; 32 ] ()
-      | `Wordline ->
-        Vdram_analysis.Ablation.subarray_height ~engine ~node
-          ~bits:[ 256; 512; 1024 ] ()
-    in
-    finish timings engine;
-    Format.printf "%a@?" Vdram_analysis.Ablation.pp pts;
-    `Ok ()
+  let run node which mk_engine timings sup_flags =
+    match build_supervision sup_flags with
+    | Error e -> fail "%s" e
+    | Ok (supervisor, fail_log) ->
+      let engine = mk_engine () in
+      run_supervised ~command:"ablate" ~timings ~engine ~supervisor ~fail_log
+        (fun () ->
+          let pts =
+            match which with
+            | `Activation ->
+              Vdram_analysis.Ablation.page_size ~engine ?supervisor ~node
+                ~pages:[ 1024; 2048; 4096; 8192; 16384 ] ()
+            | `Bitline ->
+              Vdram_analysis.Ablation.bitline_length ~engine ?supervisor
+                ~node ~bits:[ 256; 512; 1024 ] ()
+            | `Style ->
+              Vdram_analysis.Ablation.bitline_style ~engine ?supervisor ~node
+                ()
+            | `Prefetch ->
+              Vdram_analysis.Ablation.prefetch ~engine ?supervisor ~node
+                ~prefetches:[ 2; 4; 8; 16; 32 ] ()
+            | `Wordline ->
+              Vdram_analysis.Ablation.subarray_height ~engine ?supervisor
+                ~node ~bits:[ 256; 512; 1024 ] ()
+          in
+          Format.printf "%a@?" Vdram_analysis.Ablation.pp pts)
   in
   let doc = "Sweep one architectural design choice." in
   Cmd.v (Cmd.info "ablate" ~doc)
-    Term.(ret (const run $ node $ which $ engine_term $ timings_arg))
+    Term.(
+      ret (const run $ node $ which $ engine_term $ timings_arg
+         $ supervise_flags))
 
 (* ----- bench-analysis ---------------------------------------------- *)
 
@@ -695,15 +837,32 @@ let bench_analysis_cmd =
        extraction cache directly, so a warm pass exercises both
        persistent stages even when every mix lookup hits. *)
     let pat = Pattern.idd4r cfg.Config.spec in
+    (* Every pass runs under a fresh supervisor with fault injection
+       disabled: the bench proves supervision is free of perturbation
+       (identical output) and of failures (the gate rejects a nonzero
+       count when faults are off). *)
+    let total_failures = ref 0 in
+    let faults_enabled =
+      match Vdram_engine.Faults.of_env () with
+      | Ok (Some _) -> true
+      | _ -> false
+    in
     let workload engine =
-      let s = Vdram_analysis.Sensitivity.run ~engine cfg in
-      let c = Vdram_analysis.Corners.run ~engine ~samples cfg in
+      let supervisor =
+        Vdram_engine.Supervise.create ~faults:Vdram_engine.Faults.none ()
+      in
+      let s = Vdram_analysis.Sensitivity.run ~engine ~supervisor cfg in
+      let c = Vdram_analysis.Corners.run ~engine ~supervisor ~samples cfg in
       let ops =
         List.map
           (fun k -> Engine.op_energy engine cfg k)
           Vdram_core.Operation.all
       in
       let r = Engine.eval engine cfg pat in
+      total_failures :=
+        !total_failures
+        + (Vdram_engine.Supervise.counters supervisor)
+            .Vdram_engine.Supervise.failures;
       (s, c, ops, r)
     in
     (* Engine construction, the workload and the store flush are all
@@ -789,12 +948,14 @@ let bench_analysis_cmd =
         \  \"warm_mix_hits\": %d,\n\
         \  \"cache_dir\": %S,\n\
         \  \"identical_output\": %b,\n\
+        \  \"failures\": %d,\n\
+        \  \"faults_enabled\": %b,\n\
         \  \"parallel_stages\": [%s],\n\
         \  \"warm_stages\": [%s]\n\
          }\n"
         cfg.Config.name samples parallel_jobs serial_s parallel_s speedup
         disk_cold_s disk_warm_s disk_speedup warm_ext_hits warm_mix_hits
-        cache_dir identical
+        cache_dir identical !total_failures faults_enabled
         (stage_list parallel_engine)
         (stage_list warm_engine)
     in

@@ -7,6 +7,7 @@ module Operation = Vdram_core.Operation
 module Report = Vdram_core.Report
 module Array_geometry = Vdram_floorplan.Array_geometry
 module Engine = Vdram_engine.Engine
+module Supervise = Vdram_engine.Supervise
 
 type point = {
   label : string;
@@ -29,14 +30,27 @@ let measure ~engine ~label cfg =
     array_efficiency = g.Engine.array_efficiency;
   }
 
+let point_check p =
+  if
+    List.for_all Float.is_finite
+      [
+        p.power; p.energy_per_bit; p.activate_energy; p.die_area;
+        p.array_efficiency;
+      ]
+  then None
+  else Some (Printf.sprintf "non-finite ablation point %S" p.label)
+
 (* Each ablation first builds its (label, configuration) variants —
-   cheap — then fans the model evaluations out on the pool. *)
-let measure_all ~engine variants =
-  Engine.map_jobs engine
+   cheap — then fans the model evaluations out on the pool.  Under
+   supervision a failed variant is dropped from the listing and
+   recorded on the supervisor. *)
+let measure_all ?supervisor ~engine variants =
+  Supervise.map_jobs ?supervisor engine ~check:point_check
     (fun (label, cfg) -> measure ~engine ~label cfg)
     variants
+  |> List.filter_map (function Supervise.Done p -> Some p | _ -> None)
 
-let build ?engine ~node f =
+let build ?engine ?supervisor ~node f =
   let engine =
     match engine with Some e -> e | None -> Engine.serial ()
   in
@@ -45,10 +59,10 @@ let build ?engine ~node f =
         Config.commodity ?page_bits ?bits_per_bitline ?bits_per_lwl ?style
           ?prefetch ~node ())
   in
-  measure_all ~engine variants
+  measure_all ?supervisor ~engine variants
 
-let page_size ?engine ~node ~pages () =
-  build ?engine ~node (fun make ->
+let page_size ?engine ?supervisor ~node ~pages () =
+  build ?engine ?supervisor ~node (fun make ->
       let cfg = make () in
       let full = Config.page_bits cfg in
       List.map
@@ -59,8 +73,8 @@ let page_size ?engine ~node ~pages () =
               (float_of_int page /. float_of_int full) ))
         pages)
 
-let bitline_length ?engine ~node ~bits () =
-  build ?engine ~node (fun make ->
+let bitline_length ?engine ?supervisor ~node ~bits () =
+  build ?engine ?supervisor ~node (fun make ->
       List.map
         (fun n ->
           (* Shorter bitlines carry proportionally less capacitance. *)
@@ -83,15 +97,15 @@ let bitline_length ?engine ~node ~bits () =
           (Printf.sprintf "%d cells per bitline" n, cfg))
         bits)
 
-let bitline_style ?engine ~node () =
-  build ?engine ~node (fun make ->
+let bitline_style ?engine ?supervisor ~node () =
+  build ?engine ?supervisor ~node (fun make ->
       [
         ("open bitline (6F2-style)", make ~style:Array_geometry.Open ());
         ("folded bitline (8F2-style)", make ~style:Array_geometry.Folded ());
       ])
 
-let prefetch ?engine ~node ~prefetches () =
-  build ?engine ~node (fun make ->
+let prefetch ?engine ?supervisor ~node ~prefetches () =
+  build ?engine ?supervisor ~node (fun make ->
       List.map
         (fun n ->
           ( Printf.sprintf "prefetch %dn (core %s)" n
@@ -102,8 +116,8 @@ let prefetch ?engine ~node ~prefetches () =
             make ~prefetch:n () ))
         prefetches)
 
-let subarray_height ?engine ~node ~bits () =
-  build ?engine ~node (fun make ->
+let subarray_height ?engine ?supervisor ~node ~bits () =
+  build ?engine ?supervisor ~node (fun make ->
       List.map
         (fun n ->
           (Printf.sprintf "%d cells per local wordline" n, make ~bits_per_lwl:n ()))

@@ -15,6 +15,7 @@ type point = {
 
 val page_size :
   ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
   node:Vdram_tech.Node.t -> pages:int list -> unit -> point list
 (** Activation granularity: how many bits of the (structural) page a
     row command actually opens.  Smaller activations save row energy
@@ -22,18 +23,22 @@ val page_size :
 
 val bitline_length :
   ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
   node:Vdram_tech.Node.t -> bits:int list -> unit -> point list
 (** Cells per bitline: shorter bitlines swing less capacitance but
     multiply sense-amplifier stripes — energy versus area, the
     fundamental array trade-off. *)
 
 val bitline_style :
-  ?engine:Vdram_engine.Engine.t -> node:Vdram_tech.Node.t -> unit -> point list
+  ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
+  node:Vdram_tech.Node.t -> unit -> point list
 (** Folded (8F2-style) versus open (6F2-style) bitline architecture
     at the same node. *)
 
 val prefetch :
   ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
   node:Vdram_tech.Node.t -> prefetches:int list -> unit -> point list
 (** Serialization ratio at a fixed pin rate: higher prefetch lowers
     the core frequency (the commodity low-cost choice) but widens the
@@ -41,6 +46,7 @@ val prefetch :
 
 val subarray_height :
   ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
   node:Vdram_tech.Node.t -> bits:int list -> unit -> point list
 (** Cells per local wordline: wordline-direction segmentation, the
     dual of {!bitline_length} (costs local wordline driver stripes). *)

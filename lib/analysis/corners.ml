@@ -3,9 +3,11 @@
 module Config = Vdram_core.Config
 module Pattern = Vdram_core.Pattern
 module Engine = Vdram_engine.Engine
+module Supervise = Vdram_engine.Supervise
 
 type distribution = {
   samples : int;
+  failed : int;
   spread : float;
   mean : float;
   std : float;
@@ -34,7 +36,8 @@ let corner_lenses =
     (fun l -> l.Lenses.name <> "external voltage Vdd")
     (Lenses.technology @ Lenses.voltages @ Lenses.logic)
 
-let run ?engine ?(samples = 200) ?(spread = 0.10) ?(seed = 1) ?pattern cfg =
+let run ?engine ?supervisor ?(samples = 200) ?(spread = 0.10) ?(seed = 1)
+    ?pattern cfg =
   let engine =
     match engine with Some e -> e | None -> Engine.serial ()
   in
@@ -62,26 +65,41 @@ let run ?engine ?(samples = 200) ?(spread = 0.10) ?(seed = 1) ?pattern cfg =
   (* Draw every perturbed configuration first (the LCG is sequential
      state), then fan the pure evaluations out on the pool. *)
   let configs = List.init samples (fun _ -> sample ()) in
-  let values =
-    Engine.map_jobs engine (fun c -> Engine.current engine c pattern) configs
+  let check i =
+    if Float.is_finite i then None else Some "non-finite current"
   in
+  let outcomes =
+    Supervise.map_jobs ?supervisor engine ~check
+      (fun c -> Engine.current engine c pattern)
+      configs
+  in
+  (* Under supervision a failed draw is excluded from the statistics
+     and counted; with no supervisor every outcome is Done. *)
+  let values =
+    List.filter_map
+      (function Supervise.Done v -> Some v | _ -> None)
+      outcomes
+  in
+  let n_ok = List.length values in
+  if n_ok = 0 then failwith "Corners.run: every sample failed";
   let sorted = List.sort Float.compare values in
-  let n = float_of_int samples in
+  let n = float_of_int n_ok in
   let mean = List.fold_left ( +. ) 0.0 values /. n in
   let var =
     List.fold_left (fun a v -> a +. ((v -. mean) ** 2.0)) 0.0 values /. n
   in
   let nth q =
     List.nth sorted
-      (min (samples - 1) (int_of_float (q *. float_of_int (samples - 1))))
+      (min (n_ok - 1) (int_of_float (q *. float_of_int (n_ok - 1))))
   in
   {
-    samples;
+    samples = n_ok;
+    failed = samples - n_ok;
     spread;
     mean;
     std = sqrt var;
     min = List.hd sorted;
-    max = List.nth sorted (samples - 1);
+    max = List.nth sorted (n_ok - 1);
     p05 = nth 0.05;
     p95 = nth 0.95;
   }
@@ -90,7 +108,9 @@ let covers d value = value >= d.min && value <= d.max
 
 let pp ppf d =
   Format.fprintf ppf
-    "%d samples, +-%.0f%% parameter spread: mean %.1f mA, std %.1f, \
+    "%d samples%s, +-%.0f%% parameter spread: mean %.1f mA, std %.1f, \
      [%.1f .. %.1f] mA (p05 %.1f, p95 %.1f)"
-    d.samples (d.spread *. 100.0) (d.mean *. 1e3) (d.std *. 1e3)
+    d.samples
+    (if d.failed > 0 then Printf.sprintf " (%d failed)" d.failed else "")
+    (d.spread *. 100.0) (d.mean *. 1e3) (d.std *. 1e3)
     (d.min *. 1e3) (d.max *. 1e3) (d.p05 *. 1e3) (d.p95 *. 1e3)

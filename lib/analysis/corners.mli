@@ -11,7 +11,8 @@
     distribution is summarised. *)
 
 type distribution = {
-  samples : int;
+  samples : int;           (** draws that completed *)
+  failed : int;            (** draws lost to supervised failures *)
   spread : float;          (** half-width of the uniform parameter band *)
   mean : float;            (** A *)
   std : float;             (** A *)
@@ -23,6 +24,7 @@ type distribution = {
 
 val run :
   ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
   ?samples:int ->
   ?spread:float ->
   ?seed:int ->
@@ -34,7 +36,9 @@ val run :
     loop (the figure-8/9 measurement with the widest vendor spread).
     Perturbed configurations are drawn sequentially (the generator is
     deterministic), then evaluated as one batch on [engine]'s pool —
-    the distribution is identical at any job count. *)
+    the distribution is identical at any job count.  With [supervisor]
+    a failed or non-finite draw is excluded from the statistics and
+    counted in [failed]; fails only if {e every} draw fails. *)
 
 val covers : distribution -> float -> bool
 (** Whether a current (e.g. a vendor datasheet value) lies within the

@@ -3,6 +3,7 @@
 module Config = Vdram_core.Config
 module Pattern = Vdram_core.Pattern
 module Engine = Vdram_engine.Engine
+module Supervise = Vdram_engine.Supervise
 
 type entry = {
   lens_name : string;
@@ -22,7 +23,8 @@ type t = {
 let default_lenses =
   List.filter (fun l -> l.Lenses.name <> "external voltage Vdd") Lenses.all
 
-let run ?engine ?(variation = 0.20) ?(lenses = default_lenses) ?pattern cfg =
+let run ?engine ?supervisor ?(variation = 0.20) ?(lenses = default_lenses)
+    ?pattern cfg =
   let engine =
     match engine with Some e -> e | None -> Engine.serial ()
   in
@@ -43,13 +45,22 @@ let run ?engine ?(variation = 0.20) ?(lenses = default_lenses) ?pattern cfg =
         ])
       lenses
   in
-  let powers =
-    Engine.map_jobs engine (fun c -> Engine.power engine c pattern) perturbed
+  let check p =
+    if Float.is_finite p then None else Some "non-finite power"
   in
+  let powers =
+    Supervise.map_jobs ?supervisor engine ~check
+      (fun c -> Engine.power engine c pattern)
+      perturbed
+  in
+  (* Each lens owns two consecutive batch slots (+variation then
+     -variation); under supervision a lens whose either sample failed
+     is dropped from the ranking rather than misaligning the pairing. *)
   let rec pair lenses powers =
     match (lenses, powers) with
     | [], [] -> []
-    | lens :: lenses, power_plus :: power_minus :: powers ->
+    | ( lens :: lenses,
+        Supervise.Done power_plus :: Supervise.Done power_minus :: powers ) ->
       {
         lens_name = lens.Lenses.name;
         power_minus;
@@ -57,6 +68,9 @@ let run ?engine ?(variation = 0.20) ?(lenses = default_lenses) ?pattern cfg =
         span_percent = (power_plus -. power_minus) /. nominal *. 100.0;
       }
       :: pair lenses powers
+    | lens :: lenses, _ :: _ :: powers ->
+      ignore lens;
+      pair lenses powers
     | _ -> assert false
   in
   let entries =

@@ -26,6 +26,7 @@ type t = {
 
 val run :
   ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
   ?variation:float ->
   ?lenses:Lenses.t list ->
   ?pattern:Vdram_core.Pattern.t ->
@@ -35,7 +36,11 @@ val run :
     voltage, and the paper's Idd7-like pattern with half the reads
     replaced by writes.  All evaluations run as one batch on
     [engine]'s pool (default: a fresh serial engine); results are
-    bit-identical at any job count. *)
+    bit-identical at any job count.  With [supervisor] the batch runs
+    under the supervised runtime: a lens either of whose two perturbed
+    evaluations fails (or yields a non-finite power) is dropped from
+    the ranking and recorded as failure records instead of aborting
+    the run. *)
 
 val top : int -> t -> entry list
 

@@ -4,6 +4,7 @@ module Config = Vdram_core.Config
 module Pattern = Vdram_core.Pattern
 module Report = Vdram_core.Report
 module Engine = Vdram_engine.Engine
+module Supervise = Vdram_engine.Supervise
 
 type sample = {
   value : float;
@@ -19,7 +20,7 @@ type t = {
   samples : sample list;
 }
 
-let run ?engine ~lens ~values ?pattern cfg =
+let run ?engine ?supervisor ~lens ~values ?pattern cfg =
   let engine =
     match engine with Some e -> e | None -> Engine.serial ()
   in
@@ -28,17 +29,28 @@ let run ?engine ~lens ~values ?pattern cfg =
     | Some p -> p
     | None -> Pattern.idd7_mixed cfg.Config.spec
   in
-  let samples =
-    Engine.map_jobs engine
-      (fun value ->
-        let r = Engine.eval engine (lens.Lenses.set cfg value) pattern in
-        {
-          value;
-          power = r.Report.power;
-          current = r.Report.current;
-          energy_per_bit = r.Report.energy_per_bit;
-        })
+  let outcomes =
+    Supervise.map_jobs ?supervisor engine ~check:Supervise.finite_report
+      (fun value -> Engine.eval engine (lens.Lenses.set cfg value) pattern)
       values
+  in
+  (* Under supervision a failed point just leaves a gap in the curve;
+     its failure record lives on the supervisor. *)
+  let samples =
+    List.map2
+      (fun value outcome ->
+        match outcome with
+        | Supervise.Done r ->
+          Some
+            {
+              value;
+              power = r.Report.power;
+              current = r.Report.current;
+              energy_per_bit = r.Report.energy_per_bit;
+            }
+        | Supervise.Failed _ | Supervise.Skipped -> None)
+      values outcomes
+    |> List.filter_map Fun.id
   in
   {
     lens_name = lens.Lenses.name;
@@ -47,9 +59,9 @@ let run ?engine ~lens ~values ?pattern cfg =
     samples;
   }
 
-let run_relative ?engine ~lens ~factors ?pattern cfg =
+let run_relative ?engine ?supervisor ~lens ~factors ?pattern cfg =
   let nominal = lens.Lenses.get cfg in
-  run ?engine ~lens
+  run ?engine ?supervisor ~lens
     ~values:(List.map (fun f -> f *. nominal) factors)
     ?pattern cfg
 

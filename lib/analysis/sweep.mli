@@ -16,6 +16,7 @@ type t = {
 
 val run :
   ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
   lens:Lenses.t ->
   values:float list ->
   ?pattern:Vdram_core.Pattern.t ->
@@ -23,10 +24,13 @@ val run :
   t
 (** Evaluate the pattern at each absolute lens value, batched on
     [engine]'s pool (default: a fresh serial engine).  The default
-    pattern is the Idd7-like mixed loop. *)
+    pattern is the Idd7-like mixed loop.  With [supervisor] a failed
+    or non-finite point leaves a gap in the curve (its failure record
+    lives on the supervisor) instead of aborting the sweep. *)
 
 val run_relative :
   ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
   lens:Lenses.t ->
   factors:float list ->
   ?pattern:Vdram_core.Pattern.t ->

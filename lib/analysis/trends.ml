@@ -7,6 +7,7 @@ module Pattern = Vdram_core.Pattern
 module Spec = Vdram_core.Spec
 module Domains = Vdram_circuits.Domains
 module Engine = Vdram_engine.Engine
+module Supervise = Vdram_engine.Supervise
 
 type point = {
   node : Node.t;
@@ -56,17 +57,38 @@ let point ?engine node =
     energy_per_bit_idd7 = epb (Pattern.idd7_mixed spec);
   }
 
-let all ?engine () =
-  let engine =
-    match engine with Some e -> e | None -> Engine.serial ()
+let point_check p =
+  let finite =
+    List.for_all Float.is_finite
+      [
+        p.vdd; p.vint; p.vbl; p.vpp; p.datarate; p.core_frequency; p.trc;
+        p.trcd; p.die_area; p.density_bits; p.energy_per_bit_idd4;
+        p.energy_per_bit_idd7;
+      ]
   in
-  Engine.map_jobs engine (fun node -> point ~engine node) Node.all
+  if finite then None
+  else Some (Printf.sprintf "non-finite trend point at %s" (Node.name p.node))
 
-let category_shares ?engine () =
+(* A generation whose evaluation fails under supervision is dropped
+   from the trend line (failure recorded on the supervisor). *)
+let all ?engine ?supervisor () =
   let engine =
     match engine with Some e -> e | None -> Engine.serial ()
   in
-  Engine.map_jobs engine
+  Supervise.map_jobs ?supervisor engine ~check:point_check
+    (fun node -> point ~engine node)
+    Node.all
+  |> List.filter_map (function Supervise.Done p -> Some p | _ -> None)
+
+let category_shares ?engine ?supervisor () =
+  let engine =
+    match engine with Some e -> e | None -> Engine.serial ()
+  in
+  let check (node, shares) =
+    if List.for_all (fun (_, s) -> Float.is_finite s) shares then None
+    else Some (Printf.sprintf "non-finite share at %s" (Node.name node))
+  in
+  Supervise.map_jobs ?supervisor engine ~check
     (fun node ->
       let cfg = Vdram_configs.Generations.at node in
       let r = Engine.eval engine cfg (Pattern.idd7_mixed cfg.Config.spec) in
@@ -77,6 +99,7 @@ let category_shares ?engine () =
       in
       (node, shares))
     Node.all
+  |> List.filter_map (function Supervise.Done x -> Some x | _ -> None)
 
 let reduction_factor points select =
   let selected = List.filter (fun p -> select p.node) points in

@@ -26,12 +26,19 @@ type point = {
 
 val point : ?engine:Vdram_engine.Engine.t -> Vdram_tech.Node.t -> point
 
-val all : ?engine:Vdram_engine.Engine.t -> unit -> point list
+val all :
+  ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
+  unit ->
+  point list
 (** All fourteen generations, evaluated as one batch on [engine]'s
-    pool (default: a fresh serial engine). *)
+    pool (default: a fresh serial engine).  With [supervisor] a
+    generation whose evaluation fails (or yields a non-finite point)
+    is dropped from the trend line and recorded as a failure. *)
 
 val category_shares :
   ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
   unit ->
   (Vdram_tech.Node.t * (Vdram_core.Report.category * float) list) list
 (** Power share per {!Vdram_core.Report.category} for every

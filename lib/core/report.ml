@@ -13,6 +13,17 @@ type t = {
   breakdown : (string * float) list;
 }
 
+let is_finite t =
+  Float.is_finite t.power && Float.is_finite t.current
+  && Float.is_finite t.background_power
+  && Float.is_finite t.loop_time
+  && Float.is_finite t.bits_per_loop
+  && (match t.energy_per_bit with
+     | None -> true
+     | Some e -> Float.is_finite e)
+  && List.for_all (fun (_, r) -> Float.is_finite r) t.op_rates
+  && List.for_all (fun (_, w) -> Float.is_finite w) t.breakdown
+
 let pp_header ppf t =
   Format.fprintf ppf "%s | %s: %s (%s)" t.config_name t.pattern_name
     (Vdram_units.Si.format_eng ~unit_symbol:"W" t.power)

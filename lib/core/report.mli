@@ -18,6 +18,13 @@ type t = {
           descending *)
 }
 
+val is_finite : t -> bool
+(** Whether every numeric field — power, current, background power,
+    loop time, bits per loop, energy per bit, every op rate and every
+    breakdown entry — is finite (no NaN or infinity).  The supervised
+    runtime uses this to turn a silently-poisoned report into a
+    classified failure record. *)
+
 val pp : Format.formatter -> t -> unit
 (** Summary with Idd and the top breakdown entries. *)
 

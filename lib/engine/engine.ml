@@ -68,7 +68,18 @@ type t = {
   mix_c : counters;
   store : Store.t option;
   preloaded : int * int;
+  discarded : int;
 }
+
+exception Stage_error of string * exn
+
+let () =
+  Printexc.register_printer (function
+    | Stage_error (stage, inner) ->
+      Some
+        (Printf.sprintf "Vdram_engine.Engine.Stage_error(%s: %s)" stage
+           (Printexc.to_string inner))
+    | _ -> None)
 
 (* ----- persistent store -------------------------------------------- *)
 
@@ -77,18 +88,23 @@ type t = {
    an older scheme, are discarded on load. *)
 let store_version = Model.version ^ "+" ^ Fp.scheme_version
 
-let store_open ?dir () = Store.open_ ?dir ~version:store_version ()
+let store_open ?dir ?max_bytes () =
+  Store.open_ ?dir ?max_bytes ~version:store_version ()
 
-let preload (cache : 'v cache) (entries : (Fp.t * 'v) array option) =
+(* Preload returns (entries, discarded): a Corrupt read counts as one
+   discarded snapshot (the store has already quarantined the file) and
+   the stage simply starts cold. *)
+let preload (cache : 'v cache) (entries : (Fp.t * 'v) array Store.read) =
   match entries with
-  | None -> 0
-  | Some arr ->
+  | Store.Missing -> (0, 0)
+  | Store.Corrupt _ -> (0, 1)
+  | Store.Hit arr ->
     Array.iter
       (fun (fp, v) ->
         let s = shard_of cache fp in
         Fp_tbl.replace s.tbl fp v)
       arr;
-    Array.length arr
+    (Array.length arr, 0)
 
 let create ?jobs ?store () =
   let jobs =
@@ -97,15 +113,20 @@ let create ?jobs ?store () =
   let geom_cache = cache_create () in
   let ext_cache : Model.extraction cache = cache_create () in
   let mix_cache : Report.t cache = cache_create () in
-  let preloaded =
+  let preloaded, discarded =
     match store with
-    | None -> (0, 0)
+    | None -> ((0, 0), 0)
     | Some st ->
-      ( preload ext_cache
-          (Store.load st ~name:"extraction"
-            : (Fp.t * Model.extraction) array option),
+      let ext, dext =
+        preload ext_cache
+          (Store.read st ~name:"extraction"
+            : (Fp.t * Model.extraction) array Store.read)
+      in
+      let mix, dmix =
         preload mix_cache
-          (Store.load st ~name:"mix" : (Fp.t * Report.t) array option) )
+          (Store.read st ~name:"mix" : (Fp.t * Report.t) array Store.read)
+      in
+      ((ext, mix), dext + dmix)
   in
   {
     jobs;
@@ -117,12 +138,14 @@ let create ?jobs ?store () =
     mix_c = counters ();
     store;
     preloaded;
+    discarded;
   }
 
 let serial () = create ~jobs:1 ()
 let jobs t = t.jobs
 let store t = t.store
 let preloaded t = t.preloaded
+let discarded t = t.discarded
 
 let flush_store t =
   match t.store with
@@ -213,30 +236,57 @@ let cached cache c fp compute =
     Mutex.unlock s.lock;
     v
 
+(* Under a supervised item (Faults.with_item context), a stage failure
+   is tagged with the stage it escaped from so the failure record can
+   attribute it; the innermost stage wins (an inner Stage_error passes
+   through unchanged).  Outside supervision exceptions propagate
+   exactly as before — the unsupervised engine is byte-for-byte the
+   old one. *)
+let guard stage f =
+  if not (Faults.supervised ()) then f ()
+  else
+    try f () with
+    | (Faults.Injected _ | Stage_error _) as e -> raise e
+    | e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Printexc.raise_with_backtrace (Stage_error (stage, e)) bt
+
+(* Fault hooks fire at stage {e entry}, before any cache lookup, so
+   whether an item is faulted never depends on what happens to be
+   cached.  The mix hook is exact (eval runs once per item); geometry
+   and extraction hooks only fire when the mix stage actually recurses
+   into them, i.e. on a mix-cache miss. *)
+
 let geometry t (cfg : Config.t) =
-  cached t.geom_cache t.geom_c (geometry_fp cfg) (fun () ->
-      {
-        geometry = Config.geometry cfg;
-        page_bits = Config.page_bits cfg;
-        activated_bits = Config.activated_bits cfg;
-        die_area = Floorplan.die_area cfg.Config.floorplan;
-        array_efficiency = Floorplan.array_efficiency cfg.Config.floorplan;
-      })
+  Faults.stage_hook Faults.Geometry;
+  guard "geometry" (fun () ->
+      cached t.geom_cache t.geom_c (geometry_fp cfg) (fun () ->
+          {
+            geometry = Config.geometry cfg;
+            page_bits = Config.page_bits cfg;
+            activated_bits = Config.activated_bits cfg;
+            die_area = Floorplan.die_area cfg.Config.floorplan;
+            array_efficiency = Floorplan.array_efficiency cfg.Config.floorplan;
+          }))
 
 let extraction t (cfg : Config.t) =
-  cached t.ext_cache t.ext_c (config_fp cfg) (fun () ->
-      let g = geometry t cfg in
-      Model.extract ~activated_bits:g.activated_bits cfg)
+  Faults.stage_hook Faults.Extraction;
+  guard "extraction" (fun () ->
+      cached t.ext_cache t.ext_c (config_fp cfg) (fun () ->
+          let g = geometry t cfg in
+          Model.extract ~activated_bits:g.activated_bits cfg))
 
 let eval t (cfg : Config.t) pattern =
-  let fp = Fp.combine [ config_fp cfg; pattern_fp pattern ] in
-  let r =
-    cached t.mix_cache t.mix_c fp (fun () ->
-        let ex = extraction t cfg in
-        let r = Model.pattern_power_staged ex cfg pattern in
-        { r with Report.config_name = "" })
-  in
-  { r with Report.config_name = cfg.Config.name }
+  Faults.stage_hook Faults.Mix;
+  guard "mix" (fun () ->
+      let fp = Fp.combine [ config_fp cfg; pattern_fp pattern ] in
+      let r =
+        cached t.mix_cache t.mix_c fp (fun () ->
+            let ex = extraction t cfg in
+            let r = Model.pattern_power_staged ex cfg pattern in
+            { r with Report.config_name = "" })
+      in
+      { r with Report.config_name = cfg.Config.name })
 
 let power t cfg pattern = (eval t cfg pattern).Report.power
 let current t cfg pattern = (eval t cfg pattern).Report.current

@@ -16,13 +16,22 @@
 
 type t
 
+exception Stage_error of string * exn
+(** A stage failure under supervision: the stage name ([geometry],
+    [extraction] or [mix]) the exception escaped from, and the
+    original exception.  Only raised while a {!Supervise} item context
+    is active ({!Faults.supervised}); outside supervision stage
+    exceptions propagate unwrapped, exactly as they always have. *)
+
 val create : ?jobs:int -> ?store:Store.t -> unit -> t
 (** A fresh engine.  [jobs] bounds the domain pool used by
     {!map_jobs}; it defaults to {!Pool.default_jobs} (which honours
     [VDRAM_JOBS]).  [store] attaches a persistent cross-process cache:
     extraction and pattern-mix snapshots are loaded from it
-    immediately (stale or corrupt snapshots are silently discarded)
-    and written back by {!flush_store}. *)
+    immediately and written back by {!flush_store}.  A stale or
+    corrupt snapshot is not silently discarded: the store quarantines
+    the file, and {!discarded} counts the stages that started cold
+    because of it. *)
 
 val serial : unit -> t
 (** [create ~jobs:1 ()] — the drop-in default the analysis drivers use
@@ -32,16 +41,23 @@ val jobs : t -> int
 
 (** {1 Persistent store} *)
 
-val store_open : ?dir:string -> unit -> Store.t
+val store_open : ?dir:string -> ?max_bytes:int -> unit -> Store.t
 (** A store handle stamped with the current model + fingerprint-scheme
-    version, rooted at [dir] (default {!Store.default_dir}).  Pass it
-    to {!create} to warm an engine from disk. *)
+    version, rooted at [dir] (default {!Store.default_dir}), size-capped
+    at [max_bytes] when given (default [VDRAM_CACHE_MAX_BYTES]).  Pass
+    it to {!create} to warm an engine from disk. *)
 
 val store : t -> Store.t option
 
 val preloaded : t -> int * int
 (** [(extraction, mix)] entry counts loaded from the store at
     {!create} time; [(0, 0)] without a store or on a cold cache. *)
+
+val discarded : t -> int
+(** How many stage snapshots (0..2) were rejected — corrupt, truncated
+    or version-skewed — and quarantined during the {!create} preload.
+    Those stages start cold and recompute; see {!Store.stats} on the
+    attached store for the full I/O picture. *)
 
 val flush_store : t -> unit
 (** Write the extraction and pattern-mix caches back to the engine's

@@ -13,6 +13,17 @@ let default_jobs () =
    parallel map runs serially instead of spawning domains^2. *)
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
+let in_worker_now () = Domain.DLS.get in_worker
+
+(* The supervised runtime (Supervise) spawns its own worker domains;
+   marking them as pool workers keeps the same nested-parallelism
+   degradation: an Engine.map_jobs reached from inside a supervised
+   item runs serially instead of spawning domains^2. *)
+let scoped_worker f =
+  let saved = Domain.DLS.get in_worker in
+  Domain.DLS.set in_worker true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker saved) f
+
 (* Workers steal a run of consecutive indices per fetch instead of one
    index: for µs-scale jobs the atomic fetch, the bounds check and the
    cache-line traffic on [next] otherwise dominate the job itself.

@@ -30,3 +30,12 @@ val default_jobs : unit -> int
 val default_chunk : jobs:int -> int -> int
 (** The adaptive chunk size [map] uses for an input of the given
     length (exposed for tests). *)
+
+val in_worker_now : unit -> bool
+(** Whether the current domain is a pool (or supervised) worker —
+    i.e. whether a [map] from here would run serially. *)
+
+val scoped_worker : (unit -> 'a) -> 'a
+(** Run [f] with the current domain marked as a pool worker, restoring
+    the previous mark afterwards.  Used by the supervised runtime so
+    its worker domains inherit the nested-parallelism degradation. *)

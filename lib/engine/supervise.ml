@@ -1,0 +1,367 @@
+(* Supervised batch runtime: Pool-style chunked parallel map with a
+   per-item fault boundary, failure classification and a failure
+   budget. *)
+
+module Report = Vdram_core.Report
+module Fp = Fingerprint
+
+type policy = {
+  keep_going : bool;
+  max_failures : int option;
+  deadline : float option;
+}
+
+let default_policy = { keep_going = true; max_failures = None; deadline = None }
+let strict_policy = { default_policy with keep_going = false }
+
+type failure = {
+  batch : int;
+  index : int;
+  stage : string;
+  fingerprint : string;
+  injected : bool;
+  message : string;
+  elapsed_ns : int;
+}
+
+type 'b outcome = Done of 'b | Failed of failure | Skipped
+
+exception Rejected of string
+exception Aborted of { failures : int; tolerated : int }
+
+let () =
+  Printexc.register_printer (function
+    | Rejected reason -> Some (Printf.sprintf "Supervise.Rejected(%s)" reason)
+    | Aborted { failures; tolerated } ->
+      Some
+        (Printf.sprintf "Supervise.Aborted(%d failures > %d tolerated)"
+           failures tolerated)
+    | _ -> None)
+
+type t = {
+  policy : policy;
+  plan : Faults.plan option;
+  batch_counter : int Atomic.t;
+  degraded : int Atomic.t;
+  mutable abort_flag : bool;
+  lock : Mutex.t;
+  mutable all_failures : failure list; (* reverse batch order *)
+}
+
+let create ?(policy = default_policy) ?faults () =
+  let plan =
+    match faults with
+    | Some p -> Some p
+    | None ->
+      (match Faults.of_env () with
+       | Ok p -> p
+       | Error msg -> invalid_arg ("VDRAM_FAULTS: " ^ msg))
+  in
+  {
+    policy;
+    plan;
+    batch_counter = Atomic.make 0;
+    degraded = Atomic.make 0;
+    abort_flag = false;
+    lock = Mutex.create ();
+    all_failures = [];
+  }
+
+let policy t = t.policy
+let plan t = t.plan
+let aborted t = t.abort_flag
+
+let failures t =
+  Mutex.lock t.lock;
+  let fs = t.all_failures in
+  Mutex.unlock t.lock;
+  List.rev fs
+
+let finite_report r =
+  if Report.is_finite r then None
+  else
+    Some
+      (Printf.sprintf "non-finite value in report %s | %s"
+         r.Report.config_name r.Report.pattern_name)
+
+(* ----- per-item evaluation ------------------------------------------ *)
+
+let item_fingerprint x = try Fp.hex (Fp.of_value x) with _ -> "opaque"
+
+(* The original exception and backtrace ride alongside the outcome so
+   strict mode can replay the first input-order failure exactly as
+   Pool.map would have. *)
+type 'b slot = {
+  outcome : 'b outcome;
+  original : (exn * Printexc.raw_backtrace) option;
+}
+
+let skipped = { outcome = Skipped; original = None }
+
+let classify e =
+  match e with
+  | Faults.Injected (stage, _, _) -> (stage, true, Printexc.to_string e)
+  | Engine.Stage_error (stage, inner) ->
+    (stage, false, Printexc.to_string inner)
+  | Rejected reason -> ("validate", false, reason)
+  | e -> ("driver", false, Printexc.to_string e)
+
+let eval_item t ~batch ~check ~deadline f index x =
+  let t0 = Monotonic_clock.now () in
+  let elapsed () = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
+  match
+    Faults.with_item ?plan:t.plan ~batch ~index (fun () ->
+        let r = f x in
+        (match check with
+         | None -> ()
+         | Some chk ->
+           (match chk r with
+            | Some reason -> raise (Rejected reason)
+            | None -> ()));
+        r)
+  with
+  | r ->
+    let elapsed_ns = elapsed () in
+    (match deadline with
+     | Some d when float_of_int elapsed_ns /. 1e9 > d ->
+       let message =
+         Printf.sprintf "item exceeded deadline (%.3f s > %.3f s)"
+           (float_of_int elapsed_ns /. 1e9)
+           d
+       in
+       {
+         outcome =
+           Failed
+             {
+               batch;
+               index;
+               stage = "deadline";
+               fingerprint = item_fingerprint x;
+               injected = false;
+               message;
+               elapsed_ns;
+             };
+         original = Some (Failure message, Printexc.get_callstack 0);
+       }
+     | _ -> { outcome = Done r; original = None })
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    let stage, injected, message = classify e in
+    {
+      outcome =
+        Failed
+          {
+            batch;
+            index;
+            stage;
+            fingerprint = item_fingerprint x;
+            injected;
+            message;
+            elapsed_ns = elapsed ();
+          };
+      original = Some (e, bt);
+    }
+
+(* ----- the batch ----------------------------------------------------- *)
+
+let map t engine ?check f xs =
+  let batch = Atomic.fetch_and_add t.batch_counter 1 in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let slots = Array.make n skipped in
+  let deadline = t.policy.deadline in
+  (* Budget: the number of failures tolerated before the batch stops
+     claiming work.  Strict and unbounded keep-going evaluate every
+     item regardless. *)
+  let budget =
+    match t.policy.max_failures with
+    | Some m when t.policy.keep_going -> m
+    | _ -> max_int
+  in
+  let nfail = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let run_one i =
+    let slot = eval_item t ~batch ~check ~deadline f i items.(i) in
+    slots.(i) <- slot;
+    match slot.outcome with
+    | Failed _ ->
+      let c = 1 + Atomic.fetch_and_add nfail 1 in
+      if c > budget then Atomic.set stop true
+    | Done _ | Skipped -> ()
+  in
+  let jobs = min (Engine.jobs engine) n in
+  if jobs <= 1 || n <= 1 || Pool.in_worker_now () then begin
+    let i = ref 0 in
+    while !i < n && not (Atomic.get stop) do
+      run_one !i;
+      incr i
+    done
+  end
+  else begin
+    let chunk = Pool.default_chunk ~jobs n in
+    let next = Atomic.make 0 in
+    let worker () =
+      Pool.scoped_worker (fun () ->
+          let rec loop () =
+            if not (Atomic.get stop) then begin
+              let i0 = Atomic.fetch_and_add next chunk in
+              if i0 < n then begin
+                let hi = min n (i0 + chunk) - 1 in
+                let i = ref i0 in
+                while !i <= hi && not (Atomic.get stop) do
+                  run_one !i;
+                  incr i
+                done;
+                loop ()
+              end
+            end
+          in
+          loop ())
+    in
+    (* A domain that cannot be spawned (resource exhaustion) degrades
+       the batch to fewer workers instead of failing it. *)
+    let spawned =
+      List.filter_map
+        (fun _ ->
+          match Domain.spawn worker with
+          | d -> Some d
+          | exception _ ->
+            Atomic.incr t.degraded;
+            None)
+        (List.init (jobs - 1) Fun.id)
+    in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  (* Record this batch's failures (index order) on the supervisor. *)
+  let batch_failures =
+    Array.to_list slots
+    |> List.filter_map (fun s ->
+           match s.outcome with Failed fl -> Some fl | _ -> None)
+  in
+  if batch_failures <> [] then begin
+    Mutex.lock t.lock;
+    t.all_failures <- List.rev_append batch_failures t.all_failures;
+    Mutex.unlock t.lock
+  end;
+  if Atomic.get stop then begin
+    t.abort_flag <- true;
+    raise (Aborted { failures = Atomic.get nfail; tolerated = budget })
+  end;
+  if not t.policy.keep_going then
+    (* Strict: replay the first input-order failure with its original
+       exception and backtrace — exactly what Pool.map would raise.
+       Stage_error is unwrapped back to the inner exception so strict
+       supervision is observationally identical to no supervision. *)
+    Array.iter
+      (fun s ->
+        match (s.outcome, s.original) with
+        | Failed _, Some (e, bt) ->
+          let e =
+            match e with Engine.Stage_error (_, inner) -> inner | e -> e
+          in
+          Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      slots;
+  Array.to_list (Array.map (fun s -> s.outcome) slots)
+
+let map_jobs ?supervisor engine ?check f xs =
+  match supervisor with
+  | Some t -> map t engine ?check f xs
+  | None -> List.map (fun r -> Done r) (Engine.map_jobs engine f xs)
+
+(* ----- counters and the failure report ------------------------------- *)
+
+type counters = {
+  batches : int;
+  failures : int;
+  injected : int;
+  deadline : int;
+  rejected : int;
+  degraded : int;
+}
+
+let counters t =
+  let fs = failures t in
+  let count p = List.length (List.filter p fs) in
+  {
+    batches = Atomic.get t.batch_counter;
+    failures = List.length fs;
+    injected = count (fun f -> f.injected);
+    deadline = count (fun f -> f.stage = "deadline");
+    rejected = count (fun f -> f.stage = "validate");
+    degraded = Atomic.get t.degraded;
+  }
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "%d failures over %d batches (%d injected, %d deadline, %d rejected)%s"
+    c.failures c.batches c.injected c.deadline c.rejected
+    (if c.degraded > 0 then
+       Printf.sprintf ", %d workers degraded" c.degraded
+     else "")
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let failure_to_json f =
+  Printf.sprintf
+    "    {\"batch\": %d, \"index\": %d, \"stage\": \"%s\", \"injected\": %b, \
+     \"fingerprint\": \"%s\", \"message\": \"%s\", \"elapsed_ms\": %.3f}"
+    f.batch f.index (json_escape f.stage) f.injected
+    (json_escape f.fingerprint) (json_escape f.message)
+    (float_of_int f.elapsed_ns /. 1e6)
+
+let report_to_json ~command t =
+  let c = counters t in
+  let fs = failures t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"version\": 1,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"command\": \"%s\",\n" (json_escape command));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"keep_going\": %b,\n" t.policy.keep_going);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"max_failures\": %s,\n"
+       (match t.policy.max_failures with
+        | Some m -> string_of_int m
+        | None -> "null"));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"deadline\": %s,\n"
+       (match t.policy.deadline with
+        | Some d -> Printf.sprintf "%g" d
+        | None -> "null"));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"faults\": %s,\n"
+       (match t.plan with
+        | Some p -> Printf.sprintf "\"%s\"" (json_escape (Faults.to_string p))
+        | None -> "null"));
+  Buffer.add_string buf (Printf.sprintf "  \"aborted\": %b,\n" t.abort_flag);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"counters\": {\"batches\": %d, \"failures\": %d, \"injected\": \
+        %d, \"deadline\": %d, \"rejected\": %d, \"degraded\": %d},\n"
+       c.batches c.failures c.injected c.deadline c.rejected c.degraded);
+  (match fs with
+   | [] -> Buffer.add_string buf "  \"failures\": []\n"
+   | fs ->
+     Buffer.add_string buf "  \"failures\": [\n";
+     Buffer.add_string buf
+       (String.concat ",\n" (List.map failure_to_json fs));
+     Buffer.add_string buf "\n  ]\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -4,6 +4,7 @@ module Config = Vdram_core.Config
 module Pattern = Vdram_core.Pattern
 module Operation = Vdram_core.Operation
 module Engine = Vdram_engine.Engine
+module Supervise = Vdram_engine.Supervise
 
 type result = {
   scheme : Scheme.t;
@@ -53,11 +54,29 @@ let run ?engine baseline scheme =
     die_area_after = die *. scheme.Scheme.area_factor;
   }
 
-let run_all ?engine baseline =
+let result_check r =
+  if
+    List.for_all Float.is_finite
+      [
+        r.activate_energy_before; r.activate_energy_after; r.idd0_saving;
+        r.idd4r_saving; r.idd7_saving; r.energy_per_bit_before;
+        r.energy_per_bit_after; r.die_area_before; r.die_area_after;
+      ]
+  then None
+  else
+    Some
+      (Printf.sprintf "non-finite scheme result %S" r.scheme.Scheme.name)
+
+(* Under supervision a scheme whose evaluation fails drops out of the
+   comparison table; its failure record lives on the supervisor. *)
+let run_all ?engine ?supervisor baseline =
   let engine =
     match engine with Some e -> e | None -> Engine.serial ()
   in
-  Engine.map_jobs engine (fun s -> run ~engine baseline s) Scheme.all
+  Supervise.map_jobs ?supervisor engine ~check:result_check
+    (fun s -> run ~engine baseline s)
+    Scheme.all
+  |> List.filter_map (function Supervise.Done r -> Some r | _ -> None)
 
 let compose schemes =
   match schemes with

@@ -20,10 +20,15 @@ val run :
   ?engine:Vdram_engine.Engine.t -> Vdram_core.Config.t -> Scheme.t -> result
 
 val run_all :
-  ?engine:Vdram_engine.Engine.t -> Vdram_core.Config.t -> result list
+  ?engine:Vdram_engine.Engine.t ->
+  ?supervisor:Vdram_engine.Supervise.t ->
+  Vdram_core.Config.t ->
+  result list
 (** Every scheme of {!Scheme.all} against the same baseline, one pool
     job per scheme.  The shared engine means the baseline's stages are
-    extracted once, not once per scheme. *)
+    extracted once, not once per scheme.  With [supervisor] a scheme
+    whose evaluation fails (or yields a non-finite result) drops out
+    of the table and is recorded as a failure instead of aborting. *)
 
 val compose : Scheme.t list -> Scheme.t
 (** Stack schemes: transforms apply left to right, area factors

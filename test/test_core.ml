@@ -159,6 +159,21 @@ let test_report () =
   Helpers.check_true "idle has no energy per bit"
     ((Model.pattern_power cfg Pattern.idle).Report.energy_per_bit = None)
 
+let test_report_is_finite () =
+  let cfg = ddr3 () in
+  let r = Model.pattern_power cfg (Pattern.idd7_mixed cfg.Config.spec) in
+  Helpers.check_true "a healthy report is finite" (Report.is_finite r);
+  Helpers.check_true "NaN power is caught"
+    (not (Report.is_finite { r with Report.power = Float.nan }));
+  Helpers.check_true "infinite current is caught"
+    (not (Report.is_finite { r with Report.current = Float.infinity }));
+  Helpers.check_true "NaN energy per bit is caught"
+    (not (Report.is_finite { r with Report.energy_per_bit = Some Float.nan }));
+  Helpers.check_true "NaN in the breakdown is caught"
+    (not
+       (Report.is_finite
+          { r with Report.breakdown = [ ("poisoned", Float.nan) ] }))
+
 let test_states () =
   let cfg = ddr3 () in
   Helpers.close "precharge standby = background"
@@ -439,6 +454,8 @@ let suite =
     Alcotest.test_case "Idd loops" `Quick test_idd_loops;
     Alcotest.test_case "pattern power ordering" `Quick test_pattern_power;
     Alcotest.test_case "report invariants" `Quick test_report;
+    Alcotest.test_case "report finiteness guard" `Quick
+      test_report_is_finite;
     Alcotest.test_case "operation power" `Quick test_operation_power;
     Alcotest.test_case "standby states" `Quick test_states;
     Alcotest.test_case "Idd5B refresh current" `Quick test_idd5b;

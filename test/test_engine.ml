@@ -273,8 +273,10 @@ let store_corruption_recovery () =
            (Store.version st)
            (Digest.to_hex (Digest.string "something else"))));
   let engine = Engine.create ~jobs:1 ~store:st () in
-  Helpers.check_true "corrupt snapshots are silently discarded"
+  Helpers.check_true "corrupt snapshots are discarded"
     (Engine.preloaded engine = (0, 0));
+  Alcotest.(check int) "both corruptions are counted, not hidden" 2
+    (Engine.discarded engine);
   Helpers.check_true "engine recomputes past the corruption"
     (Engine.eval engine cfg p = reference);
   (* A version-skewed reader must treat good snapshots as misses. *)
@@ -283,6 +285,352 @@ let store_corruption_recovery () =
   Helpers.check_true "version skew discards the snapshot"
     (Store.load skewed ~name:"mix" = None);
   Store.clear st
+
+(* ----- store retries, quarantine, eviction ---------------------------- *)
+
+let store_retry_quarantine () =
+  let module Store = Vdram_engine.Store in
+  let st = Engine.store_open ~dir:store_dir () in
+  Store.clear st;
+  let cfg = base () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  let seed = Engine.create ~jobs:1 ~store:st () in
+  ignore (Engine.eval seed cfg p);
+  Engine.flush_store seed;
+  Out_channel.with_open_text (Store.path st "mix") (fun oc ->
+      Out_channel.output_string oc "not a vdram store at all");
+  let h = Engine.store_open ~dir:store_dir () in
+  (match Store.read ~retries:1 ~backoff:0.001 h ~name:"mix" with
+  | Store.Corrupt reason ->
+    Helpers.check_true "the corruption reason is reported"
+      (String.length reason > 0)
+  | Store.Hit _ | Store.Missing ->
+    Alcotest.fail "garbage snapshot must classify as Corrupt")
+  |> ignore;
+  let s = Store.stats h in
+  Alcotest.(check int) "one backed-off retry before giving up" 1
+    s.Store.retries;
+  Alcotest.(check int) "one snapshot discarded" 1 s.Store.discarded;
+  Alcotest.(check int) "the bad file was quarantined" 1 s.Store.quarantined;
+  Helpers.check_true "original file moved out of the cache"
+    (not (Sys.file_exists (Store.path h "mix")));
+  let qdir = Store.quarantine_dir h in
+  Helpers.check_true "quarantine keeps the file and a .reason sidecar"
+    (Sys.file_exists qdir
+    && Array.exists
+         (fun f -> Filename.check_suffix f ".reason")
+         (Sys.readdir qdir)
+    && Array.exists
+         (fun f -> Filename.check_suffix f ".cache")
+         (Sys.readdir qdir));
+  Store.clear h
+
+let store_eviction_roundtrip () =
+  let module Store = Vdram_engine.Store in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "vdram-test-evict"
+  in
+  let uncapped = Store.open_ ~dir ~version:"evict-test" () in
+  Store.clear uncapped;
+  let payload tag = Array.init 64 (fun i -> (tag, i)) in
+  List.iter
+    (fun name -> Store.save uncapped ~name (payload name))
+    [ "old"; "mid"; "new" ];
+  (* Pin the mtimes so "old" really is the oldest snapshot. *)
+  List.iteri
+    (fun k name ->
+      let t = Unix.time () -. float_of_int ((3 - k) * 3600) in
+      Unix.utimes (Store.path uncapped name) t t)
+    [ "old"; "mid"; "new" ];
+  let size name = (Unix.stat (Store.path uncapped name)).Unix.st_size in
+  let cap = size "mid" + size "new" + 1 in
+  let capped = Store.open_ ~dir ~max_bytes:cap ~version:"evict-test" () in
+  Alcotest.(check (option int)) "cap remembered" (Some cap)
+    (Store.max_bytes capped);
+  let removed = Store.evict capped in
+  Alcotest.(check int) "exactly the oldest snapshot evicted" 1 removed;
+  Helpers.check_true "oldest snapshot gone"
+    (Store.load capped ~name:"old" = None);
+  Helpers.check_true "newest snapshot survives the round-trip"
+    (Store.load capped ~name:"new" = Some (payload "new"));
+  Helpers.check_true "middle snapshot untouched"
+    (Store.load capped ~name:"mid" = Some (payload "mid"));
+  Alcotest.(check int) "eviction counted" 1
+    (Store.stats capped).Store.evicted;
+  Store.clear capped
+
+(* ----- fault plans ---------------------------------------------------- *)
+
+module Supervise = Vdram_engine.Supervise
+module Faults = Vdram_engine.Faults
+
+(* A supervisor that deliberately ignores VDRAM_FAULTS, so the suite
+   behaves the same even under a chaos environment. *)
+let quiet ?policy () = Supervise.create ?policy ~faults:Faults.none ()
+
+let plan_exn s =
+  match Faults.parse s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "test plan %S did not parse: %s" s e
+
+let faults_grammar () =
+  let p = plan_exn "seed=7,rate=0.02,raise=mix" in
+  Alcotest.(check int) "seed" 7 p.Faults.seed;
+  Helpers.close "rate" 0.02 p.Faults.rate;
+  Helpers.check_true "raise=mix parses"
+    (p.Faults.action = Some (Faults.Raise Faults.Mix));
+  Helpers.check_true "plan round-trips through to_string"
+    (Faults.parse (Faults.to_string p) = Ok p);
+  let stall = plan_exn "stall=0.25; seed=3" in
+  Helpers.check_true "stall clause parses to a mix stall"
+    (stall.Faults.action = Some (Faults.Stall (Faults.Mix, 0.25)));
+  Helpers.check_true "corrupt=store flag"
+    (plan_exn "corrupt=store").Faults.corrupt_store;
+  List.iter
+    (fun bad ->
+      match Faults.parse bad with
+      | Ok _ -> Alcotest.failf "%S should not parse" bad
+      | Error msg ->
+        Helpers.check_true
+          (Printf.sprintf "%S yields a diagnostic" bad)
+          (String.length msg > 0))
+    [ "seed=oops"; "rate=2"; "rate=-0.5"; "raise=teleport"; "stall=-1";
+      "corrupt=disk"; "flavour=mango"; "seed" ]
+
+let faulted_is_order_free () =
+  let plan = plan_exn "seed=11,rate=0.1,raise=mix" in
+  let direct =
+    List.init 200 (fun i -> Faults.faulted plan ~batch:0 ~index:i)
+  in
+  let shuffled =
+    List.rev_map
+      (fun i -> Faults.faulted plan ~batch:0 ~index:i)
+      (List.rev (List.init 200 Fun.id))
+  in
+  Helpers.check_true "decision is a pure hash of (seed, batch, index)"
+    (direct = shuffled);
+  Helpers.check_true "roughly rate fraction faulted"
+    (let k = List.length (List.filter Fun.id direct) in
+     k > 5 && k < 50)
+
+(* ----- supervised runtime --------------------------------------------- *)
+
+let supervised_identity () =
+  let cfg = base () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  let cfgs =
+    List.init 12 (fun i -> scale_bitline cfg (0.8 +. (0.04 *. float_of_int i)))
+  in
+  List.iter
+    (fun jobs ->
+      let engine = Engine.create ~jobs () in
+      let plain =
+        Engine.map_jobs engine (fun c -> Engine.eval engine c p) cfgs
+      in
+      let sup = quiet () in
+      let outcomes =
+        Supervise.map sup engine (fun c -> Engine.eval engine c p) cfgs
+      in
+      Helpers.check_true
+        (Printf.sprintf "jobs=%d: supervised payloads bit-identical" jobs)
+        (outcomes = List.map (fun r -> Supervise.Done r) plain);
+      Alcotest.(check int) "healthy run records no failures" 0
+        (Supervise.counters sup).Supervise.failures)
+    [ 1; 4 ]
+
+let supervised_failure_order =
+  QCheck.Test.make
+    ~name:"supervise: multi-failure records deterministic, input order"
+    ~count:15
+    QCheck.(list_of_size (Gen.int_range 0 10) (int_range 0 39))
+    (fun bad ->
+      let n = 40 in
+      let bad = List.sort_uniq compare bad in
+      let xs = List.init n Fun.id in
+      let f i = if List.mem i bad then failwith (string_of_int i) else i in
+      let expected =
+        List.map
+          (fun i ->
+            (0, i, "driver", Printexc.to_string (Failure (string_of_int i))))
+          bad
+      in
+      List.for_all
+        (fun jobs ->
+          let sup = quiet () in
+          let engine = Engine.create ~jobs () in
+          let outcomes = Supervise.map sup engine f xs in
+          let records =
+            List.map
+              (fun fl ->
+                Supervise.
+                  (fl.batch, fl.index, fl.stage, fl.message))
+              (Supervise.failures sup)
+          in
+          records = expected
+          && List.filter_map
+               (function Supervise.Done v -> Some v | _ -> None)
+               outcomes
+             = List.filter (fun i -> not (List.mem i bad)) xs)
+        [ 1; 2; 4 ])
+
+let supervised_strict_reraise () =
+  let sup = quiet ~policy:Supervise.strict_policy () in
+  let engine = Engine.create ~jobs:4 () in
+  (match
+     Supervise.map sup engine
+       (fun i -> if i >= 3 then failwith (string_of_int i) else i)
+       (List.init 16 Fun.id)
+   with
+  | _ -> Alcotest.fail "strict supervisor must re-raise"
+  | exception Failure msg ->
+    Alcotest.(check string) "re-raises first failure in input order" "3" msg);
+  Alcotest.(check int) "failures still recorded before the re-raise" 13
+    (Supervise.counters sup).Supervise.failures
+
+let supervised_abort_budget () =
+  let sup =
+    quiet
+      ~policy:{ Supervise.default_policy with max_failures = Some 2 }
+      ()
+  in
+  let engine = Engine.create ~jobs:1 () in
+  (match
+     Supervise.map sup engine
+       (fun _ -> failwith "boom")
+       (List.init 20 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Aborted once the budget is spent"
+  | exception Supervise.Aborted { failures; tolerated } ->
+    Alcotest.(check int) "tolerated budget echoed" 2 tolerated;
+    Alcotest.(check int) "stopped right past the budget" 3 failures);
+  Helpers.check_true "supervisor marked aborted" (Supervise.aborted sup);
+  Alcotest.(check int) "only the observed failures recorded" 3
+    (Supervise.counters sup).Supervise.failures
+
+let supervised_validate_stage () =
+  let sup = quiet () in
+  let engine = Engine.create ~jobs:2 () in
+  let check v = if Float.is_nan v then Some "non-finite sample" else None in
+  let f i = if i = 5 then Float.nan else float_of_int i in
+  let outcomes = Supervise.map sup engine ~check f (List.init 8 Fun.id) in
+  (match Supervise.failures sup with
+  | [ fl ] ->
+    Alcotest.(check int) "failed index" 5 fl.Supervise.index;
+    Alcotest.(check string) "classified as validate" "validate"
+      fl.Supervise.stage;
+    Alcotest.(check string) "rejection reason kept" "non-finite sample"
+      fl.Supervise.message;
+    Helpers.check_true "not flagged injected" (not fl.Supervise.injected)
+  | fs -> Alcotest.failf "expected one validate failure, got %d"
+            (List.length fs));
+  Alcotest.(check int) "the other seven samples survive" 7
+    (List.length
+       (List.filter
+          (function Supervise.Done _ -> true | _ -> false)
+          outcomes))
+
+let injected_exactness () =
+  (* The acceptance contract: the failure report must name exactly the
+     items the pure hash says are faulted, at any job count. *)
+  let plan = plan_exn "seed=11,rate=0.1,raise=mix" in
+  let cfg = base () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  let n = 60 in
+  let cfgs =
+    List.init n (fun i -> scale_bitline cfg (0.8 +. (0.005 *. float_of_int i)))
+  in
+  let predicted =
+    List.filter
+      (fun i -> Faults.faulted plan ~batch:0 ~index:i)
+      (List.init n Fun.id)
+  in
+  Helpers.check_true "the plan faults at least one item" (predicted <> []);
+  List.iter
+    (fun jobs ->
+      let sup = Supervise.create ~faults:plan () in
+      let engine = Engine.create ~jobs () in
+      ignore
+        (Supervise.map sup engine (fun c -> Engine.eval engine c p) cfgs);
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d: failed set = predicted set" jobs)
+        predicted
+        (List.map (fun fl -> fl.Supervise.index) (Supervise.failures sup));
+      List.iter
+        (fun (fl : Supervise.failure) ->
+          Helpers.check_true "classified injected at the mix stage"
+            (fl.injected && fl.stage = "mix"))
+        (Supervise.failures sup))
+    [ 1; 4 ]
+
+let stall_hits_deadline () =
+  let plan = plan_exn "rate=1,stall=0.05" in
+  let sup =
+    Supervise.create
+      ~policy:{ Supervise.default_policy with deadline = Some 0.01 }
+      ~faults:plan ()
+  in
+  let cfg = base () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  let engine = Engine.create ~jobs:1 () in
+  let outcomes =
+    Supervise.map sup engine
+      (fun c -> Engine.eval engine c p)
+      [ cfg; scale_bitline cfg 1.1 ]
+  in
+  Helpers.check_true "every stalled item misses its deadline"
+    (List.for_all
+       (function Supervise.Failed _ -> true | _ -> false)
+       outcomes);
+  List.iter
+    (fun fl ->
+      Alcotest.(check string) "classified as deadline" "deadline"
+        fl.Supervise.stage;
+      Helpers.check_true "elapsed time covers the stall"
+        (fl.Supervise.elapsed_ns >= 40_000_000))
+    (Supervise.failures sup);
+  Alcotest.(check int) "deadline counter" 2
+    (Supervise.counters sup).Supervise.deadline
+
+let fail_log_schema () =
+  let plan = plan_exn "seed=11,rate=0.1,raise=mix" in
+  let sup = Supervise.create ~faults:plan () in
+  let engine = Engine.create ~jobs:2 () in
+  let cfg = base () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  let cfgs =
+    List.init 40 (fun i -> scale_bitline cfg (0.9 +. (0.004 *. float_of_int i)))
+  in
+  ignore (Supervise.map sup engine (fun c -> Engine.eval engine c p) cfgs);
+  let json = Supervise.report_to_json ~command:"test" sup in
+  let has sub =
+    let n = String.length json and m = String.length sub in
+    let rec go i =
+      i + m <= n && (String.sub json i m = sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Helpers.check_true (Printf.sprintf "fail log carries %s" needle)
+        (has needle))
+    [ "\"version\": 1"; "\"command\": \"test\""; "\"keep_going\": true";
+      "\"faults\": \"seed=11,rate=0.1,raise=mix\""; "\"aborted\": false";
+      "\"stage\": \"mix\""; "\"injected\": true"; "\"fingerprint\"";
+      "\"elapsed_ms\"" ];
+  Helpers.check_true "no spurious non-injected failures"
+    (not (has "\"injected\": false"));
+  let clean = quiet () in
+  ignore
+    (Supervise.map clean engine (fun c -> Engine.eval engine c p) cfgs);
+  let empty = Supervise.report_to_json ~command:"test" clean in
+  Helpers.check_true "clean run reports an empty failure array"
+    (let n = String.length empty in
+     let sub = "\"failures\": []" in
+     let m = String.length sub in
+     let rec go i =
+       i + m <= n && (String.sub empty i m = sub || go (i + 1))
+     in
+     go 0)
 
 (* ----- drivers: serial vs parallel ----------------------------------- *)
 
@@ -301,6 +649,41 @@ let corners_serial_parallel () =
   in
   Helpers.check_true "corners identical under --jobs 4 (same seed)"
     (run (Engine.serial ()) = run (Engine.create ~jobs:4 ()))
+
+let corners_supervised_clean () =
+  let cfg = base () in
+  let pattern = Pattern.idd7_mixed cfg.Config.spec in
+  let plain =
+    Corners.run ~engine:(Engine.serial ()) ~samples:40 ~seed:5 ~pattern cfg
+  in
+  let sup = quiet () in
+  let supervised =
+    Corners.run
+      ~engine:(Engine.create ~jobs:4 ())
+      ~supervisor:sup ~samples:40 ~seed:5 ~pattern cfg
+  in
+  Helpers.check_true "clean supervised corners identical to unsupervised"
+    (plain = supervised);
+  Alcotest.(check int) "no draws lost" 0 supervised.Corners.failed
+
+let corners_survives_injection () =
+  let plan = plan_exn "seed=7,rate=0.05,raise=mix" in
+  let cfg = base () in
+  let pattern = Pattern.idd7_mixed cfg.Config.spec in
+  let sup = Supervise.create ~faults:plan () in
+  let dist =
+    Corners.run
+      ~engine:(Engine.create ~jobs:2 ())
+      ~supervisor:sup ~samples:60 ~seed:7 ~pattern cfg
+  in
+  let failed = (Supervise.counters sup).Supervise.failures in
+  Helpers.check_true "the plan actually faulted some draws" (failed > 0);
+  Alcotest.(check int) "distribution counts the lost draws" failed
+    dist.Corners.failed;
+  Alcotest.(check int) "survivors + lost = requested samples" 60
+    (dist.Corners.samples + dist.Corners.failed);
+  Helpers.check_true "statistics stay finite over the survivors"
+    (Float.is_finite dist.Corners.mean && Float.is_finite dist.Corners.std)
 
 let suite =
   [
@@ -330,4 +713,29 @@ let suite =
       sensitivity_serial_parallel;
     Alcotest.test_case "corners: serial = parallel" `Quick
       corners_serial_parallel;
+    Alcotest.test_case "store retry then quarantine" `Quick
+      store_retry_quarantine;
+    Alcotest.test_case "store size cap evicts oldest first" `Quick
+      store_eviction_roundtrip;
+    Alcotest.test_case "fault plan grammar" `Quick faults_grammar;
+    Alcotest.test_case "faulted set is order-free" `Quick
+      faulted_is_order_free;
+    Alcotest.test_case "supervised = unsupervised on healthy runs" `Quick
+      supervised_identity;
+    Helpers.qcheck supervised_failure_order;
+    Alcotest.test_case "strict policy re-raises in input order" `Quick
+      supervised_strict_reraise;
+    Alcotest.test_case "failure budget aborts the batch" `Quick
+      supervised_abort_budget;
+    Alcotest.test_case "check rejection is a validate failure" `Quick
+      supervised_validate_stage;
+    Alcotest.test_case "injected failures match the hash prediction" `Quick
+      injected_exactness;
+    Alcotest.test_case "stalled items miss their deadline" `Quick
+      stall_hits_deadline;
+    Alcotest.test_case "fail-log schema v1" `Quick fail_log_schema;
+    Alcotest.test_case "corners: supervised clean run identical" `Quick
+      corners_supervised_clean;
+    Alcotest.test_case "corners: partial results under injection" `Quick
+      corners_survives_injection;
   ]

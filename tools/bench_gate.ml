@@ -61,6 +61,17 @@ let () =
     (try
        if not (bool_field fresh "identical_output") then
          fail "parallel/disk outputs differ from serial (identical_output)";
+       (* A supervised bench run with fault injection off must be
+          failure-free; older baselines without the fields pass. *)
+       let failures =
+         try int_field fresh "failures" with Failure _ -> 0
+       in
+       let faults_enabled =
+         try bool_field fresh "faults_enabled" with Failure _ -> false
+       in
+       if (not faults_enabled) && failures > 0 then
+         fail "%d supervised failure(s) with fault injection disabled"
+           failures;
        let ext = int_field fresh "warm_extraction_hits" in
        let mix = int_field fresh "warm_mix_hits" in
        if ext <= 0 then fail "warm pass never hit the extraction cache";
