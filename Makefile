@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-analysis bench-gate chaos examples clean doc export
+.PHONY: all build test check check-model lint bench bench-analysis bench-gate chaos examples clean doc export
 
 all: build
 
@@ -12,6 +12,12 @@ lint: build
 	dune exec bin/vdram.exe -- lint --deny-warnings examples/*.dram
 
 check: test lint
+
+# Abstract interpretation over the shipped descriptions: certified
+# bounds (cross-checked against 500 concrete samples each), per-lens
+# monotonicity, and whole-sweep legality across the roadmap.
+check-model: build
+	dune exec bin/vdram.exe -- check --samples 500 examples/*.dram
 
 bench:
 	dune exec bench/main.exe

@@ -679,6 +679,289 @@ let lint_cmd =
         (const run $ files $ format $ deny_warnings $ allow $ fix $ dry_run
        $ fix_only))
 
+(* ----- check -------------------------------------------------------- *)
+
+let check_cmd =
+  let module Lint = Vdram_lint.Lint in
+  let module Check = Vdram_lint.Check in
+  let module Code = Vdram_diagnostics.Code in
+  let module Lenses = Vdram_analysis.Lenses in
+  let module Abox = Vdram_absint.Abox in
+  let module Bounds = Vdram_absint.Bounds in
+  let module Monotone = Vdram_absint.Monotone in
+  let module Certificate = Vdram_absint.Certificate in
+  let module I = Vdram_units.Interval in
+  let files =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"DRAM description files (.dram); $(b,-) reads standard \
+                input.")
+  in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:"Emit the machine-readable certificate JSON (bounds, \
+                monotonicity directions, sweep legality, sampling \
+                cross-check) to standard output, one object per file; \
+                findings move to standard error unless $(b,--out) \
+                redirects the certificate.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"With $(b,--certify): write the certificate JSON here \
+                instead of standard output.")
+  in
+  let lens_specs =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "lens" ] ~docv:"NAME[=LO:HI]"
+          ~doc:"Certify this lens axis over the scale-factor range \
+                [LO, HI] (bare NAME uses the lens group's default \
+                range).  Repeatable; replaces the default voltage + \
+                interface axis set.")
+  in
+  let all_lenses =
+    Arg.(
+      value & flag
+      & info [ "all-lenses" ]
+          ~doc:"Certify every lens of the Figure 10 inventory over its \
+                default range instead of the voltage + interface set.")
+  in
+  let splits =
+    Arg.(
+      value & opt int 4
+      & info [ "splits" ] ~docv:"N"
+          ~doc:"Branch-and-bound bisection depth behind the bounds (up \
+                to 2^N leaf evaluations).")
+  in
+  let cells =
+    Arg.(
+      value & opt int 32
+      & info [ "cells" ] ~docv:"N"
+          ~doc:"Deepest partition tried per monotonicity certificate.")
+  in
+  let samples =
+    Arg.(
+      value & opt int 0
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Draw N concrete random configurations from the box and \
+                assert them inside the certified bounds; the result is \
+                recorded in the certificate.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0x5eed
+      & info [ "seed" ] ~docv:"N" ~doc:"Seed for the sampling stream.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format for the findings: $(b,text), $(b,json) or \
+                $(b,sarif) (SARIF 2.1.0).")
+  in
+  let deny_warnings =
+    Arg.(
+      value & flag
+      & info [ "deny-warnings" ]
+          ~doc:"Exit non-zero when warnings remain (after $(b,--allow)).")
+  in
+  let allow =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "allow" ] ~docv:"CODE"
+          ~doc:"Suppress a warning code, e.g. $(b,--allow V0902). \
+                Repeatable.  Errors cannot be suppressed.")
+  in
+  let parse_axis spec =
+    let name, range =
+      match String.index_opt spec '=' with
+      | None -> (spec, None)
+      | Some i ->
+        ( String.sub spec 0 i,
+          Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    in
+    match Lenses.find (String.trim name) with
+    | None -> Error (Printf.sprintf "unknown lens %S" (String.trim name))
+    | Some lens ->
+      (match range with
+       | None -> Ok (Abox.default_axis lens)
+       | Some r ->
+         (match String.split_on_char ':' r with
+          | [ lo; hi ] ->
+            (match (float_of_string_opt lo, float_of_string_opt hi) with
+             | Some lo, Some hi when lo > 0.0 && lo <= hi ->
+               Ok (Abox.axis lens ~lo ~hi)
+             | _ ->
+               Error
+                 (Printf.sprintf "bad range %S (want 0 < LO <= HI)" r))
+          | _ -> Error (Printf.sprintf "bad range %S (want LO:HI)" r)))
+  in
+  let pp_interval ppf (i : I.t) =
+    Format.fprintf ppf "[%.4g, %.4g]" i.I.lo i.I.hi
+  in
+  let summary ppf (c : Certificate.t) =
+    let b = c.Certificate.bounds in
+    Format.fprintf ppf "  certified over %d axes, %d leaf boxes@."
+      (Abox.dim c.Certificate.box) b.Bounds.pieces;
+    Format.fprintf ppf "  power       %a W@." pp_interval b.Bounds.power;
+    Format.fprintf ppf "  current     %a A@." pp_interval b.Bounds.current;
+    (match b.Bounds.energy_per_bit with
+     | Some e ->
+       Format.fprintf ppf "  energy/bit  [%.4g, %.4g] pJ/bit@."
+         (e.I.lo *. 1e12) (e.I.hi *. 1e12)
+     | None -> ());
+    let certified =
+      List.filter
+        (fun (m : Monotone.certificate) -> m.Monotone.direction <> None)
+        c.Certificate.monotonicity
+    in
+    Format.fprintf ppf "  monotone    %d/%d axes certified"
+      (List.length certified)
+      (List.length c.Certificate.monotonicity);
+    (match certified with
+     | [] -> Format.fprintf ppf "@."
+     | _ ->
+       Format.fprintf ppf ": %s@."
+         (String.concat ", "
+            (List.map
+               (fun (m : Monotone.certificate) ->
+                 Printf.sprintf "%s %s" m.Monotone.lens
+                   (match m.Monotone.direction with
+                    | Some d -> Monotone.direction_name d
+                    | None -> "?"))
+               certified)));
+    (match c.Certificate.sweep with
+     | None -> ()
+     | Some s ->
+       let legal =
+         List.length
+           (List.filter
+              (fun (e : Certificate.sweep_entry) -> e.Certificate.legal)
+              s.Certificate.entries)
+       in
+       Format.fprintf ppf "  sweep       legal at %d/%d roadmap generations@."
+         legal
+         (List.length s.Certificate.entries));
+    match c.Certificate.samples with
+    | None -> ()
+    | Some s ->
+      Format.fprintf ppf "  samples     %d drawn, %s@." s.Certificate.count
+        (if s.Certificate.contained then "all inside the bounds"
+         else "OUTSIDE THE BOUNDS (unsound!)")
+  in
+  let run files certify out lens_specs all_lenses splits cells samples seed
+      format deny allow =
+    match List.find_opt (fun c -> not (Code.is_known c)) allow with
+    | Some c ->
+      fail "unknown lint code %S (doc/CHECK.md lists the inventory)" c
+    | None ->
+      let axes =
+        if lens_specs <> [] then
+          let rec collect acc = function
+            | [] -> Ok (List.rev acc)
+            | s :: rest ->
+              (match parse_axis s with
+               | Ok a -> collect (a :: acc) rest
+               | Error e -> Error e)
+          in
+          collect [] lens_specs
+        else if all_lenses then
+          Ok (List.map Abox.default_axis Lenses.all)
+        else Ok (Check.default_axes ())
+      in
+      (match axes with
+       | Error e -> fail "%s" e
+       | Ok axes ->
+         let check_one f =
+           let r =
+             if f = "-" then
+               Check.run ~axes ~splits ~max_cells:cells ~samples ~seed
+                 (In_channel.input_all In_channel.stdin)
+             else
+               Check.run_file ~axes ~splits ~max_cells:cells ~samples ~seed
+                 f
+           in
+           { r with
+             Check.report = Lint.suppress ~codes:allow r.Check.report }
+         in
+         let results = List.map (fun f -> (f, check_one f)) files in
+         let reports = List.map (fun (_, r) -> r.Check.report) results in
+         (* With --certify and no --out the certificate owns stdout, so
+            findings go to stderr to keep the payload machine-parseable. *)
+         let ppf =
+           if certify && out = None then Format.err_formatter
+           else Format.std_formatter
+         in
+         (match format with
+          | `Sarif -> Format.fprintf ppf "%s" (Lint.to_sarif reports)
+          | `Json ->
+            let total count =
+              List.fold_left (fun a r -> a + count r) 0 reports
+            in
+            Format.fprintf ppf
+              "{\"version\":1,\"errors\":%d,\"warnings\":%d,\"files\":[%s]}\n"
+              (total Lint.errors) (total Lint.warnings)
+              (String.concat "," (List.map Lint.to_json reports))
+          | `Text ->
+            List.iter
+              (fun (f, r) ->
+                (match r.Check.certificate with
+                 | Some c ->
+                   Format.fprintf ppf "%s:@." f;
+                   summary ppf c
+                 | None -> ());
+                Format.fprintf ppf "%a" Lint.pp_text r.Check.report;
+                let rep = r.Check.report in
+                Format.fprintf ppf "%s: %d error(s), %d warning(s)@." f
+                  (Lint.errors rep) (Lint.warnings rep))
+              results);
+         Format.pp_print_flush ppf ();
+         if certify then begin
+           let jsons =
+             List.filter_map
+               (fun (_, r) ->
+                 Option.map Certificate.to_json r.Check.certificate)
+               results
+           in
+           let payload = String.concat "\n" jsons ^ "\n" in
+           match out with
+           | Some path ->
+             Out_channel.with_open_text path (fun oc ->
+                 Out_channel.output_string oc payload)
+           | None -> print_string payload
+         end;
+         (match Lint.exit_code ~deny_warnings:deny reports with
+          | 0 ->
+            if List.exists (fun (_, r) -> r.Check.certificate = None) results
+            then exit 2
+            else `Ok ()
+          | n -> exit n))
+  in
+  let doc =
+    "Abstract interpretation over a configuration box: guaranteed \
+     power/current/energy-per-bit bounds across the declared lens \
+     scale ranges, per-lens monotonicity certificates, and \
+     whole-sweep pattern legality across the fourteen roadmap \
+     generations (V09xx).  $(b,--certify) emits the machine-readable \
+     certificate contract consumed by search pruners."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      ret
+        (const run $ files $ certify $ out $ lens_specs $ all_lenses
+       $ splits $ cells $ samples $ seed $ format $ deny_warnings $ allow))
+
 (* ----- corners ------------------------------------------------------ *)
 
 let corners_cmd =
@@ -1067,4 +1350,4 @@ let () =
           [ power_cmd; verify_cmd; sensitivity_cmd; trends_cmd; schemes_cmd;
             simulate_cmd; corners_cmd; states_cmd; ablate_cmd;
             bench_analysis_cmd; export_cmd; validate_cmd; lint_cmd;
-            channel_cmd; dump_cmd ]))
+            check_cmd; channel_cmd; dump_cmd ]))

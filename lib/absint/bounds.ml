@@ -1,0 +1,59 @@
+(* Guaranteed bound computation with branch-and-bound tightening.
+
+   A single abstract evaluation of a wide box is sound but loose:
+   interval arithmetic charges every multiplication for the full
+   width of both operands.  Splitting the box across its widest axis
+   and hulling the per-piece results recovers most of the lost
+   precision — each piece is narrower, so its dependency loss is
+   smaller — while the hull keeps the union sound. *)
+
+module I = Vdram_units.Interval
+module Operation = Vdram_core.Operation
+
+type t = {
+  background : I.t;
+  power : I.t;
+  current : I.t;
+  energy_per_bit : I.t option;
+  op_energy : (Operation.kind * I.t) list;
+  pieces : int;  (** leaf boxes evaluated *)
+}
+
+let of_stages (s : Aeval.stages) =
+  {
+    background = s.Aeval.background;
+    power = s.Aeval.power;
+    current = s.Aeval.current;
+    energy_per_bit = s.Aeval.energy_per_bit;
+    op_energy = s.Aeval.op_energy;
+    pieces = 1;
+  }
+
+let merge a b =
+  {
+    background = I.hull a.background b.background;
+    power = I.hull a.power b.power;
+    current = I.hull a.current b.current;
+    energy_per_bit =
+      (match (a.energy_per_bit, b.energy_per_bit) with
+       | Some x, Some y -> Some (I.hull x y)
+       | _ -> None);
+    op_energy =
+      List.map
+        (fun (kind, x) -> (kind, I.hull x (List.assoc kind b.op_energy)))
+        a.op_energy;
+    pieces = a.pieces + b.pieces;
+  }
+
+(* Depth-first bisection: [splits] levels, so up to 2^splits leaves. *)
+let rec refine ~splits box pattern =
+  if splits <= 0 then of_stages (Aeval.analyze box pattern)
+  else
+    match Abox.split box with
+    | None -> of_stages (Aeval.analyze box pattern)
+    | Some (lo, hi) ->
+      merge
+        (refine ~splits:(splits - 1) lo pattern)
+        (refine ~splits:(splits - 1) hi pattern)
+
+let compute ?(splits = 4) box pattern = refine ~splits box pattern

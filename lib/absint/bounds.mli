@@ -1,0 +1,18 @@
+(** Guaranteed energy/power bounds over a configuration box, with
+    branch-and-bound tightening: the box is recursively bisected
+    across its widest axis, each leaf evaluated abstractly, and the
+    per-leaf intervals hulled — sound by union, tighter because
+    narrow operands lose less to interval dependency. *)
+
+type t = {
+  background : Vdram_units.Interval.t;
+  power : Vdram_units.Interval.t;
+  current : Vdram_units.Interval.t;
+  energy_per_bit : Vdram_units.Interval.t option;
+  op_energy : (Vdram_core.Operation.kind * Vdram_units.Interval.t) list;
+  pieces : int;  (** leaf boxes evaluated *)
+}
+
+val compute : ?splits:int -> Abox.t -> Vdram_core.Pattern.t -> t
+(** Bounds for a pattern over a box.  [splits] (default 4) is the
+    bisection depth: up to [2^splits] leaf evaluations. *)

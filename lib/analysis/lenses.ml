@@ -5,8 +5,28 @@ module Params = Vdram_tech.Params
 module Domains = Vdram_circuits.Domains
 module Logic_block = Vdram_circuits.Logic_block
 
+type group = Voltage | Technology | Logic | Interface
+
+let group_name = function
+  | Voltage -> "voltages"
+  | Technology -> "technology"
+  | Logic -> "logic"
+  | Interface -> "interface"
+
+(* Default certified scale-factor band per group, consumed by the
+   abstract interpreter (`vdram check`) when the caller declares no
+   explicit range: how far a lens is normally swept multiplicatively
+   around its nominal value. *)
+let default_range = function
+  | Voltage -> (0.9, 1.1)
+  | Technology -> (0.85, 1.15)
+  | Logic -> (0.8, 1.25)
+  | Interface -> (0.8, 1.2)
+
 type t = {
   name : string;
+  group : group;
+  range : float * float;
   get : Config.t -> float;
   set : Config.t -> float -> Config.t;
 }
@@ -18,6 +38,8 @@ let technology =
     (fun (name, get, set) ->
       {
         name;
+        group = Technology;
+        range = default_range Technology;
         get = (fun cfg -> get cfg.Config.tech);
         set = (fun cfg v -> Config.with_tech cfg (set cfg.Config.tech v));
       })
@@ -26,48 +48,35 @@ let technology =
 let with_domains f cfg v =
   Config.with_domains cfg (f cfg.Config.domains v)
 
+let voltage_lens name get set =
+  { name; group = Voltage; range = default_range Voltage; get; set }
+
 let voltages =
   [
-    {
-      name = "external voltage Vdd";
-      get = (fun c -> c.Config.domains.Domains.vdd);
-      set = with_domains (fun d v -> { d with Domains.vdd = v });
-    };
-    {
-      name = "internal voltage Vint";
-      get = (fun c -> c.Config.domains.Domains.vint);
-      set = with_domains (fun d v -> { d with Domains.vint = v });
-    };
-    {
-      name = "bitline voltage";
-      get = (fun c -> c.Config.domains.Domains.vbl);
-      set = with_domains (fun d v -> { d with Domains.vbl = v });
-    };
-    {
-      name = "wordline voltage Vpp";
-      get = (fun c -> c.Config.domains.Domains.vpp);
-      set = with_domains (fun d v -> { d with Domains.vpp = v });
-    };
-    {
-      name = "generator efficiency Vint";
-      get = (fun c -> c.Config.domains.Domains.eff_int);
-      set = with_domains (fun d v -> { d with Domains.eff_int = v });
-    };
-    {
-      name = "generator efficiency bitline voltage";
-      get = (fun c -> c.Config.domains.Domains.eff_bl);
-      set = with_domains (fun d v -> { d with Domains.eff_bl = v });
-    };
-    {
-      name = "generator efficiency wordline voltage";
-      get = (fun c -> c.Config.domains.Domains.eff_pp);
-      set = with_domains (fun d v -> { d with Domains.eff_pp = v });
-    };
-    {
-      name = "constant current adder";
-      get = (fun c -> c.Config.domains.Domains.i_constant);
-      set = with_domains (fun d v -> { d with Domains.i_constant = v });
-    };
+    voltage_lens "external voltage Vdd"
+      (fun c -> c.Config.domains.Domains.vdd)
+      (with_domains (fun d v -> { d with Domains.vdd = v }));
+    voltage_lens "internal voltage Vint"
+      (fun c -> c.Config.domains.Domains.vint)
+      (with_domains (fun d v -> { d with Domains.vint = v }));
+    voltage_lens "bitline voltage"
+      (fun c -> c.Config.domains.Domains.vbl)
+      (with_domains (fun d v -> { d with Domains.vbl = v }));
+    voltage_lens "wordline voltage Vpp"
+      (fun c -> c.Config.domains.Domains.vpp)
+      (with_domains (fun d v -> { d with Domains.vpp = v }));
+    voltage_lens "generator efficiency Vint"
+      (fun c -> c.Config.domains.Domains.eff_int)
+      (with_domains (fun d v -> { d with Domains.eff_int = v }));
+    voltage_lens "generator efficiency bitline voltage"
+      (fun c -> c.Config.domains.Domains.eff_bl)
+      (with_domains (fun d v -> { d with Domains.eff_bl = v }));
+    voltage_lens "generator efficiency wordline voltage"
+      (fun c -> c.Config.domains.Domains.eff_pp)
+      (with_domains (fun d v -> { d with Domains.eff_pp = v }));
+    voltage_lens "constant current adder"
+      (fun c -> c.Config.domains.Domains.i_constant)
+      (with_domains (fun d v -> { d with Domains.i_constant = v }));
   ]
 
 (* Aggregate logic lenses scale every block; get returns the scale
@@ -75,6 +84,8 @@ let voltages =
 let logic_aggregate name update =
   {
     name;
+    group = Logic;
+    range = default_range Logic;
     get = (fun _ -> 1.0);
     set = (fun cfg f -> Config.map_logic cfg (update f));
   }
@@ -105,28 +116,23 @@ let logic =
         });
   ]
 
+let interface_lens name get set =
+  { name; group = Interface; range = default_range Interface; get; set }
+
 let interface =
   [
-    {
-      name = "DQ pre-driver load";
-      get = (fun c -> c.Config.io_predriver_cap);
-      set = (fun c v -> { c with Config.io_predriver_cap = v });
-    };
-    {
-      name = "DQ receiver load";
-      get = (fun c -> c.Config.io_receiver_cap);
-      set = (fun c v -> { c with Config.io_receiver_cap = v });
-    };
-    {
-      name = "data toggle rate";
-      get = (fun c -> c.Config.data_toggle);
-      set = (fun c v -> Config.with_data_toggle c v);
-    };
-    {
-      name = "input receiver bias";
-      get = (fun c -> c.Config.receiver_bias);
-      set = (fun c v -> { c with Config.receiver_bias = v });
-    };
+    interface_lens "DQ pre-driver load"
+      (fun c -> c.Config.io_predriver_cap)
+      (fun c v -> { c with Config.io_predriver_cap = v });
+    interface_lens "DQ receiver load"
+      (fun c -> c.Config.io_receiver_cap)
+      (fun c v -> { c with Config.io_receiver_cap = v });
+    interface_lens "data toggle rate"
+      (fun c -> c.Config.data_toggle)
+      (fun c v -> Config.with_data_toggle c v);
+    interface_lens "input receiver bias"
+      (fun c -> c.Config.receiver_bias)
+      (fun c v -> { c with Config.receiver_bias = v });
   ]
 
 let all = voltages @ technology @ logic @ interface

@@ -7,8 +7,20 @@
     aggregates (gate count, device widths, densities) and the
     interface loads. *)
 
+type group = Voltage | Technology | Logic | Interface
+
+val group_name : group -> string
+
+val default_range : group -> float * float
+(** Default certified multiplicative band per lens group, the range
+    [vdram check] certifies when the caller declares no explicit one:
+    (0.9, 1.1) for voltages, (0.85, 1.15) for technology, (0.8, 1.25)
+    for logic aggregates, (0.8, 1.2) for interface loads. *)
+
 type t = {
   name : string;
+  group : group;
+  range : float * float;  (** default certified scale-factor range *)
   get : Vdram_core.Config.t -> float;
   set : Vdram_core.Config.t -> float -> Vdram_core.Config.t;
 }

@@ -74,6 +74,19 @@ let op_counts pattern =
       if count > 0 then Some (kind, count) else None)
     Operation.all
 
+(* Shared mix-stage seams: the loop period and the data volume per
+   loop.  The abstract interpreter (`vdram check`) mirrors the mix
+   stage on intervals and must agree with the concrete stage about
+   these two scalars, so both read them from here. *)
+let loop_time (spec : Spec.t) pattern =
+  float_of_int (Pattern.cycles pattern) /. spec.Spec.control_clock
+
+let bits_per_loop (spec : Spec.t) pattern =
+  let data_commands =
+    Pattern.count pattern Pattern.Rd + Pattern.count pattern Pattern.Wr
+  in
+  float_of_int (data_commands * Spec.bits_per_column_command spec)
+
 (* ----- staged evaluation seams ------------------------------------- *)
 
 (* Bump whenever the physics changes in any way that can alter a
@@ -128,9 +141,7 @@ let background_power_staged ex (cfg : Config.t) =
 let pattern_power_staged ex (cfg : Config.t) pattern =
   let spec = cfg.Config.spec in
   let d = cfg.Config.domains in
-  let loop_time =
-    float_of_int (Pattern.cycles pattern) /. spec.Spec.control_clock
-  in
+  let loop_time = loop_time spec pattern in
   let counts = op_counts pattern in
   let background = background_power_staged ex cfg in
   let op_power =
@@ -168,12 +179,7 @@ let pattern_power_staged ex (cfg : Config.t) pattern =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
     |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
   in
-  let data_commands =
-    Pattern.count pattern Pattern.Rd + Pattern.count pattern Pattern.Wr
-  in
-  let bits_per_loop =
-    float_of_int (data_commands * Spec.bits_per_column_command spec)
-  in
+  let bits_per_loop = bits_per_loop spec pattern in
   let energy_per_bit =
     if bits_per_loop > 0.0 then Some (power *. loop_time /. bits_per_loop)
     else None

@@ -39,6 +39,19 @@ val idd5b : Config.t -> float
     back-to-back at [Spec.trfc], i.e. one {!refresh_energy} every
     tRFC on top of the background, amperes. *)
 
+val op_counts : Pattern.t -> (Operation.kind * int) list
+(** Non-zero command counts of one loop iteration, in [Operation.all]
+    order.  [Nop] never appears: its energy is the background floor. *)
+
+val loop_time : Spec.t -> Pattern.t -> float
+(** Period of one loop iteration, seconds: pattern cycles over the
+    control clock.  The pattern-mix stage and the abstract interpreter
+    (`vdram check`) both read this seam, so their rates agree. *)
+
+val bits_per_loop : Spec.t -> Pattern.t -> float
+(** Data bits one loop iteration transports: data commands times
+    {!Spec.bits_per_column_command}.  Zero for data-less patterns. *)
+
 val version : string
 (** A stamp that changes whenever the model's physics changes.  The
     staged engine writes it into its persistent cache header, so

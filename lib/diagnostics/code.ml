@@ -72,6 +72,10 @@ let all =
     v "V0801" Warning "pattern re-activates a bank within its tRC window";
     v "V0802" Warning "pattern violates tRRD activate spacing";
     v "V0803" Warning "pattern exceeds four activates per tFAW window";
+    (* V09xx — whole-sweep legality (`vdram check`) *)
+    v "V0901" Warning "pattern re-activates a bank within tRC somewhere on the roadmap";
+    v "V0902" Warning "pattern violates activate spacing somewhere on the roadmap";
+    v "V0903" Warning "pattern violates column/precharge timing somewhere on the roadmap";
   ]
 
 let find code = List.find_opt (fun i -> i.code = code) all
@@ -91,6 +95,7 @@ let bands =
     ("V06", "pattern reachability");
     ("V07", "floorplan signaling geometry");
     ("V08", "bank-aware pattern legality");
+    ("V09", "whole-sweep legality");
   ]
 
 let well_formed code =

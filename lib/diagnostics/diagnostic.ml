@@ -132,6 +132,9 @@ let to_json buf t =
         Buffer.add_string buf
           (Printf.sprintf "{\"line\":%d,\"col\":%d,\"end_col\":%d" s.Span.line
              s.Span.col_start s.Span.col_end);
+        if Fix.is_multiline f then
+          Buffer.add_string buf
+            (Printf.sprintf ",\"end_line\":%d" f.Fix.line_end);
         Buffer.add_string buf ",\"replacement\":";
         add_json_string buf f.Fix.replacement;
         Buffer.add_char buf '}')

@@ -2,76 +2,102 @@
 
 type t = {
   span : Span.t;
+  line_end : int;
   replacement : string;
 }
 
-let v ~span replacement = { span; replacement }
+let v ?line_end ~span replacement =
+  let line_end =
+    match line_end with
+    | Some l -> max l span.Span.line
+    | None -> span.Span.line
+  in
+  { span; line_end; replacement }
 
-let is_insertion t = t.span.Span.col_end <= t.span.Span.col_start
+let is_multiline t = t.line_end > t.span.Span.line
+
+let is_insertion t =
+  (not (is_multiline t)) && t.span.Span.col_end <= t.span.Span.col_start
 
 let pp ppf t =
   if is_insertion t then
     Format.fprintf ppf "insert %S at %a" t.replacement Span.pp t.span
+  else if is_multiline t then
+    Format.fprintf ppf "replace %a..%d with %S" Span.pp t.span t.line_end
+      t.replacement
   else Format.fprintf ppf "replace %a with %S" Span.pp t.span t.replacement
 
-(* Fixes edit a single source line each: the span's [line], columns
-   [col_start, col_end) (1-based, end exclusive).  A zero-width span
-   inserts before [col_start]. *)
+(* A fix edits the region from (span.line, span.col_start) up to
+   (line_end, col_end) — columns 1-based, the end exclusive.  For the
+   common single-line fix [line_end = span.line]; a zero-width span
+   inserts before [col_start].  For a multi-line fix [col_end] is a
+   column on [line_end], so the region swallows the intervening line
+   breaks. *)
 
-let overlaps a b =
-  a.span.Span.line = b.span.Span.line
-  &&
-  let a0 = a.span.Span.col_start in
-  let a1 = max a0 a.span.Span.col_end in
-  let b0 = b.span.Span.col_start in
-  let b1 = max b0 b.span.Span.col_end in
-  (* Identical insertion points conflict too: applying both would
-     splice two replacements at the same spot in arbitrary order. *)
-  if a0 = b0 then true else a0 < b1 && b0 < a1
+(* The effective exclusive end column, on [line_end]. *)
+let stop_col f =
+  if is_multiline f then max 1 f.span.Span.col_end
+  else max f.span.Span.col_start f.span.Span.col_end
 
 let apply ~source fixes =
   let lines = String.split_on_char '\n' source |> Array.of_list in
-  let spanned =
-    List.filter
-      (fun f ->
-        (not (Span.is_none f.span))
-        && f.span.Span.line >= 1
-        && f.span.Span.line <= Array.length lines
-        && f.span.Span.col_start >= 1)
-      fixes
+  let nlines = Array.length lines in
+  (* Byte offset of the start of each 1-based line in [source]. *)
+  let line_offset = Array.make (nlines + 1) 0 in
+  for i = 2 to nlines do
+    line_offset.(i) <- line_offset.(i - 1) + String.length lines.(i - 2) + 1
+  done;
+  let valid f =
+    (not (Span.is_none f.span))
+    && f.span.Span.line >= 1
+    && f.span.Span.line <= nlines
+    && f.line_end >= f.span.Span.line
+    && f.line_end <= nlines
+    && f.span.Span.col_start >= 1
+    && f.span.Span.col_start - 1 <= String.length lines.(f.span.Span.line - 1)
+    && stop_col f - 1 <= String.length lines.(f.line_end - 1)
   in
+  (* Region of a fix as byte offsets into [source], start inclusive,
+     stop exclusive. *)
+  let region f =
+    let start = line_offset.(f.span.Span.line) + f.span.Span.col_start - 1 in
+    let stop = line_offset.(f.line_end) + stop_col f - 1 in
+    (start, max start stop)
+  in
+  let spanned = List.filter valid fixes in
   let sorted =
     List.stable_sort
       (fun a b ->
-        let c = compare a.span.Span.line b.span.Span.line in
-        if c <> 0 then c
-        else
-          let c = compare a.span.Span.col_start b.span.Span.col_start in
-          if c <> 0 then c else compare a.span.Span.col_end b.span.Span.col_end)
+        let (a0, a1) = region a and (b0, b1) = region b in
+        let c = compare a0 b0 in
+        if c <> 0 then c else compare a1 b1)
       spanned
   in
   (* Select a non-overlapping subset; the first fix in source order
-     wins so the result is always well defined. *)
+     wins so the result is always well defined.  Identical insertion
+     points conflict too: applying both would splice two replacements
+     at the same spot in arbitrary order. *)
+  let overlaps a b =
+    let (a0, a1) = region a and (b0, b1) = region b in
+    if a0 = b0 then true else a0 < b1 && b0 < a1
+  in
   let selected =
     List.rev
       (List.fold_left
          (fun acc f -> if List.exists (overlaps f) acc then acc else f :: acc)
          [] sorted)
   in
-  (* Apply right to left so column offsets of pending edits stay valid. *)
+  (* Apply right to left so the byte offsets of pending edits, which
+     were computed against the original source, stay valid. *)
+  let text = ref source in
   let applied = ref 0 in
   List.iter
     (fun f ->
-      let l = f.span.Span.line - 1 in
-      let line = lines.(l) in
-      let len = String.length line in
-      let start = f.span.Span.col_start - 1 in
-      let stop = max start (f.span.Span.col_end - 1) in
-      if start <= len && stop <= len then begin
-        lines.(l) <-
-          String.sub line 0 start ^ f.replacement
-          ^ String.sub line stop (len - stop);
-        incr applied
-      end)
+      let start, stop = region f in
+      let s = !text in
+      text :=
+        String.sub s 0 start ^ f.replacement
+        ^ String.sub s stop (String.length s - stop);
+      incr applied)
     (List.rev selected);
-  (String.concat "\n" (Array.to_list lines), !applied)
+  (!text, !applied)

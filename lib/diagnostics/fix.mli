@@ -1,27 +1,41 @@
 (** Structured fix-its.
 
-    A fix is a machine-applicable edit: a source {!Span.t} plus the
-    text that should replace it.  A zero-width span ([col_end <=
-    col_start]) denotes an insertion before [col_start].  Diagnostics
-    carry a list of fixes (see {!Diagnostic.t}); [vdram lint --fix]
-    applies every non-overlapping fix to the offending file. *)
+    A fix is a machine-applicable edit: a source region plus the text
+    that should replace it.  The region runs from [(span.line,
+    span.col_start)] to [(line_end, span.col_end)], columns 1-based
+    with the end exclusive; for the common single-line fix [line_end =
+    span.line].  A zero-width single-line span ([col_end <=
+    col_start]) denotes an insertion before [col_start]; a multi-line
+    region swallows the intervening line breaks, so a fix can delete
+    or rewrite several statements at once.  Diagnostics carry a list
+    of fixes (see {!Diagnostic.t}); [vdram lint --fix] applies every
+    non-overlapping fix to the offending file. *)
 
 type t = {
-  span : Span.t;        (** the text to replace; zero-width = insert *)
+  span : Span.t;        (** start of the region; zero-width = insert *)
+  line_end : int;       (** last line of the region; [span.line] when
+                            the fix stays on one line *)
   replacement : string; (** the replacement text *)
 }
 
-val v : span:Span.t -> string -> t
+val v : ?line_end:int -> span:Span.t -> string -> t
+(** [v ?line_end ~span replacement] builds a fix.  [line_end] defaults
+    to [span.line] (a single-line fix) and is clamped to at least
+    [span.line]. *)
 
 val is_insertion : t -> bool
-(** [true] when the span is zero-width (pure insertion). *)
+(** [true] when the region is zero-width (pure insertion). *)
+
+val is_multiline : t -> bool
+(** [true] when the region crosses a line boundary. *)
 
 val pp : Format.formatter -> t -> unit
 
 val apply : source:string -> t list -> string * int
 (** [apply ~source fixes] rewrites [source] (the full file contents)
     with every applicable fix and returns the new contents plus the
-    number of fixes applied.  Fixes whose spans overlap are resolved
-    first-in-source-order-wins; fixes with spans outside the source
-    are dropped.  Edits on one line are applied right to left, so
-    column positions never shift under earlier edits. *)
+    number of fixes applied.  Fixes whose regions overlap are resolved
+    first-in-source-order-wins; fixes with regions outside the source
+    are dropped.  Edits are applied right to left over byte offsets
+    computed against the original source, so positions never shift
+    under earlier edits. *)

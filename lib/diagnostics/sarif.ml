@@ -29,8 +29,12 @@ let uri_of file span =
   | Some f -> f
   | None -> ( match file with Some f -> f | None -> "<stdin>")
 
-let add_region buf (s : Span.t) =
+let add_region ?end_line buf (s : Span.t) =
   Buffer.add_string buf (Printf.sprintf "{\"startLine\":%d" s.line);
+  (match end_line with
+   | Some l when l > s.line ->
+     Buffer.add_string buf (Printf.sprintf ",\"endLine\":%d" l)
+   | _ -> ());
   if s.col_start >= 1 then
     Buffer.add_string buf
       (Printf.sprintf ",\"startColumn\":%d,\"endColumn\":%d" s.col_start
@@ -57,7 +61,7 @@ let add_fix buf uri (d : Diagnostic.t) =
     (fun i f ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf "{\"deletedRegion\":";
-      add_region buf f.Fix.span;
+      add_region ~end_line:f.Fix.line_end buf f.Fix.span;
       Buffer.add_string buf ",\"insertedContent\":{\"text\":";
       add_str buf f.Fix.replacement;
       Buffer.add_string buf "}}")

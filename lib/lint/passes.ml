@@ -539,73 +539,39 @@ let floorplan ~ast cfg =
 
 (* ----- bank-aware pattern legality (shared with the simulator) ----- *)
 
+let pattern_stmt ast =
+  List.find_opt
+    (fun (st : Ast.stmt) -> lower st.Ast.keyword = "pattern")
+    (List.concat_map
+       (fun (sec : Ast.section) -> sec.Ast.stmts)
+       (Ast.find_sections ast "pattern"))
+
+let pattern_slot_span ast ~cycles slot =
+  match pattern_stmt ast with
+  | Some st when List.length st.Ast.positional_spans = cycles ->
+    List.nth st.Ast.positional_spans slot
+  | Some st -> st.Ast.keyword_span
+  | None -> Span.none
+
 let bank_legality ~ast cfg (p : Pattern.t) =
   let out = ref [] in
   let add d = out := d :: !out in
   let s = cfg.Config.spec in
   let banks = s.Spec.banks in
   let t = Timing.of_config cfg in
-  let slots =
-    List.concat_map (fun (c, n) -> List.init n (fun _ -> c)) p.Pattern.slots
-  in
-  let cycles = List.length slots in
+  let cycles = Pattern.cycles p in
   let acts = Pattern.count p Pattern.Act in
   if cycles = 0 || acts = 0 || banks < 1 then []
   else begin
-    (* Replay the loop through the simulator's own legality component,
-       rotating activates round-robin across banks the way a datasheet
+    (* Replay the loop through the simulator's own legality component
+       (shared with `vdram check`'s whole-sweep analysis): activates
+       rotate round-robin across banks the way a datasheet
        current-measurement loop does, for enough iterations to wrap
        the bank rotation at least once. *)
-    let iters = min 64 (((banks + acts - 1) / acts) + 2) in
-    let rank = Legality.create t ~banks in
-    let next_bank = ref 0 in
-    let last_bank = ref 0 in
-    let open_order = ref [] in
-    let viols = ref [] in
-    for iter = 0 to iters - 1 do
-      List.iteri
-        (fun idx cmd ->
-          let at = (iter * cycles) + idx in
-          match cmd with
-          | Pattern.Nop -> ()
-          | Pattern.Act ->
-            let bank = !next_bank in
-            next_bank := (bank + 1) mod banks;
-            (match Legality.activate rank ~bank ~at ~row:0 with
-             | [] ->
-               last_bank := bank;
-               open_order := !open_order @ [ bank ]
-             | vs -> viols := List.rev_append vs !viols)
-          | Pattern.Rd ->
-            ignore (Legality.column rank ~bank:!last_bank ~at ~write:false)
-          | Pattern.Wr ->
-            ignore (Legality.column rank ~bank:!last_bank ~at ~write:true)
-          | Pattern.Pre ->
-            (match !open_order with
-             | [] -> ()
-             | bank :: rest ->
-               (match Legality.precharge rank ~bank ~at with
-                | [] -> open_order := rest
-                | _ -> ())))
-        slots
-    done;
-    let viols = List.rev !viols in
+    let viols, replayed = Legality.replay_pattern t ~banks p in
     let span_of (v : Legality.violation) =
-      let slot = v.Legality.at mod cycles in
-      let stmt =
-        List.find_opt
-          (fun (st : Ast.stmt) -> lower st.Ast.keyword = "pattern")
-          (List.concat_map
-             (fun (sec : Ast.section) -> sec.Ast.stmts)
-             (Ast.find_sections ast "pattern"))
-      in
-      match stmt with
-      | Some st when List.length st.Ast.positional_spans = cycles ->
-        List.nth st.Ast.positional_spans slot
-      | Some st -> st.Ast.keyword_span
-      | None -> Span.none
+      pattern_slot_span ast ~cycles (v.Legality.at mod cycles)
     in
-    let replayed = iters * cycles in
     let emit kind code describe =
       match
         List.filter (fun v -> v.Legality.kind = kind) viols

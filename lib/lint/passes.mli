@@ -52,6 +52,15 @@ val floorplan :
     coordinates ([V0702]) and [fraction=] values outside (0, 1]
     ([V0703]). *)
 
+val pattern_stmt : Vdram_dsl.Ast.t -> Vdram_dsl.Ast.stmt option
+(** The [Pattern loop=] statement, when the description wrote one. *)
+
+val pattern_slot_span :
+  Vdram_dsl.Ast.t -> cycles:int -> int -> Vdram_diagnostics.Span.t
+(** Span of one pattern slot's token ([0 <= slot < cycles]); the
+    statement keyword when token spans don't line up, {!Vdram_diagnostics.Span.none}
+    when the description has no pattern. *)
+
 val bank_legality :
   ast:Vdram_dsl.Ast.t -> Vdram_core.Config.t -> Vdram_core.Pattern.t ->
   Vdram_diagnostics.Diagnostic.t list

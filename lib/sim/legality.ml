@@ -192,3 +192,59 @@ let refresh t ~bank ~at =
       t.next_activate.(bank) <- at + t.timing.Timing.trfc;
       []
     end
+
+(* ----- pattern replay ---------------------------------------------- *)
+
+(* Replay a command loop the way a datasheet current-measurement loop
+   runs it: activates rotate round-robin across the banks, column
+   commands go to the most recently activated bank, precharges close
+   the oldest open bank; enough loop iterations to wrap the bank
+   rotation at least once.  Extracted from the lint pattern pass so
+   `vdram lint`, `vdram check` and the simulator share one replay
+   discipline and can never disagree about a pattern's legality. *)
+let replay_pattern timing ~banks (p : Vdram_core.Pattern.t) =
+  let module Pattern = Vdram_core.Pattern in
+  let slots =
+    List.concat_map
+      (fun (c, n) -> List.init n (fun _ -> c))
+      p.Pattern.slots
+  in
+  let cycles = List.length slots in
+  let acts = Pattern.count p Pattern.Act in
+  if cycles = 0 || acts = 0 || banks < 1 then ([], 0)
+  else begin
+    let iters = min 64 (((banks + acts - 1) / acts) + 2) in
+    let rank = create timing ~banks in
+    let next_bank = ref 0 in
+    let last_bank = ref 0 in
+    let open_order = ref [] in
+    let viols = ref [] in
+    for iter = 0 to iters - 1 do
+      List.iteri
+        (fun idx cmd ->
+          let at = (iter * cycles) + idx in
+          match cmd with
+          | Pattern.Nop -> ()
+          | Pattern.Act ->
+            let bank = !next_bank in
+            next_bank := (bank + 1) mod banks;
+            (match activate rank ~bank ~at ~row:0 with
+             | [] ->
+               last_bank := bank;
+               open_order := !open_order @ [ bank ]
+             | vs -> viols := List.rev_append vs !viols)
+          | Pattern.Rd ->
+            ignore (column rank ~bank:!last_bank ~at ~write:false)
+          | Pattern.Wr ->
+            ignore (column rank ~bank:!last_bank ~at ~write:true)
+          | Pattern.Pre ->
+            (match !open_order with
+             | [] -> ()
+             | bank :: rest ->
+               (match precharge rank ~bank ~at with
+                | [] -> open_order := rest
+                | _ -> ())))
+        slots
+    done;
+    (List.rev !viols, iters * cycles)
+  end

@@ -73,3 +73,15 @@ val enforce : violation list -> unit
 (** [()] on the empty list; raises [Timing_violation] with the
     {!message} of the first violation otherwise — the bridge from the
     collecting interface to the simulator's exception discipline. *)
+
+val replay_pattern :
+  Timing.t -> banks:int -> Vdram_core.Pattern.t -> violation list * int
+(** Replay a command loop against a fresh rank the way a datasheet
+    current-measurement loop runs it: activates rotate round-robin
+    across the banks, column commands target the most recently
+    activated bank, precharges close the oldest open bank, for enough
+    loop iterations to wrap the bank rotation at least once.  Returns
+    the violations in issue order and the number of cycles replayed
+    ([([], 0)] for loops with no activates, no cycles, or no banks).
+    The lint V08xx pattern pass and the `vdram check` whole-sweep
+    analysis share this replay. *)

@@ -73,6 +73,33 @@ let of_config (cfg : Config.t) =
     txp = c 24e-9;
   }
 
+(* The elementwise-max timing set of two generations.  Every legality
+   gate is [issue cycle + field] (or a max of such), monotone
+   nondecreasing in each field, and transitions apply only when legal
+   — so a command stream legal under the worst case is legal under
+   every pointwise-smaller timing set.  `vdram check` leans on this to
+   clear a whole sweep with one replay. *)
+let worst_case a b =
+  {
+    tck = Float.max a.tck b.tck;
+    trcd = max a.trcd b.trcd;
+    trp = max a.trp b.trp;
+    tras = max a.tras b.tras;
+    trc = max a.trc b.trc;
+    trrd = max a.trrd b.trrd;
+    tfaw = max a.tfaw b.tfaw;
+    tccd = max a.tccd b.tccd;
+    tccd_l = max a.tccd_l b.tccd_l;
+    bank_groups = max a.bank_groups b.bank_groups;
+    cl = max a.cl b.cl;
+    twl = max a.twl b.twl;
+    twr = max a.twr b.twr;
+    trtp = max a.trtp b.trtp;
+    trefi = min a.trefi b.trefi;
+    trfc = max a.trfc b.trfc;
+    txp = max a.txp b.txp;
+  }
+
 let pp ppf t =
   Format.fprintf ppf
     "tCK %.2f ns, tRCD %d, tRP %d, tRAS %d, tRC %d, tRRD %d, tFAW %d, \

@@ -28,4 +28,14 @@ val of_config : Vdram_core.Config.t -> t
     tCCD from the burst occupancy, CAS latency from tRCD, tRFC from
     the device density (JEDEC-style 110–350 ns), tREFI = 7.8 us. *)
 
+val worst_case : t -> t -> t
+(** The hardest-to-satisfy combination of two timing sets: the
+    elementwise max of every constraint window (and the min of the
+    refresh interval, which binds tighter the shorter it is).  Every
+    {!Legality} gate is monotone nondecreasing in its timing fields
+    and transitions apply only when legal, so a command stream legal
+    under [worst_case a b] is legal under both [a] and [b] — the
+    whole-sweep legality check in `vdram check` replays once against
+    the fold of this over a generation range. *)
+
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,7 @@ let () =
       ("datasheets", Test_datasheets.suite);
       ("configs", Test_configs.suite);
       ("analysis", Test_analysis.suite);
+      ("absint", Test_absint.suite);
       ("ablation", Test_ablation.suite);
       ("schemes", Test_schemes.suite);
       ("sim", Test_sim.suite);

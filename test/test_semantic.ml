@@ -35,7 +35,12 @@ let test_registry_self_check () =
   Helpers.check_true "V07xx band reserved"
     (List.mem_assoc "V07" Code.bands);
   Helpers.check_true "V08xx band reserved"
-    (List.mem_assoc "V08" Code.bands)
+    (List.mem_assoc "V08" Code.bands);
+  Helpers.check_true "V09xx band reserved"
+    (List.mem_assoc "V09" Code.bands);
+  List.iter
+    (fun c -> Helpers.check_true (c ^ " registered") (Code.is_known c))
+    [ "V0901"; "V0902"; "V0903" ]
 
 (* ----- error-accumulating elaboration ------------------------------ *)
 
@@ -710,6 +715,162 @@ let test_sarif_structure () =
        (with_fixes <> [])
    | _ -> Alcotest.fail "expected exactly one run")
 
+(* ----- multi-line fix-its ------------------------------------------ *)
+
+let test_fix_multiline () =
+  let source = "alpha\nbravo\ncharlie\ndelta" in
+  (* Splice across a line boundary: line 1 col 3 through line 3 col 3
+     (exclusive), swallowing the intervening line breaks. *)
+  let fx = Fix.v ~line_end:3 ~span:(span 1 3 3) "X" in
+  Helpers.check_true "crosses a line boundary" (Fix.is_multiline fx);
+  Helpers.check_true "not an insertion" (not (Fix.is_insertion fx));
+  let fixed, n = Fix.apply ~source [ fx ] in
+  Alcotest.(check string) "spliced across lines" "alXarlie\ndelta" fixed;
+  Alcotest.(check int) "one applied" 1 n;
+  (* A single-line edit inside the swallowed region conflicts; first
+     in source order wins. *)
+  let fixed, n = Fix.apply ~source [ fx; Fix.v ~span:(span 2 1 6) "BRAVO" ] in
+  Alcotest.(check string) "swallowed edit dropped" "alXarlie\ndelta" fixed;
+  Alcotest.(check int) "conflict dropped" 1 n;
+  (* A disjoint edit after the region still applies. *)
+  let fixed, n = Fix.apply ~source [ fx; Fix.v ~span:(span 4 1 6) "DELTA" ] in
+  Alcotest.(check string) "disjoint later edit applies" "alXarlie\nDELTA"
+    fixed;
+  Alcotest.(check int) "both applied" 2 n;
+  (* Whole-line deletion: line 2 col 1 through line 4 col 1. *)
+  let fixed, n =
+    Fix.apply ~source [ Fix.v ~line_end:4 ~span:(span 2 1 1) "" ]
+  in
+  Alcotest.(check string) "whole lines deleted" "alpha\ndelta" fixed;
+  Alcotest.(check int) "deletion applied" 1 n;
+  (* line_end beyond the source is dropped, not mangled. *)
+  let fixed, n =
+    Fix.apply ~source [ Fix.v ~line_end:9 ~span:(span 2 1 1) "" ]
+  in
+  Alcotest.(check string) "out-of-range region ignored" source fixed;
+  Alcotest.(check int) "nothing applied" 0 n
+
+let test_fix_multiline_render () =
+  (* A multi-line fix must surface in every renderer: end_line in the
+     diagnostic JSON, endLine in the SARIF deletedRegion, and a
+     multi-hunk unified diff in the --fix --dry-run preview. *)
+  let fx = Fix.v ~line_end:2 ~span:(span 1 1 6) "uno" in
+  let d =
+    D.warningf ~code:"V0902" ~span:(span 1 1 6) ~fixes:[ fx ] "collapse"
+  in
+  let buf = Buffer.create 64 in
+  D.to_json buf d;
+  let j = Buffer.contents buf in
+  Helpers.check_true "fix JSON carries end_line"
+    (contains j "\"end_line\":2");
+  let report =
+    {
+      Lint.file = Some "f.dram";
+      source = [| "alpha"; "bravo"; "charlie" |];
+      diagnostics = [ d ];
+    }
+  in
+  let log = Lint.to_sarif [ report ] in
+  Helpers.check_true "SARIF deletedRegion carries endLine"
+    (contains log "\"endLine\":2");
+  Helpers.check_true "SARIF result region has no endLine"
+    (not (contains log "\"startLine\":1,\"endLine\":2,\"startColumn\":1,\"endColumn\":6},\"message\""));
+  match Lint.preview_fixes report with
+  | None -> Alcotest.fail "preview expected"
+  | Some (diff, n) ->
+    Alcotest.(check int) "one fix previewed" 1 n;
+    Helpers.check_true "first line removed" (contains diff "-alpha");
+    Helpers.check_true "second line removed" (contains diff "-bravo");
+    Helpers.check_true "replacement added" (contains diff "+uno");
+    Helpers.check_true "context kept" (contains diff " charlie")
+
+let test_fix_idempotent () =
+  (* `vdram lint --fix` twice: the second pass must be a byte-for-byte
+     no-op even when unfixable findings remain. *)
+  let stable source =
+    let r = Lint.run source in
+    let fixed, _ = Lint.apply_fixes r in
+    let r' = Lint.run fixed in
+    let fixed', applied' = Lint.apply_fixes r' in
+    Alcotest.(check int) "second pass applies nothing" 0 applied';
+    Alcotest.(check string) "byte-for-byte stable" fixed fixed'
+  in
+  stable wrong_dim_source;
+  stable mixed_fix_source;
+  if Sys.file_exists fixable then
+    stable (In_channel.with_open_text fixable In_channel.input_all)
+
+(* ----- whole-sweep legality (`vdram check`, V09xx) ----------------- *)
+
+module Check = Vdram_lint.Check
+module Certificate = Vdram_absint.Certificate
+
+let ddr3_example =
+  List.find_opt Sys.file_exists
+    [ "../examples/ddr3_1gb.dram"; "examples/ddr3_1gb.dram" ]
+
+let test_check_sweep () =
+  match ddr3_example with
+  | None -> ()
+  | Some path ->
+    let r = Check.run_file path in
+    let is_v09 c = String.length c = 5 && String.sub c 0 3 = "V09" in
+    Helpers.check_true "a V09xx finding fires"
+      (List.exists is_v09 (codes_of r.Check.report.Lint.diagnostics));
+    (match r.Check.certificate with
+     | None -> Alcotest.fail "certificate expected on a clean description"
+     | Some c ->
+       (match c.Certificate.sweep with
+        | None -> Alcotest.fail "sweep entry expected"
+        | Some s ->
+          Helpers.check_true "legal at the authored node"
+            s.Certificate.authored_legal;
+          Alcotest.(check int) "all fourteen generations swept" 14
+            (List.length s.Certificate.entries);
+          Helpers.check_true "an offending generation is named"
+            (List.exists
+               (fun (e : Certificate.sweep_entry) ->
+                 (not e.Certificate.legal) && e.Certificate.violations <> [])
+               s.Certificate.entries)));
+    (* The proposed nop padding really clears the sweep: apply it and
+       re-check. *)
+    let fixed, applied = Lint.apply_fixes r.Check.report in
+    Helpers.check_true "sweep finding carries a fix" (applied >= 1);
+    let r' = Check.run ~file:path fixed in
+    Alcotest.(check (list string)) "padded loop sweeps clean" []
+      (List.filter is_v09 (codes_of r'.Check.report.Lint.diagnostics));
+    match r'.Check.certificate with
+    | Some { Certificate.sweep = Some s; _ } ->
+      Helpers.check_true "every generation legal after the fix"
+        (List.for_all
+           (fun (e : Certificate.sweep_entry) -> e.Certificate.legal)
+           s.Certificate.entries)
+    | _ -> Alcotest.fail "certificate expected after the fix"
+
+let test_check_samples () =
+  (* The --samples cross-check: concrete configurations drawn from the
+     box land inside the certified bounds, and the certificate records
+     the verdict. *)
+  match ddr3_example with
+  | None -> ()
+  | Some path ->
+    let r = Check.run_file ~samples:200 ~seed:7 path in
+    (match r.Check.certificate with
+     | Some { Certificate.samples = Some s; _ } ->
+       Alcotest.(check int) "count recorded" 200 s.Certificate.count;
+       Helpers.check_true "every sample inside the bounds"
+         s.Certificate.contained
+     | _ -> Alcotest.fail "samples entry expected")
+
+let test_check_broken_input () =
+  (* Parse and elaboration failures surface as the report, with no
+     certificate. *)
+  let r = Check.run accumulating_source in
+  Helpers.check_true "no certificate on errors"
+    (r.Check.certificate = None);
+  Helpers.check_true "errors carried in the report"
+    (List.exists D.is_error r.Check.report.Lint.diagnostics)
+
 (* ----- multi-file + exit-code contract ----------------------------- *)
 
 let test_exit_code_contract () =
@@ -753,6 +914,14 @@ let suite =
     Alcotest.test_case "fix preview (dry run)" `Quick test_preview_fixes;
     Alcotest.test_case "fix-only code filter" `Quick test_fix_only;
     Alcotest.test_case "unified diff renderer" `Quick test_udiff_render;
+    Alcotest.test_case "multi-line fix apply" `Quick test_fix_multiline;
+    Alcotest.test_case "multi-line fix renderers" `Quick
+      test_fix_multiline_render;
+    Alcotest.test_case "fix idempotence" `Quick test_fix_idempotent;
+    Alcotest.test_case "check sweep legality" `Quick test_check_sweep;
+    Alcotest.test_case "check sampling cross-check" `Quick
+      test_check_samples;
+    Alcotest.test_case "check broken input" `Quick test_check_broken_input;
     Alcotest.test_case "print/parse round trip" `Quick
       test_print_parse_roundtrip;
     Alcotest.test_case "floorplan codes" `Quick test_floorplan_codes;
