@@ -1,4 +1,4 @@
-.PHONY: all build test check check-model lint bench bench-analysis bench-gate chaos examples clean doc export
+.PHONY: all build test check check-model lint advise bench bench-analysis bench-gate bench-update chaos examples clean doc export
 
 all: build
 
@@ -10,6 +10,12 @@ test:
 
 lint: build
 	dune exec bin/vdram.exe -- lint --deny-warnings examples/*.dram
+
+# Static dataflow advice (V10xx): slack, utilization, idle windows and
+# the certified energy floor of every shipped loop.  Not gated — the
+# inefficient example exists precisely to carry advice.
+advise: build
+	dune exec bin/vdram.exe -- advise examples/*.dram
 
 check: test lint
 
@@ -29,6 +35,17 @@ bench-analysis:
 bench-gate: build
 	dune exec bin/vdram.exe -- bench-analysis --out BENCH_fresh.json
 	dune exec tools/bench_gate.exe -- BENCH_analysis.json BENCH_fresh.json
+
+# Refresh the committed baseline: one warmup run plus three candidates;
+# the gate's --update mode sanity-checks each and commits the median by
+# parallel speedup.
+bench-update: build
+	@for i in 0 1 2 3; do \
+	  dune exec bin/vdram.exe -- bench-analysis --out BENCH_run$$i.json || exit 1; \
+	done
+	dune exec tools/bench_gate.exe -- --update BENCH_analysis.json \
+	  BENCH_run0.json BENCH_run1.json BENCH_run2.json BENCH_run3.json
+	rm -f BENCH_run0.json BENCH_run1.json BENCH_run2.json BENCH_run3.json
 
 # Supervised runtime under deterministic fault injection: must exit 3
 # (partial results) and report only injected mix-stage failures.

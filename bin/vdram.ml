@@ -536,13 +536,24 @@ let validate_cmd =
 let lint_cmd =
   let module Lint = Vdram_lint.Lint in
   let module Code = Vdram_diagnostics.Code in
+  let module Suggest = Vdram_diagnostics.Suggest in
   let files =
     Arg.(
-      non_empty
+      value
       & pos_all string []
       & info [] ~docv:"FILE"
           ~doc:"DRAM description files (.dram); $(b,-) reads standard \
                 input.")
+  in
+  let explain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"CODE"
+          ~doc:"Print the documentation-inventory entry for one \
+                diagnostic code (severity, title, band, rationale, \
+                example), e.g. $(b,--explain V1002), and exit.  No \
+                files are linted.")
   in
   let format =
     Arg.(
@@ -591,8 +602,27 @@ let lint_cmd =
                 leaving every other edit alone.  Composes with \
                 $(b,--dry-run).")
   in
-  let run files format deny allow fix dry_run only =
+  let run files explain format deny allow fix dry_run only =
     let fixing = fix || only <> None in
+    match explain with
+    | Some code ->
+      (match Code.find code with
+       | Some i ->
+         Format.printf "%a@." Code.explain i;
+         `Ok ()
+       | None ->
+         let hint =
+           match
+             Suggest.nearest
+               ~candidates:(List.map (fun i -> i.Code.code) Code.all)
+               code
+           with
+           | Some near -> Printf.sprintf " (did you mean %s?)" near
+           | None -> ""
+         in
+         fail "unknown lint code %S%s (doc/DSL.md lists the inventory)"
+           code hint)
+    | None ->
     match
       List.find_opt (fun c -> not (Code.is_known c))
         (allow @ Option.to_list only)
@@ -600,7 +630,9 @@ let lint_cmd =
     | Some c ->
       fail "unknown lint code %S (doc/DSL.md lists the inventory)" c
     | None ->
-      if dry_run && not fixing then
+      if files = [] then
+        fail "no FILE given (pass description files, or --explain CODE)"
+      else if dry_run && not fixing then
         fail "--dry-run only makes sense with --fix or --fix-only"
       else if fixing && (not dry_run) && List.mem "-" files then
         fail "--fix cannot rewrite standard input (try --dry-run)"
@@ -670,14 +702,16 @@ let lint_cmd =
   let doc =
     "Statically analyse descriptions: syntax, dimensional analysis, \
      physical consistency, timing, finiteness, floorplan coordinates \
-     and bank-aware pattern legality.  Exits 0 when clean, 1 when \
-     warnings remain under $(b,--deny-warnings), 2 on errors."
+     and bank-aware pattern legality.  $(b,--explain CODE) prints the \
+     inventory entry for one diagnostic code instead.  Exits 0 when \
+     clean, 1 when warnings remain under $(b,--deny-warnings), 2 on \
+     errors."
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       ret
-        (const run $ files $ format $ deny_warnings $ allow $ fix $ dry_run
-       $ fix_only))
+        (const run $ files $ explain $ format $ deny_warnings $ allow $ fix
+       $ dry_run $ fix_only))
 
 (* ----- check -------------------------------------------------------- *)
 
@@ -961,6 +995,187 @@ let check_cmd =
       ret
         (const run $ files $ certify $ out $ lens_specs $ all_lenses
        $ splits $ cells $ samples $ seed $ format $ deny_warnings $ allow))
+
+(* ----- advise ------------------------------------------------------- *)
+
+let advise_cmd =
+  let module Lint = Vdram_lint.Lint in
+  let module Advise = Vdram_lint.Advise in
+  let module Code = Vdram_diagnostics.Code in
+  let files =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"DRAM description files (.dram); $(b,-) reads standard \
+                input.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) (dataflow summary plus \
+                compiler-style findings), $(b,json) (findings with an \
+                $(b,advise) member carrying the summary) or $(b,sarif) \
+                (SARIF 2.1.0).")
+  in
+  let waste_threshold =
+    Arg.(
+      value
+      & opt float 0.10
+      & info [ "waste-threshold" ] ~docv:"FRACTION"
+          ~doc:"Actual-vs-floor energy fraction above which $(b,V1004) \
+                fires (default 0.10).")
+  in
+  let deny_warnings =
+    Arg.(
+      value & flag
+      & info [ "deny-warnings" ]
+          ~doc:"Exit non-zero when warnings remain (after $(b,--allow)).")
+  in
+  let allow =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "allow" ] ~docv:"CODE"
+          ~doc:"Suppress a warning code, e.g. $(b,--allow V1003). \
+                Repeatable.  Errors cannot be suppressed.")
+  in
+  let fix =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:"Apply the verified rewrite fix-its to the files in \
+                place (non-overlapping edits only) and re-advise the \
+                result.")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"With $(b,--fix): print a unified diff of the edits to \
+                standard output instead of rewriting the files.")
+  in
+  let fix_only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fix-only" ] ~docv:"CODE"
+          ~doc:"Like $(b,--fix), but apply only the fix-its attached \
+                to one diagnostic code, e.g. $(b,--fix-only V1001).  \
+                Composes with $(b,--dry-run).")
+  in
+  let run files format waste_threshold deny allow fix dry_run only =
+    let fixing = fix || only <> None in
+    match
+      List.find_opt (fun c -> not (Code.is_known c))
+        (allow @ Option.to_list only)
+    with
+    | Some c ->
+      fail "unknown lint code %S (doc/ADVISE.md lists the inventory)" c
+    | None ->
+      if dry_run && not fixing then
+        fail "--dry-run only makes sense with --fix or --fix-only"
+      else if fixing && (not dry_run) && List.mem "-" files then
+        fail "--fix cannot rewrite standard input (try --dry-run)"
+      else begin
+        let advise_one f =
+          let a =
+            if f = "-" then
+              Advise.run ~waste_threshold
+                (In_channel.input_all In_channel.stdin)
+            else Advise.run_file ~waste_threshold f
+          in
+          { a with
+            Advise.report = Lint.suppress ~codes:allow a.Advise.report }
+        in
+        let results = List.map (fun f -> (f, advise_one f)) files in
+        let results =
+          if not fixing then results
+          else if dry_run then
+            List.map
+              (fun (f, a) ->
+                (match Lint.preview_fixes ?only a.Advise.report with
+                 | None -> ()
+                 | Some (diff, applied) ->
+                   Printf.eprintf "%s: %d fix(es) available (dry run)\n%!"
+                     f applied;
+                   print_string diff);
+                (f, a))
+              results
+          else
+            List.map
+              (fun (f, a) ->
+                let fixed, applied = Lint.apply_fixes ?only a.Advise.report in
+                if applied = 0 then (f, a)
+                else begin
+                  Out_channel.with_open_text f (fun oc ->
+                      Out_channel.output_string oc fixed);
+                  Printf.eprintf "%s: applied %d fix(es)\n%!" f applied;
+                  let a = Advise.run ~waste_threshold ~file:f fixed in
+                  ( f,
+                    { a with
+                      Advise.report =
+                        Lint.suppress ~codes:allow a.Advise.report } )
+                end)
+              results
+        in
+        let reports = List.map (fun (_, a) -> a.Advise.report) results in
+        (match format with
+         | `Sarif -> print_string (Lint.to_sarif reports)
+         | `Json ->
+           let total count =
+             List.fold_left (fun a r -> a + count r) 0 reports
+           in
+           Printf.printf
+             "{\"version\":1,\"errors\":%d,\"warnings\":%d,\"files\":[%s]}\n"
+             (total Lint.errors) (total Lint.warnings)
+             (String.concat ","
+                (List.map (fun (_, a) -> Advise.to_json a) results))
+         | `Text ->
+           List.iter
+             (fun (f, (a : Advise.t)) ->
+               let name =
+                 Option.value ~default:"<stdin>" a.Advise.report.Lint.file
+               in
+               ignore f;
+               (match a.Advise.summary with
+                | Some s ->
+                  Format.printf "%s:@.%a@." name Advise.pp_summary s
+                | None -> ());
+               if a.Advise.report.Lint.diagnostics = [] then
+                 Format.printf "%s: no advice@." name
+               else begin
+                 Format.printf "%a" Lint.pp_text a.Advise.report;
+                 Format.printf "%s: %d error(s), %d warning(s)@." name
+                   (Lint.errors a.Advise.report)
+                   (Lint.warnings a.Advise.report)
+               end)
+             results);
+        (* Exit-code contract: 0 clean, 1 warnings denied, 2 errors. *)
+        match Lint.exit_code ~deny_warnings:deny reports with
+        | 0 -> `Ok ()
+        | n -> exit n
+      end
+  in
+  let doc =
+    "Static dataflow analysis of the pattern loop, without a \
+     simulation run: per-command slack against the binding timing \
+     constraint, steady-state bus and bank utilization, row-buffer \
+     locality, a power-down-eligible idle-window inventory, and the \
+     loop's distance from a certified static energy floor (V10xx).  \
+     Every proposed rewrite is replayed across all fourteen roadmap \
+     generations and re-priced before it is offered.  Exits 0 when \
+     clean, 1 when warnings remain under $(b,--deny-warnings), 2 on \
+     errors."
+  in
+  Cmd.v (Cmd.info "advise" ~doc)
+    Term.(
+      ret
+        (const run $ files $ format $ waste_threshold $ deny_warnings
+       $ allow $ fix $ dry_run $ fix_only))
 
 (* ----- corners ------------------------------------------------------ *)
 
@@ -1350,4 +1565,4 @@ let () =
           [ power_cmd; verify_cmd; sensitivity_cmd; trends_cmd; schemes_cmd;
             simulate_cmd; corners_cmd; states_cmd; ablate_cmd;
             bench_analysis_cmd; export_cmd; validate_cmd; lint_cmd;
-            check_cmd; channel_cmd; dump_cmd ]))
+            check_cmd; advise_cmd; channel_cmd; dump_cmd ]))

@@ -1,0 +1,34 @@
+(* Certified loop-energy evaluation for `vdram advise`.
+
+   A degenerate (point) box turns the interval evaluator into a
+   certified concrete evaluation: every endpoint is outward-rounded,
+   so the interval's lower end is a sound lower bound on what any
+   concrete evaluation of the same pattern can produce.  Advise runs
+   this over the idle-stripped ideal schedule of a loop; the gap to
+   the simulated energy of the authored loop is certified waste. *)
+
+module I = Vdram_units.Interval
+module Model = Vdram_core.Model
+module Pattern = Vdram_core.Pattern
+
+type t = {
+  cycles : int;
+  loop_time : float;
+  power : I.t;
+  energy : I.t;
+  energy_per_bit : I.t option;
+}
+
+let evaluate ~(base : Vdram_core.Config.t) (p : Pattern.t) =
+  let box = Abox.v ~base [] in
+  let stages = Aeval.analyze box p in
+  let loop_time = stages.Aeval.loop_time in
+  {
+    cycles = Pattern.cycles p;
+    loop_time;
+    power = stages.Aeval.power;
+    energy = I.scale loop_time stages.Aeval.power;
+    energy_per_bit = stages.Aeval.energy_per_bit;
+  }
+
+let lower_bound t = t.energy.I.lo

@@ -1,0 +1,26 @@
+(** Certified loop-energy evaluation over a degenerate (point) box.
+
+    Running the interval evaluator on a box with no axes certifies a
+    single configuration: the outward rounding of {!Vdram_units.Interval}
+    makes the resulting energy interval a sound enclosure of every
+    IEEE evaluation of the same pattern, so its lower endpoint is a
+    machine-checkable lower bound.  `vdram advise` evaluates the
+    idle-stripped ideal schedule of a loop through this to certify
+    the static energy floor the waste diagnostic (V1004) compares
+    against. *)
+
+type t = {
+  cycles : int;           (** loop length of the evaluated pattern *)
+  loop_time : float;      (** seconds per loop iteration *)
+  power : Vdram_units.Interval.t;   (** pattern-average watts *)
+  energy : Vdram_units.Interval.t;  (** joules per loop iteration *)
+  energy_per_bit : Vdram_units.Interval.t option;
+      (** J/bit; [None] for data-less patterns *)
+}
+
+val evaluate : base:Vdram_core.Config.t -> Vdram_core.Pattern.t -> t
+(** Evaluate one pattern over the point box at [base]. *)
+
+val lower_bound : t -> float
+(** The certified lower endpoint of {!field-energy}, joules per loop
+    iteration. *)

@@ -6,9 +6,12 @@ type info = {
   code : string;
   severity : severity;
   title : string;
+  rationale : string option;
+  example : string option;
 }
 
-let v code severity title = { code; severity; title }
+let v ?rationale ?example code severity title =
+  { code; severity; title; rationale; example }
 
 let all =
   [
@@ -73,9 +76,45 @@ let all =
     v "V0802" Warning "pattern violates tRRD activate spacing";
     v "V0803" Warning "pattern exceeds four activates per tFAW window";
     (* V09xx — whole-sweep legality (`vdram check`) *)
-    v "V0901" Warning "pattern re-activates a bank within tRC somewhere on the roadmap";
+    v "V0901" Warning "pattern re-activates a bank within tRC somewhere on the roadmap"
+      ~rationale:
+        "the loop is legal at its authored node, but a slower roadmap \
+         generation's tRC window rejects it; a sweep would silently \
+         evaluate an unschedulable loop there"
+      ~example:"Pattern loop= act nop pre nop  # fine at 30nm, tight at 90nm";
     v "V0902" Warning "pattern violates activate spacing somewhere on the roadmap";
     v "V0903" Warning "pattern violates column/precharge timing somewhere on the roadmap";
+    (* V10xx — static dataflow advice (`vdram advise`) *)
+    v "V1001" Warning "activate opens a row no column command ever reads or writes"
+      ~rationale:
+        "an activate/precharge pair that moves no data burns the full \
+         row-cycle energy for nothing; dropping the pair is pure \
+         saving (the proposed fix is replayed across every roadmap \
+         generation and re-priced before it is offered)"
+      ~example:"Pattern loop= act nop rd nop act nop pre pre  # 2nd act unused";
+    v "V1002" Warning "loop carries more nop padding than any timing window needs"
+      ~rationale:
+        "every padding cycle adds a full background-power cycle to the \
+         loop; padding beyond the binding timing constraint is energy \
+         with no legality in return.  The fix removes only as many \
+         nops as keep the loop legal at the authored node and across \
+         the whole roadmap sweep"
+      ~example:"Pattern loop= act nop nop nop nop nop nop pre  # tRAS met long ago";
+    v "V1003" Warning "idle window long enough for precharge power-down"
+      ~rationale:
+        "a nop run longer than the power-down exit latency (tXP) could \
+         be spent in CKE power-down: the clocked background drops to \
+         the power-down floor for the whole window minus the exit \
+         cost.  Advisory only — entering power-down is a controller \
+         policy, not a pattern edit"
+      ~example:"Pattern loop= act rd pre nop nop ... nop  # 40-cycle tail";
+    v "V1004" Warning "loop energy far above its certified static lower bound"
+      ~rationale:
+        "the idle-stripped ideal schedule of the same commands, priced \
+         through the certified interval evaluator, is a sound floor on \
+         the loop's energy; a large gap means the loop shape (not the \
+         command mix) dominates the bill"
+      ~example:"Pattern loop= act rd pre nop*60  # 3x the ideal-schedule energy";
   ]
 
 let find code = List.find_opt (fun i -> i.code = code) all
@@ -96,7 +135,34 @@ let bands =
     ("V07", "floorplan signaling geometry");
     ("V08", "bank-aware pattern legality");
     ("V09", "whole-sweep legality");
+    ("V10", "static dataflow advice");
   ]
+
+let band_of code =
+  if String.length code >= 3 then
+    let band = String.sub code 0 3 in
+    List.find_opt (fun (b, _) -> b = band) bands
+  else None
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let explain ppf i =
+  let band_desc =
+    match band_of i.code with
+    | Some (_, d) -> d
+    | None -> "unreserved band"
+  in
+  Format.fprintf ppf "@[<v>%s [%s] %s@,band: %s (%sxx)@]" i.code
+    (severity_name i.severity) i.title band_desc
+    (String.sub i.code 0 3);
+  (match i.rationale with
+   | Some r ->
+     Format.fprintf ppf "@,@[<v2>rationale:@,@[%a@]@]"
+       Format.pp_print_text r
+   | None -> ());
+  match i.example with
+  | Some e -> Format.fprintf ppf "@,@[<v2>example:@,%s@]" e
+  | None -> ()
 
 let well_formed code =
   String.length code = 5

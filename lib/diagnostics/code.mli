@@ -16,7 +16,9 @@
     - [V05xx] timing-constraint consistency
     - [V06xx] pattern/specification reachability
     - [V07xx] floorplan signaling geometry
-    - [V08xx] bank-aware pattern legality *)
+    - [V08xx] bank-aware pattern legality
+    - [V09xx] whole-sweep legality ([vdram check])
+    - [V10xx] static dataflow advice ([vdram advise]) *)
 
 type severity = Error | Warning
 
@@ -24,6 +26,10 @@ type info = {
   code : string;        (** e.g. ["V0301"] *)
   severity : severity;  (** default severity when emitted *)
   title : string;       (** one-line description for docs and [--help] *)
+  rationale : string option;
+      (** why the finding matters, for [lint --explain] *)
+  example : string option;
+      (** a minimal offending snippet, for [lint --explain] *)
 }
 
 val all : info list
@@ -37,6 +43,17 @@ val is_known : string -> bool
 val bands : (string * string) list
 (** The reserved numbering bands: [("V03", "physical consistency")]
     etc.  Every registered code must fall in one of these. *)
+
+val band_of : string -> (string * string) option
+(** The reserved band a code falls in ([None] outside every band). *)
+
+val severity_name : severity -> string
+(** ["error"] / ["warning"]. *)
+
+val explain : Format.formatter -> info -> unit
+(** The doc-inventory rendering behind [vdram lint --explain]: code,
+    severity, title, band, and the rationale/example when the
+    registry carries them. *)
 
 val self_check : unit -> string list
 (** Registry invariants, checked by the test suite at startup: every

@@ -74,6 +74,28 @@ let of_stats (cfg : Config.t) (stats : Stats.t) =
     stats;
   }
 
+(* One loop iteration's worth of commands priced through {!of_stats}:
+   the "simulated loop energy" the static analyses compare against.
+   Raw slot counts, not replay survivors — a measurement loop clocks
+   every command into the device whether or not its window is met,
+   and this keeps the figure consistent with
+   [Model.pattern_power cfg p *. Model.loop_time spec p]. *)
+let of_pattern (cfg : Config.t) (p : Vdram_core.Pattern.t) =
+  let module Pattern = Vdram_core.Pattern in
+  let stats =
+    {
+      Stats.zero with
+      Stats.cycles = Pattern.cycles p;
+      activates = Pattern.count p Pattern.Act;
+      precharges = Pattern.count p Pattern.Pre;
+      reads = Pattern.count p Pattern.Rd;
+      writes = Pattern.count p Pattern.Wr;
+    }
+  in
+  of_stats cfg stats
+
+let loop_energy cfg p = (of_pattern cfg p).energy
+
 let pp ppf r =
   Format.fprintf ppf
     "@[<v>%s: %s over %s (avg %s, %.1f pJ/bit)@,  %a@,  %a@]" r.config_name

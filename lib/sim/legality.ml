@@ -195,14 +195,36 @@ let refresh t ~bank ~at =
 
 (* ----- pattern replay ---------------------------------------------- *)
 
+type issue = {
+  slot : int;
+  iteration : int;
+  command : command;
+  bank : int;
+  at : int;
+  earliest : int;
+  binding : kind option;
+  violations : violation list;
+}
+
+(* Enough loop iterations to wrap the bank rotation at least once. *)
+let replay_iterations ~banks ~acts =
+  let acts = max 1 acts in
+  min 64 (((banks + acts - 1) / acts) + 2)
+
 (* Replay a command loop the way a datasheet current-measurement loop
    runs it: activates rotate round-robin across the banks, column
    commands go to the most recently activated bank, precharges close
    the oldest open bank; enough loop iterations to wrap the bank
    rotation at least once.  Extracted from the lint pattern pass so
    `vdram lint`, `vdram check` and the simulator share one replay
-   discipline and can never disagree about a pattern's legality. *)
-let replay_pattern timing ~banks (p : Vdram_core.Pattern.t) =
+   discipline and can never disagree about a pattern's legality.
+
+   The trace variant records every non-nop command issue with the
+   timing gate that bound it — the raw material for the `vdram
+   advise` slack/utilization analyses — and is the single replay
+   loop; {!replay_pattern} projects the activate-band violations out
+   of it. *)
+let replay_trace timing ~banks (p : Vdram_core.Pattern.t) =
   let module Pattern = Vdram_core.Pattern in
   let slots =
     List.concat_map
@@ -210,15 +232,24 @@ let replay_pattern timing ~banks (p : Vdram_core.Pattern.t) =
       p.Pattern.slots
   in
   let cycles = List.length slots in
-  let acts = Pattern.count p Pattern.Act in
-  if cycles = 0 || acts = 0 || banks < 1 then ([], 0)
+  if cycles = 0 || banks < 1 then ([], 0)
   else begin
-    let iters = min 64 (((banks + acts - 1) / acts) + 2) in
+    let acts = Pattern.count p Pattern.Act in
+    let iters = replay_iterations ~banks ~acts in
     let rank = create timing ~banks in
     let next_bank = ref 0 in
     let last_bank = ref 0 in
     let open_order = ref [] in
-    let viols = ref [] in
+    let issues = ref [] in
+    let record i = issues := i :: !issues in
+    (* The gate with the latest earliest-cycle is the binding
+       constraint; row-state problems are violations, not gates. *)
+    let bind gates =
+      List.fold_left
+        (fun (e, b) (gate, kind) ->
+          if gate > e then (gate, Some kind) else (e, b))
+        (0, None) gates
+    in
     for iter = 0 to iters - 1 do
       List.iteri
         (fun idx cmd ->
@@ -228,23 +259,136 @@ let replay_pattern timing ~banks (p : Vdram_core.Pattern.t) =
           | Pattern.Act ->
             let bank = !next_bank in
             next_bank := (bank + 1) mod banks;
-            (match activate rank ~bank ~at ~row:0 with
-             | [] ->
-               last_bank := bank;
-               open_order := !open_order @ [ bank ]
-             | vs -> viols := List.rev_append vs !viols)
-          | Pattern.Rd ->
-            ignore (column rank ~bank:!last_bank ~at ~write:false)
-          | Pattern.Wr ->
-            ignore (column rank ~bank:!last_bank ~at ~write:true)
+            let rank_gates =
+              if banks > 1 then
+                (match rank.act_history with
+                 | last :: _ ->
+                   [ (last + timing.Timing.trrd, Act_spacing) ]
+                 | [] -> [])
+                @ (match List.nth_opt rank.act_history 3 with
+                   | Some fourth ->
+                     [ (fourth + timing.Timing.tfaw, Four_activate) ]
+                   | None -> [])
+              else []
+            in
+            let earliest, binding =
+              bind ((rank.next_activate.(bank), Act_to_act) :: rank_gates)
+            in
+            let violations = activate rank ~bank ~at ~row:0 in
+            if violations = [] then begin
+              last_bank := bank;
+              open_order := !open_order @ [ bank ]
+            end;
+            record { slot = idx; iteration = iter; command = Activate;
+                     bank; at; earliest; binding; violations }
+          | Pattern.Rd | Pattern.Wr ->
+            let write = cmd = Pattern.Wr in
+            let bank = !last_bank in
+            let earliest, binding =
+              match rank.states.(bank) with
+              | Active _ when rank.next_column.(bank) > 0 ->
+                (rank.next_column.(bank), Some Col_timing)
+              | _ -> (0, None)
+            in
+            let violations = column rank ~bank ~at ~write in
+            record { slot = idx; iteration = iter;
+                     command = (if write then Write else Read);
+                     bank; at; earliest; binding; violations }
           | Pattern.Pre ->
             (match !open_order with
-             | [] -> ()
+             | [] ->
+               (* Nothing open to close: the shared discipline skips
+                  the command (recorded bankless for the trace). *)
+               record { slot = idx; iteration = iter; command = Precharge;
+                        bank = -1; at; earliest = 0; binding = None;
+                        violations = [] }
              | bank :: rest ->
-               (match precharge rank ~bank ~at with
-                | [] -> open_order := rest
-                | _ -> ())))
+               let earliest, binding =
+                 match rank.states.(bank) with
+                 | Active _ when rank.next_precharge.(bank) > 0 ->
+                   (rank.next_precharge.(bank), Some Pre_timing)
+                 | _ -> (0, None)
+               in
+               let violations = precharge rank ~bank ~at in
+               if violations = [] then open_order := rest;
+               record { slot = idx; iteration = iter; command = Precharge;
+                        bank; at; earliest; binding; violations }))
         slots
     done;
-    (List.rev !viols, iters * cycles)
+    (List.rev !issues, iters * cycles)
+  end
+
+let replay_pattern timing ~banks (p : Vdram_core.Pattern.t) =
+  let module Pattern = Vdram_core.Pattern in
+  let acts = Pattern.count p Pattern.Act in
+  if Pattern.cycles p = 0 || acts = 0 || banks < 1 then ([], 0)
+  else begin
+    let issues, replayed = replay_trace timing ~banks p in
+    (* Only activate-band violations surface: datasheet measurement
+       loops under-space column/precharge windows on purpose (they
+       set a power mix, not a schedulable trace), and the V08xx band
+       has always judged exactly the activate windows. *)
+    let viols =
+      List.concat_map
+        (fun i -> if i.command = Activate then i.violations else [])
+        issues
+    in
+    (viols, replayed)
+  end
+
+(* ----- steady-state utilization ------------------------------------ *)
+
+type usage = {
+  command_bus : float;
+  data_bus : float;
+  bank_open : float;
+}
+
+let pattern_usage timing ~banks (p : Vdram_core.Pattern.t) =
+  let module Pattern = Vdram_core.Pattern in
+  let cycles = Pattern.cycles p in
+  if cycles = 0 || banks < 1 then
+    { command_bus = 0.0; data_bus = 0.0; bank_open = 0.0 }
+  else begin
+    let nops = Pattern.count p Pattern.Nop in
+    let columns = Pattern.count p Pattern.Rd + Pattern.count p Pattern.Wr in
+    let command_bus =
+      float_of_int (cycles - nops) /. float_of_int cycles
+    in
+    let data_bus =
+      Float.min 1.0
+        (float_of_int (columns * timing.Timing.tccd) /. float_of_int cycles)
+    in
+    let issues, replayed = replay_trace timing ~banks p in
+    (* Integrate the open-bank count over the steady window (first
+       iteration dropped as warm-up); events outside the window still
+       move the count, they just accrue no area. *)
+    let w0 = cycles and w1 = replayed in
+    let area = ref 0 and opened = ref 0 and cursor = ref w0 in
+    List.iter
+      (fun i ->
+        if i.violations = [] && i.bank >= 0 then begin
+          let delta =
+            match i.command with
+            | Activate -> 1
+            | Precharge -> -1
+            | _ -> 0
+          in
+          if delta <> 0 then begin
+            let t = max w0 (min w1 i.at) in
+            if t > !cursor then begin
+              area := !area + (!opened * (t - !cursor));
+              cursor := t
+            end;
+            opened := !opened + delta
+          end
+        end)
+      issues;
+    if w1 > !cursor then area := !area + (!opened * (w1 - !cursor));
+    let bank_open =
+      if w1 > w0 then
+        float_of_int !area /. float_of_int ((w1 - w0) * banks)
+      else 0.0
+    in
+    { command_bus; data_bus; bank_open }
   end

@@ -74,14 +74,58 @@ val enforce : violation list -> unit
     {!message} of the first violation otherwise — the bridge from the
     collecting interface to the simulator's exception discipline. *)
 
-val replay_pattern :
-  Timing.t -> banks:int -> Vdram_core.Pattern.t -> violation list * int
+type issue = {
+  slot : int;           (** pattern slot index, [0 <= slot < cycles] *)
+  iteration : int;      (** loop iteration of the replay *)
+  command : command;
+  bank : int;           (** target bank; [-1] for a precharge issued
+                            with no bank open (skipped) *)
+  at : int;             (** issue cycle *)
+  earliest : int;       (** latest timing gate: the first cycle the
+                            binding constraint allows; [0] when no
+                            window constrains the command *)
+  binding : kind option;
+      (** the constraint behind [earliest]; [None] when the command
+          was unconstrained.  [at - earliest] is the command's slack
+          (negative for an under-spaced window). *)
+  violations : violation list;
+      (** what the command violated; [[]] means it was applied *)
+}
+
+val replay_trace :
+  Timing.t -> banks:int -> Vdram_core.Pattern.t -> issue list * int
 (** Replay a command loop against a fresh rank the way a datasheet
     current-measurement loop runs it: activates rotate round-robin
     across the banks, column commands target the most recently
     activated bank, precharges close the oldest open bank, for enough
     loop iterations to wrap the bank rotation at least once.  Returns
-    the violations in issue order and the number of cycles replayed
+    one {!issue} per non-nop command in issue order — each carrying
+    the binding timing gate observed {e before} the command was
+    applied — and the number of cycles replayed ([([], 0)] for empty
+    loops or no banks).  The `vdram advise` slack and utilization
+    analyses read this trace. *)
+
+val replay_pattern :
+  Timing.t -> banks:int -> Vdram_core.Pattern.t -> violation list * int
+(** The activate-band projection of {!replay_trace}: the tRC / tRRD /
+    tFAW violations in issue order and the number of cycles replayed
     ([([], 0)] for loops with no activates, no cycles, or no banks).
-    The lint V08xx pattern pass and the `vdram check` whole-sweep
-    analysis share this replay. *)
+    Column/precharge under-spacing is deliberately not surfaced —
+    datasheet measurement loops set a power mix, not a schedulable
+    trace.  The lint V08xx pattern pass and the `vdram check`
+    whole-sweep analysis share this replay. *)
+
+type usage = {
+  command_bus : float;
+      (** non-nop slots per loop cycle, [0, 1] *)
+  data_bus : float;
+      (** data-bus occupancy: column commands times their tCCD burst
+          slots per loop cycle, capped at 1 *)
+  bank_open : float;
+      (** mean fraction of the rank's banks holding an open row over
+          the steady replay window (first iteration dropped) *)
+}
+
+val pattern_usage : Timing.t -> banks:int -> Vdram_core.Pattern.t -> usage
+(** Steady-state bus and bank utilization of a loop, derived from
+    {!replay_trace} (all-zero for empty loops or no banks). *)

@@ -265,7 +265,8 @@ let test_missing_file () =
   | _ -> Alcotest.fail "expected exactly one diagnostic"
 
 let examples =
-  [ "ddr3_1gb.dram"; "ddr5_16g.dram"; "lpddr_mobile.dram"; "sdr_128m.dram" ]
+  [ "ddr3_1gb.dram"; "ddr5_16g.dram"; "inefficient.dram";
+    "lpddr_mobile.dram"; "sdr_128m.dram" ]
 
 let test_examples_lint_clean () =
   List.iter

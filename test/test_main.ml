@@ -12,6 +12,7 @@ let () =
       ("dsl", Test_dsl.suite);
       ("diagnostics", Test_diagnostics.suite);
       ("semantic", Test_semantic.suite);
+      ("advise", Test_advise.suite);
       ("datasheets", Test_datasheets.suite);
       ("configs", Test_configs.suite);
       ("analysis", Test_analysis.suite);

@@ -128,6 +128,54 @@ let test_fix_apply () =
   in
   Alcotest.(check int) "nothing applied" 0 n
 
+let test_fix_edges () =
+  let source = "act nop\npre nop\nrd wrt" in
+  (* A multi-line region swallows the intervening line break. *)
+  let f = Fix.v ~span:(span 1 5 1) ~line_end:2 "rd " in
+  let fixed, n = Fix.apply ~source [ f ] in
+  Alcotest.(check string) "multi-line replace" "act rd pre nop\nrd wrt" fixed;
+  Alcotest.(check int) "one applied" 1 n;
+  (* Adjacent but not overlapping: one fix ends exactly where the next
+     begins (the end column is exclusive), across a line break.  Both
+     must apply — adjacency is not overlap. *)
+  let first = Fix.v ~span:(span 1 5 1) ~line_end:2 "" in
+  let second = Fix.v ~span:(span 2 1 4) "act" in
+  let fixed, n = Fix.apply ~source [ first; second ] in
+  Alcotest.(check string) "adjacent fixes both apply" "act act nop\nrd wrt"
+    fixed;
+  Alcotest.(check int) "two applied" 2 n;
+  (* Zero-width insertion at the very end of a line: col_start one
+     past the last character is still in range. *)
+  let at_eol = Fix.v ~span:(span 2 8 8) " ref" in
+  let fixed, n = Fix.apply ~source [ at_eol ] in
+  Alcotest.(check string) "insert at line end" "act nop\npre nop ref\nrd wrt"
+    fixed;
+  Alcotest.(check int) "eol insert applied" 1 n;
+  (* One past the end of the line is the insertion point after its
+     last character; two past is out of range and must be dropped, not
+     misapplied against the next line. *)
+  let past = Fix.v ~span:(span 2 9 9) "x" in
+  let fixed, n = Fix.apply ~source [ past ] in
+  Alcotest.(check string) "out-of-range insert untouched" source fixed;
+  Alcotest.(check int) "out-of-range insert dropped" 0 n
+
+let test_fix_crlf () =
+  (* CRLF sources: the \r is the last character of each split line, so
+     column arithmetic still lands inside the intended line. *)
+  let source = "act nop\r\npre nop\r\nrd wrt" in
+  let f = Fix.v ~span:(span 2 1 4) "act" in
+  let fixed, n = Fix.apply ~source [ f ] in
+  Alcotest.(check string) "edit inside a CRLF line"
+    "act nop\r\nact nop\r\nrd wrt" fixed;
+  Alcotest.(check int) "one applied" 1 n;
+  (* An insertion at the LF-relative end of a CRLF line lands before
+     the \r, keeping the line ending intact. *)
+  let at_eol = Fix.v ~span:(span 1 8 8) " ref" in
+  let fixed, n = Fix.apply ~source [ at_eol ] in
+  Alcotest.(check string) "insert keeps the CR"
+    "act nop ref\r\npre nop\r\nrd wrt" fixed;
+  Alcotest.(check int) "eol insert applied" 1 n
+
 let test_suggest () =
   Alcotest.(check int) "transposition distance" 2
     (Suggest.distance "widht" "width");
@@ -915,6 +963,8 @@ let suite =
     Alcotest.test_case "fix-only code filter" `Quick test_fix_only;
     Alcotest.test_case "unified diff renderer" `Quick test_udiff_render;
     Alcotest.test_case "multi-line fix apply" `Quick test_fix_multiline;
+    Alcotest.test_case "multi-line fix edge cases" `Quick test_fix_edges;
+    Alcotest.test_case "CRLF fix apply" `Quick test_fix_crlf;
     Alcotest.test_case "multi-line fix renderers" `Quick
       test_fix_multiline_render;
     Alcotest.test_case "fix idempotence" `Quick test_fix_idempotent;

@@ -1,13 +1,22 @@
 (* CI gate over bench-analysis output.
 
    Usage: bench_gate COMMITTED.json FRESH.json
+          bench_gate --update BASELINE.json FRESH.json...
 
-   Fails (exit 1) when the fresh run broke the determinism contract,
-   when its warm disk pass did not actually hit the persistent caches,
-   when the warm pass was not faster than the cold one, or when the
-   parallel speedup regressed more than 20% below the committed
-   baseline.  The parser is deliberately naive — the bench writes one
-   scalar per line — so the gate has no dependencies. *)
+   Gate mode fails (exit 1) when the fresh run broke the determinism
+   contract, when its warm disk pass did not actually hit the
+   persistent caches, when the warm pass was not faster than the cold
+   one, or when the parallel speedup regressed more than 20% below the
+   committed baseline.  The parser is deliberately naive — the bench
+   writes one scalar per line — so the gate has no dependencies.
+
+   Update mode rewrites the committed baseline from fresh runs: with
+   two or more candidates the first is dropped as a warmup (page
+   cache, CPU governor), every survivor must pass the same sanity
+   checks the gate applies, and the median candidate by parallel
+   speedup is written verbatim into BASELINE.json — the median, not
+   the best, so a lucky scheduler draw cannot ratchet the committed
+   floor above what CI can reproduce. *)
 
 let contents path =
   try In_channel.with_open_text path In_channel.input_all
@@ -46,7 +55,84 @@ let float_field j k = float_of_string (field j k)
 let int_field j k = int_of_string (field j k)
 let bool_field j k = bool_of_string (field j k)
 
+(* The gate's structural sanity checks, shared by both modes.  [fail]
+   (a plain string consumer) decides what a violation does: exit in
+   gate mode, reject the candidate in update mode. *)
+let sanity ~(fail : string -> unit) label fresh =
+  let failed fmt =
+    Printf.ksprintf (fun m -> fail (label ^ ": " ^ m)) fmt
+  in
+  if not (bool_field fresh "identical_output") then
+    failed "parallel/disk outputs differ from serial (identical_output)";
+  let failures = try int_field fresh "failures" with Failure _ -> 0 in
+  let faults_enabled =
+    try bool_field fresh "faults_enabled" with Failure _ -> false
+  in
+  if (not faults_enabled) && failures > 0 then
+    failed "%d supervised failure(s) with fault injection disabled" failures;
+  if int_field fresh "warm_extraction_hits" <= 0 then
+    failed "warm pass never hit the extraction cache";
+  if int_field fresh "warm_mix_hits" <= 0 then
+    failed "warm pass never hit the mix cache";
+  let disk = float_field fresh "disk_speedup" in
+  if disk <= 1.0 then
+    failed "warm disk pass slower than cold (disk_speedup %.2f)" disk
+
+let update baseline_path fresh_paths =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        prerr_endline ("bench gate: FAIL: " ^ m);
+        exit 1)
+      fmt
+  in
+  if fresh_paths = [] then begin
+    prerr_endline "usage: bench_gate --update BASELINE.json FRESH.json...";
+    exit 2
+  end;
+  (* With repeated runs the first is a warmup and never a candidate. *)
+  let candidates =
+    match fresh_paths with
+    | _warmup :: (_ :: _ as rest) ->
+      Printf.printf "bench gate: dropping %s as warmup\n"
+        (List.hd fresh_paths);
+      rest
+    | only -> only
+  in
+  let measured =
+    List.map
+      (fun path ->
+        let json = contents path in
+        (try sanity ~fail:(fun m -> fail "%s" m) path json
+         with Failure m -> fail "%s: %s" path m);
+        let speedup =
+          try float_field json "speedup"
+          with Failure m -> fail "%s: %s" path m
+        in
+        (path, speedup, json))
+      candidates
+  in
+  let sorted =
+    List.sort (fun (_, a, _) (_, b, _) -> compare a b) measured
+  in
+  (* Median by speedup; the lower middle on an even count, so ties
+     break toward the conservative baseline. *)
+  let path, speedup, json =
+    List.nth sorted ((List.length sorted - 1) / 2)
+  in
+  Out_channel.with_open_text baseline_path (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf
+    "bench gate: baseline %s updated from %s (median of %d candidate(s), \
+     speedup %.3fx)\n"
+    baseline_path path (List.length sorted) speedup
+
 let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--update" :: baseline_path :: fresh_paths ->
+    update baseline_path fresh_paths;
+    exit 0
+  | _ -> ();
   match Sys.argv with
   | [| _; committed_path; fresh_path |] ->
     let committed = contents committed_path in
@@ -59,26 +145,10 @@ let () =
         fmt
     in
     (try
-       if not (bool_field fresh "identical_output") then
-         fail "parallel/disk outputs differ from serial (identical_output)";
-       (* A supervised bench run with fault injection off must be
-          failure-free; older baselines without the fields pass. *)
-       let failures =
-         try int_field fresh "failures" with Failure _ -> 0
-       in
-       let faults_enabled =
-         try bool_field fresh "faults_enabled" with Failure _ -> false
-       in
-       if (not faults_enabled) && failures > 0 then
-         fail "%d supervised failure(s) with fault injection disabled"
-           failures;
+       sanity ~fail:(fun m -> fail "%s" m) fresh_path fresh;
        let ext = int_field fresh "warm_extraction_hits" in
        let mix = int_field fresh "warm_mix_hits" in
-       if ext <= 0 then fail "warm pass never hit the extraction cache";
-       if mix <= 0 then fail "warm pass never hit the mix cache";
        let disk = float_field fresh "disk_speedup" in
-       if disk <= 1.0 then
-         fail "warm disk pass slower than cold (disk_speedup %.2f)" disk;
        let committed_speedup = float_field committed "speedup" in
        let fresh_speedup = float_field fresh "speedup" in
        let floor = 0.8 *. committed_speedup in
@@ -91,5 +161,7 @@ let () =
          fresh_speedup committed_speedup disk ext mix
      with Failure m -> fail "%s" m)
   | _ ->
-    prerr_endline "usage: bench_gate COMMITTED.json FRESH.json";
+    prerr_endline
+      "usage: bench_gate COMMITTED.json FRESH.json\n\
+      \       bench_gate --update BASELINE.json FRESH.json...";
     exit 2
