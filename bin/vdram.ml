@@ -1399,6 +1399,104 @@ let bench_analysis_cmd =
     let warm_engine, disk_warm_s =
       if warm_t2 <= warm_t1 then (w2, warm_t2) else (w1, warm_t1)
     in
+    (* Fifth pass: the delta-extraction mechanism under its production
+       workload.  The same sensitivity-shaped batch every driver runs
+       — every lens perturbed around the nominal, at four variation
+       widths so no two configurations repeat — runs cold on two
+       fresh single-domain engines, one with the delta path disabled
+       and one with it enabled (the default), and their
+       extraction-stage compute times are compared.  The full
+       pipeline (pattern mix included) stays in the loop on purpose:
+       a full extraction's working set contends with the mix stage's
+       between items exactly as it does in a real sweep, which is
+       part of what the delta path's smaller footprint buys. *)
+    let delta_workload engine =
+      let supervisor =
+        Vdram_engine.Supervise.create ~faults:Vdram_engine.Faults.none ()
+      in
+      let rs =
+        List.map
+          (fun variation ->
+            Vdram_analysis.Sensitivity.run ~engine ~supervisor ~variation cfg)
+          [ 0.05; 0.10; 0.15; 0.20 ]
+      in
+      total_failures :=
+        !total_failures
+        + (Vdram_engine.Supervise.counters supervisor)
+            .Vdram_engine.Supervise.failures;
+      rs
+    in
+    let delta_pass delta =
+      (* Compact, not just a full major: by the fifth pass the heap
+         has grown through four workloads, and fragmentation makes
+         minor collections — some of which inevitably land inside the
+         microsecond extraction windows — cost different amounts on
+         different reps.  Starting every rep from a compacted heap is
+         what makes the reps comparable at all. *)
+      Gc.compact ();
+      let t0 = now () in
+      let engine = Engine.create ~jobs:1 ~delta () in
+      let r = delta_workload engine in
+      let wall = now () -. t0 in
+      let ext_ns =
+        (Engine.stats engine).Engine.extraction_stats.Engine.time_ns
+      in
+      (engine, r, wall, ext_ns)
+    in
+    (* Best of five, reps interleaved full/incremental: extraction
+       windows are short enough on a loaded single-core box that one
+       stray scheduling gap or GC pause in a rep visibly skews the
+       ratio, and running all of one side's reps back to back lets a
+       slow epoch (writeback, frequency dip, heap growth) land on one
+       side only.  Pairing the reps makes both sides sample the same
+       process epochs; the minimum over five is stable where two or
+       three were not, and every rep's result still has to agree bit
+       for bit. *)
+    let delta_reps = 5 in
+    let reps =
+      List.init delta_reps (fun _ -> (delta_pass false, delta_pass true))
+    in
+    let best side =
+      let picked =
+        List.fold_left
+          (fun best rep ->
+            let _, _, _, bx = best and _, _, _, x = rep in
+            if x < bx then rep else best)
+          (side (List.hd reps))
+          (List.map side (List.tl reps))
+      in
+      let wall =
+        List.fold_left
+          (fun a rep ->
+            let _, _, w, _ = side rep in
+            Float.min a w)
+          infinity reps
+      in
+      let e, r, _, x = picked in
+      let _, r0, _, _ = side (List.hd reps) in
+      ( (e, r, wall, x),
+        List.for_all
+          (fun rep ->
+            let _, rr, _, _ = side rep in
+            rr = r0)
+          reps )
+    in
+    let (_full_e, full_r, full_wall_s, full_ext_ns), full_stable =
+      best fst
+    in
+    let (incr_e, incr_r, incr_wall_s, incr_ext_ns), incr_stable =
+      best snd
+    in
+    let delta_identical = full_stable && incr_stable && full_r = incr_r in
+    let delta_speedup =
+      float_of_int full_ext_ns /. Float.max 1.0 (float_of_int incr_ext_ns)
+    in
+    let dstats = (Engine.stats incr_e).Engine.delta_stats in
+    let delta_dirtied_total =
+      List.fold_left
+        (fun acc (_, n) -> acc + n)
+        0 dstats.Engine.groups_dirtied
+    in
     (* The determinism contract, checked structurally: every float of
        every run must agree bit for bit. *)
     let identical =
@@ -1428,12 +1526,18 @@ let bench_analysis_cmd =
           stage "mix" st.Engine.mix_stats;
         ]
     in
+    let machine_class =
+      Printf.sprintf "%s-%dcore"
+        (String.lowercase_ascii Sys.os_type)
+        (Domain.recommended_domain_count ())
+    in
     let json =
       Printf.sprintf
         "{\n\
         \  \"device\": %S,\n\
         \  \"workload\": \"sensitivity + corners(%d samples) + op \
          energies\",\n\
+        \  \"machine_class\": %S,\n\
         \  \"jobs_serial\": 1,\n\
         \  \"jobs_parallel\": %d,\n\
         \  \"serial_s\": %.6f,\n\
@@ -1442,6 +1546,16 @@ let bench_analysis_cmd =
         \  \"disk_cold_s\": %.6f,\n\
         \  \"disk_warm_s\": %.6f,\n\
         \  \"disk_speedup\": %.3f,\n\
+        \  \"delta_full_s\": %.6f,\n\
+        \  \"delta_incr_s\": %.6f,\n\
+        \  \"delta_full_extraction_ms\": %.3f,\n\
+        \  \"delta_incr_extraction_ms\": %.3f,\n\
+        \  \"delta_speedup\": %.3f,\n\
+        \  \"delta_identical\": %b,\n\
+        \  \"delta_attempts\": %d,\n\
+        \  \"delta_fallbacks\": %d,\n\
+        \  \"delta_groups_spliced\": %d,\n\
+        \  \"delta_groups_dirtied\": %d,\n\
         \  \"warm_extraction_hits\": %d,\n\
         \  \"warm_mix_hits\": %d,\n\
         \  \"cache_dir\": %S,\n\
@@ -1451,28 +1565,46 @@ let bench_analysis_cmd =
         \  \"parallel_stages\": [%s],\n\
         \  \"warm_stages\": [%s]\n\
          }\n"
-        cfg.Config.name samples parallel_jobs serial_s parallel_s speedup
-        disk_cold_s disk_warm_s disk_speedup warm_ext_hits warm_mix_hits
-        cache_dir identical !total_failures faults_enabled
+        cfg.Config.name samples machine_class parallel_jobs serial_s
+        parallel_s speedup disk_cold_s disk_warm_s disk_speedup full_wall_s
+        incr_wall_s
+        (float_of_int full_ext_ns /. 1e6)
+        (float_of_int incr_ext_ns /. 1e6)
+        delta_speedup delta_identical dstats.Engine.delta_attempts
+        dstats.Engine.delta_fallbacks dstats.Engine.groups_spliced
+        delta_dirtied_total warm_ext_hits warm_mix_hits cache_dir identical
+        !total_failures faults_enabled
         (stage_list parallel_engine)
         (stage_list warm_engine)
     in
     Out_channel.with_open_text out (fun oc ->
         Out_channel.output_string oc json);
     Format.printf
-      "device %s | serial %.3f s | parallel (%d jobs) %.3f s | speedup \
-       %.2fx@.disk cold %.3f s | disk warm %.3f s | disk speedup %.2fx | \
-       warm hits %d ext / %d mix@.identical %b | wrote %s@."
-      cfg.Config.name serial_s parallel_jobs parallel_s speedup disk_cold_s
-      disk_warm_s disk_speedup warm_ext_hits warm_mix_hits identical out;
-    if identical then `Ok ()
-    else fail "parallel/disk outputs differ from the serial output"
+      "device %s (%s) | serial %.3f s | parallel (%d jobs) %.3f s | \
+       speedup %.2fx@.disk cold %.3f s | disk warm %.3f s | disk speedup \
+       %.2fx | warm hits %d ext / %d mix@.delta extraction %.2f ms full \
+       -> %.2f ms incremental | delta speedup %.2fx | %d attempts, %d \
+       fallbacks, %d spliced / %d dirtied groups@.identical %b | delta \
+       identical %b | wrote %s@."
+      cfg.Config.name machine_class serial_s parallel_jobs parallel_s
+      speedup disk_cold_s disk_warm_s disk_speedup warm_ext_hits
+      warm_mix_hits
+      (float_of_int full_ext_ns /. 1e6)
+      (float_of_int incr_ext_ns /. 1e6)
+      delta_speedup dstats.Engine.delta_attempts
+      dstats.Engine.delta_fallbacks dstats.Engine.groups_spliced
+      delta_dirtied_total identical delta_identical out;
+    if identical && delta_identical then `Ok ()
+    else if not identical then
+      fail "parallel/disk outputs differ from the serial output"
+    else fail "delta-extraction output differs from the full extraction"
   in
   let doc =
     "Benchmark the staged engine: the sensitivity + corners workload run \
      serially, on the domain pool, and twice against the persistent disk \
-     cache (cold, then warm), with per-stage cache counters, written as \
-     JSON."
+     cache (cold, then warm), plus a delta pass comparing full versus \
+     incremental extraction on a sensitivity-shaped workload, with \
+     per-stage cache counters, written as JSON."
   in
   Cmd.v (Cmd.info "bench-analysis" ~doc)
     Term.(ret (const run $ jobs_arg $ samples $ out $ bench_cache_dir))

@@ -18,14 +18,14 @@ type point = {
   array_efficiency : float;
 }
 
-let measure ~engine ~label cfg =
-  let r = Engine.eval engine cfg (Pattern.idd7_mixed cfg.Config.spec) in
+let measure ?base ~engine ~label cfg =
+  let r = Engine.eval ?base engine cfg (Pattern.idd7_mixed cfg.Config.spec) in
   let g = Engine.geometry engine cfg in
   {
     label;
     power = r.Report.power;
     energy_per_bit = Option.value ~default:0.0 r.Report.energy_per_bit;
-    activate_energy = Engine.op_energy engine cfg Operation.Activate;
+    activate_energy = Engine.op_energy ?base engine cfg Operation.Activate;
     die_area = g.Engine.die_area;
     array_efficiency = g.Engine.array_efficiency;
   }
@@ -44,9 +44,12 @@ let point_check p =
    cheap — then fans the model evaluations out on the pool.  Under
    supervision a failed variant is dropped from the listing and
    recorded on the supervisor. *)
-let measure_all ?supervisor ~engine variants =
+let measure_all ?supervisor ?base ~engine variants =
+  (match base with
+  | Some b -> ignore (Engine.extraction engine b)
+  | None -> ());
   Supervise.map_jobs ?supervisor engine ~check:point_check
-    (fun (label, cfg) -> measure ~engine ~label cfg)
+    (fun (label, cfg) -> measure ?base ~engine ~label cfg)
     variants
   |> List.filter_map (function Supervise.Done p -> Some p | _ -> None)
 
@@ -59,7 +62,11 @@ let build ?engine ?supervisor ~node f =
         Config.commodity ?page_bits ?bits_per_bitline ?bits_per_lwl ?style
           ?prefetch ~node ())
   in
-  measure_all ?supervisor ~engine variants
+  (* Every variant is the commodity configuration at [node] with one
+     design choice changed: warm the unmodified configuration's
+     extraction and splice each variant's untouched circuit groups
+     from it. *)
+  measure_all ?supervisor ~base:(Config.commodity ~node ()) ~engine variants
 
 let page_size ?engine ?supervisor ~node ~pages () =
   build ?engine ?supervisor ~node (fun make ->

@@ -70,7 +70,11 @@ let point_check p =
   else Some (Printf.sprintf "non-finite trend point at %s" (Node.name p.node))
 
 (* A generation whose evaluation fails under supervision is dropped
-   from the trend line (failure recorded on the supervisor). *)
+   from the trend line (failure recorded on the supervisor).  No delta
+   base is offered on this batch: successive generations differ in
+   nearly every technology field, so a cross-generation splice would
+   dirty every circuit group and degrade to the full extraction
+   anyway. *)
 let all ?engine ?supervisor () =
   let engine =
     match engine with Some e -> e | None -> Engine.serial ()

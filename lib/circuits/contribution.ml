@@ -6,6 +6,31 @@ type t = {
   energy : float;
 }
 
+(* The circuit group a contribution bundle originates from: the
+   granularity of the staged engine's incremental delta-extraction.
+   One group per charge-model module (plus the DQ interface, which
+   lives at the configuration level). *)
+type group = Wordline | Sense_amp | Column | Bus | Interface | Logic
+
+let groups = [ Wordline; Sense_amp; Column; Bus; Interface; Logic ]
+let group_count = 6
+
+let group_index = function
+  | Wordline -> 0
+  | Sense_amp -> 1
+  | Column -> 2
+  | Bus -> 3
+  | Interface -> 4
+  | Logic -> 5
+
+let group_name = function
+  | Wordline -> "wordline"
+  | Sense_amp -> "sense-amp"
+  | Column -> "column"
+  | Bus -> "bus"
+  | Interface -> "interface"
+  | Logic -> "logic"
+
 let v ~label ~domain ~energy = { label; domain; energy }
 
 let event ~cap ~voltage = 0.5 *. cap *. voltage *. voltage

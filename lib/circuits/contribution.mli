@@ -11,6 +11,24 @@ type t = {
   energy : float;           (** joules per operation occurrence *)
 }
 
+type group = Wordline | Sense_amp | Column | Bus | Interface | Logic
+(** The circuit group a contribution originates from — one per charge
+    model under [lib/circuits], plus the configuration-level DQ
+    interface.  This is the granularity of the staged engine's
+    incremental delta-extraction: a perturbation dirties some groups
+    and the engine re-extracts only those. *)
+
+val groups : group list
+(** All groups, in {!group_index} order. *)
+
+val group_count : int
+(** [List.length groups]. *)
+
+val group_index : group -> int
+(** Dense index, [0 .. group_count - 1]. *)
+
+val group_name : group -> string
+
 val v : label:string -> domain:Domains.domain -> energy:float -> t
 
 val event : cap:float -> voltage:float -> float

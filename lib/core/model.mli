@@ -65,29 +65,84 @@ val physics_projection : Config.t -> Config.t
 
 type extraction
 (** The capacitance-extraction stage: per-operation contribution lists
-    and their supply energies, derived once from a configuration.  The
-    pattern-mix stage only reads this record, so several patterns can
-    be evaluated — or the record cached behind a content key, as
-    [Vdram_engine] does — without re-extracting. *)
+    and their supply energies, derived once from a configuration and
+    stored as the per-circuit-group segments that produced them, with
+    each contribution's supply energy precomputed and its breakdown
+    label interned to a dense id.  The pattern-mix stage only reads
+    this record, so several patterns can be evaluated — or the record
+    cached behind a content key, as [Vdram_engine] does — without
+    re-extracting; and {!extract_delta} can splice the clean segments
+    of a base extraction, recomputing only dirtied groups. *)
 
-val extract : ?activated_bits:int -> Config.t -> extraction
+val extract :
+  ?activated_bits:int ->
+  ?geometry:Vdram_floorplan.Array_geometry.t ->
+  Config.t ->
+  extraction
 (** Run capacitance extraction for every operation.  [activated_bits]
-    optionally feeds in an already-resolved page size (see
-    {!Operation.contributions}). *)
+    and [geometry] optionally feed in an already-resolved page size
+    and array geometry (see {!Operation.ctx}). *)
+
+type delta_outcome = {
+  dirtied : Vdram_circuits.Contribution.group list;
+      (** groups whose sub-key changed and were re-extracted *)
+  spliced : int;  (** clean groups shared from the base extraction *)
+  fallback : bool;
+      (** a structural mismatch abandoned the splice for a full
+          {!extract} (the result is still exact) *)
+}
+
+val extract_delta :
+  ?activated_bits:int ->
+  ?geometry:Vdram_floorplan.Array_geometry.t ->
+  base:extraction ->
+  Config.t ->
+  extraction * delta_outcome
+(** Incremental extraction against a cached base: classifies each
+    circuit group clean or dirty by running compiled field-by-field
+    predicates over exactly the values the group's charge model reads
+    (the same read sets {!group_key} digests — a qcheck property
+    holds the two encodings in lockstep), re-extracts only the dirty
+    groups and splices the rest from the base.  Bit-identical to
+    {!extract} on the same configuration — clean segments hold the
+    same floats the full extraction would recompute, and totals are
+    re-summed in the same order.  When generator efficiencies change,
+    spliced segments keep their contribution chunks and recompute
+    supply-energy terms for exactly the segments drawing from a
+    changed efficiency's domain, sharing the rest untouched. *)
+
+val group_key : extraction -> Vdram_circuits.Contribution.group -> string
+(** Hex digest of one group's marshalled sub-key tuple — stable
+    across perturbations that cannot touch the group, changed
+    whenever one can.  The tuples are the definition of record for
+    each group's read set; the delta probe itself runs compiled
+    predicates mirroring them (never marshalling on the hot path),
+    and the lockstep property test cross-checks the two encodings
+    for every lens. *)
 
 val extraction_contributions :
   extraction -> Operation.kind -> Vdram_circuits.Contribution.t list
 (** The cached equivalent of {!Operation.contributions}. *)
 
 val extraction_energy : extraction -> Operation.kind -> float
-(** The cached equivalent of {!Operation.energy}. *)
+(** The cached equivalent of {!Operation.energy}, a dense array
+    lookup. *)
 
 val background_power_staged : extraction -> Config.t -> float
 (** {!background_power} from a prior extraction. *)
 
-val pattern_power_staged : extraction -> Config.t -> Pattern.t -> Report.t
-(** The pattern-mix stage: {!pattern_power} from a prior extraction.
-    Bit-identical to {!pattern_power} on the same configuration. *)
+val op_count_vector : Pattern.t -> float array
+(** Dense command counts of one loop iteration, [Operation.index]
+    order; [Nop] stays zero.  The staged engine memoizes this per
+    pattern and feeds it back through [?counts] below. *)
+
+val pattern_power_staged :
+  ?counts:float array -> extraction -> Config.t -> Pattern.t -> Report.t
+(** The pattern-mix stage: {!pattern_power} from a prior extraction,
+    as a flat array kernel over the extraction's dense per-label
+    terms.  Bit-identical to {!pattern_power} on the same
+    configuration (breakdown ties may list in a different order).
+    [counts] must be {!op_count_vector}[ pattern] when given. *)
 
 val pattern_power : Config.t -> Pattern.t -> Report.t
 (** Average power of a continuously repeating command loop:

@@ -23,7 +23,7 @@ exception Stage_error of string * exn
     is active ({!Faults.supervised}); outside supervision stage
     exceptions propagate unwrapped, exactly as they always have. *)
 
-val create : ?jobs:int -> ?store:Store.t -> unit -> t
+val create : ?jobs:int -> ?store:Store.t -> ?delta:bool -> unit -> t
 (** A fresh engine.  [jobs] bounds the domain pool used by
     {!map_jobs}; it defaults to {!Pool.default_jobs} (which honours
     [VDRAM_JOBS]).  [store] attaches a persistent cross-process cache:
@@ -31,13 +31,21 @@ val create : ?jobs:int -> ?store:Store.t -> unit -> t
     immediately and written back by {!flush_store}.  A stale or
     corrupt snapshot is not silently discarded: the store quarantines
     the file, and {!discarded} counts the stages that started cold
-    because of it. *)
+    because of it.  [delta] (default [true]) enables the incremental
+    delta-extraction path taken when a caller passes [?base]; turning
+    it off forces every extraction miss through the full extract —
+    results are bit-identical either way (the bench uses the switch to
+    measure the delta mechanism in isolation). *)
 
 val serial : unit -> t
 (** [create ~jobs:1 ()] — the drop-in default the analysis drivers use
     when no engine is supplied. *)
 
 val jobs : t -> int
+
+val delta_enabled : t -> bool
+(** Whether the engine honours [?base] with the incremental
+    delta-extraction path (see {!create}). *)
 
 (** {1 Persistent store} *)
 
@@ -80,25 +88,50 @@ val geometry : t -> Vdram_core.Config.t -> geometry
 (** Geometry/floorplan stage.  Keyed on the floorplan and the
     activation fraction — the only configuration fields it reads. *)
 
-val extraction : t -> Vdram_core.Config.t -> Vdram_core.Model.extraction
+val extraction :
+  ?base:Vdram_core.Config.t ->
+  t ->
+  Vdram_core.Config.t ->
+  Vdram_core.Model.extraction
 (** Capacitance-extraction stage ({!Vdram_core.Model.extract}).  Keyed
     on {!Vdram_core.Model.physics_projection} — every field except
-    [name]. *)
+    [name].  [base] names a configuration the evaluated one is a small
+    perturbation of (a sweep's nominal point, a corner draw's seed):
+    on a miss, if the base's extraction is cached, the stage runs
+    {!Vdram_core.Model.extract_delta} against it — re-extracting only
+    the circuit groups whose per-group sub-key changed and splicing
+    the rest — instead of a full extract.  The result is bit-identical
+    either way; an uncached base or a [~delta:false] engine silently
+    degrades to the full extraction. *)
 
-val eval : t -> Vdram_core.Config.t -> Vdram_core.Pattern.t ->
+val eval :
+  ?base:Vdram_core.Config.t ->
+  t ->
+  Vdram_core.Config.t ->
+  Vdram_core.Pattern.t ->
   Vdram_core.Report.t
 (** Pattern-mix stage: the full report.  Keyed on the physical
     configuration and the pattern; the report's [config_name] is
     patched to the caller's configuration name on every return, so a
     cache hit from a renamed twin stays correctly labelled.
-    Bit-identical to {!Vdram_core.Model.pattern_power}. *)
+    Bit-identical to {!Vdram_core.Model.pattern_power}.  [base] is
+    forwarded to {!extraction} on a mix miss. *)
 
-val power : t -> Vdram_core.Config.t -> Vdram_core.Pattern.t -> float
-val current : t -> Vdram_core.Config.t -> Vdram_core.Pattern.t -> float
+val power :
+  ?base:Vdram_core.Config.t ->
+  t -> Vdram_core.Config.t -> Vdram_core.Pattern.t -> float
+
+val current :
+  ?base:Vdram_core.Config.t ->
+  t -> Vdram_core.Config.t -> Vdram_core.Pattern.t -> float
+
 val energy_per_bit :
+  ?base:Vdram_core.Config.t ->
   t -> Vdram_core.Config.t -> Vdram_core.Pattern.t -> float option
 
-val op_energy : t -> Vdram_core.Config.t -> Vdram_core.Operation.kind -> float
+val op_energy :
+  ?base:Vdram_core.Config.t ->
+  t -> Vdram_core.Config.t -> Vdram_core.Operation.kind -> float
 (** Per-occurrence supply energy of one operation, from the cached
     extraction ({!Vdram_core.Operation.energy} equivalent). *)
 
@@ -117,10 +150,22 @@ type stage_stats = {
   time_ns : int;  (** monotonic time spent computing misses *)
 }
 
+type delta_stats = {
+  delta_attempts : int;
+      (** extraction misses served by the delta path (cached base) *)
+  delta_fallbacks : int;
+      (** delta attempts that fell back to a full extract *)
+  groups_spliced : int;
+      (** clean circuit groups shared from base extractions *)
+  groups_dirtied : (string * int) list;
+      (** re-extracted group counts, keyed by group name *)
+}
+
 type stats = {
   geometry_stats : stage_stats;
   extraction_stats : stage_stats;
   mix_stats : stage_stats;
+  delta_stats : delta_stats;
 }
 
 val stats : t -> stats

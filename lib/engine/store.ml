@@ -181,7 +181,13 @@ let with_backoff ~retries ~backoff t body =
 
 let save ?(retries = 2) ?(backoff = 0.005) t ~name v =
   mkdir_p t.dir;
-  let payload = Marshal.to_string v [ Marshal.No_sharing ] in
+  (* Sharing is preserved (unlike fingerprinting, which needs canonical
+     bytes): delta-extraction splices clean per-operation segments from
+     the base extraction, and perturbed configurations share every
+     untouched substructure, so a snapshot of a sweep's cache entries is
+     a dense DAG.  Flattening it with [No_sharing] multiplies both the
+     file size and the warm-start unmarshal time by the sweep width. *)
+  let payload = Marshal.to_string v [] in
   let write () =
     match Filename.temp_file ~temp_dir:t.dir ("." ^ name) ".tmp" with
     | exception Sys_error e -> Error e

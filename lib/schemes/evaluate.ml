@@ -24,16 +24,23 @@ let run ?engine baseline scheme =
   let engine =
     match engine with Some e -> e | None -> Engine.serial ()
   in
-  let power cfg pattern = Engine.power engine cfg pattern in
   let modified = scheme.Scheme.transform baseline in
+  (* Warm the baseline's extraction, then evaluate the transformed
+     configuration with it as the delta base: a scheme perturbs a few
+     fields, so only the circuit groups it reaches re-extract. *)
+  ignore (Engine.extraction engine baseline);
+  let power ?base cfg pattern = Engine.power ?base engine cfg pattern in
   let saving pattern_of =
     let before = power baseline (pattern_of baseline.Config.spec) in
-    let after = power modified (pattern_of modified.Config.spec) in
+    let after =
+      power ~base:baseline modified (pattern_of modified.Config.spec)
+    in
     (before -. after) /. before
   in
-  let epb cfg =
+  let epb ?base cfg =
     match
-      Engine.energy_per_bit engine cfg (Pattern.idd7_mixed cfg.Config.spec)
+      Engine.energy_per_bit ?base engine cfg
+        (Pattern.idd7_mixed cfg.Config.spec)
     with
     | Some e -> e
     | None -> assert false
@@ -44,12 +51,13 @@ let run ?engine baseline scheme =
     baseline_name = baseline.Config.name;
     activate_energy_before =
       Engine.op_energy engine baseline Operation.Activate;
-    activate_energy_after = Engine.op_energy engine modified Operation.Activate;
+    activate_energy_after =
+      Engine.op_energy ~base:baseline engine modified Operation.Activate;
     idd0_saving = saving Pattern.idd0;
     idd4r_saving = saving Pattern.idd4r;
     idd7_saving = saving Pattern.idd7_mixed;
     energy_per_bit_before = epb baseline;
-    energy_per_bit_after = epb modified;
+    energy_per_bit_after = epb ~base:baseline modified;
     die_area_before = die;
     die_area_after = die *. scheme.Scheme.area_factor;
   }

@@ -12,6 +12,8 @@ module Report = Vdram_core.Report
 module Params = Vdram_tech.Params
 module Sensitivity = Vdram_analysis.Sensitivity
 module Corners = Vdram_analysis.Corners
+module Lenses = Vdram_analysis.Lenses
+module Contribution = Vdram_circuits.Contribution
 
 let base () = Lazy.force Helpers.ddr3_2g
 
@@ -224,6 +226,95 @@ let fingerprint_faithful =
       Fp.equal (fp c1) (fp renamed)
       && Fp.equal (fp c1) (fp c2)
          = (Model.physics_projection c1 = Model.physics_projection c2))
+
+(* ----- delta extraction ----------------------------------------------- *)
+
+(* The content-addressing contract: for EVERY lens, at a random scale
+   on a random base, the spliced extraction must equal the full
+   re-extraction bit for bit (record and report alike), the groups the
+   splice actually dirtied must be within the lens's declared dirty
+   set — an under-declared [Lenses.dirties] table fails here, an
+   over-declared one merely wastes splices — and the dirty decision
+   itself (the compiled per-group predicates) must agree exactly with
+   the marshalled sub-key digests of [Model.group_key], so the two
+   encodings of each group's read set cannot drift apart. *)
+let delta_matches_full =
+  QCheck.Test.make
+    ~name:"extract_delta: bit-identical to full for every lens" ~count:8
+    QCheck.(pair (float_range 0.85 1.2) (float_range 0.7 1.3))
+    (fun (base_factor, scale) ->
+      let cfg = scale_bitline (base ()) base_factor in
+      let base_ex = Model.extract cfg in
+      let p = Pattern.idd7_mixed cfg.Config.spec in
+      List.for_all
+        (fun lens ->
+          let cfg' = Lenses.scale lens scale cfg in
+          let full = Model.extract cfg' in
+          let delta, outcome = Model.extract_delta ~base:base_ex cfg' in
+          delta = full
+          && Model.pattern_power_staged delta cfg' p
+             = Model.pattern_power_staged full cfg' p
+          && (not outcome.Model.fallback)
+          && List.for_all
+               (fun g -> List.mem g lens.Lenses.dirties)
+               outcome.Model.dirtied
+          && List.for_all
+               (fun g ->
+                 List.mem g outcome.Model.dirtied
+                 = (Model.group_key base_ex g <> Model.group_key full g))
+               Contribution.groups)
+        Lenses.all)
+
+let delta_group_keys () =
+  (* Scaling the bitline capacitance reaches the wordline (coupling)
+     and sense-amplifier (swing) charge models and nothing else: their
+     sub-keys must move, the other four must hold bit-still. *)
+  let cfg = base () in
+  let ex = Model.extract cfg in
+  let ex' = Model.extract (scale_bitline cfg 1.1) in
+  List.iter
+    (fun g ->
+      let name = Contribution.group_name g in
+      let stable = Model.group_key ex g = Model.group_key ex' g in
+      match g with
+      | Contribution.Wordline | Contribution.Sense_amp ->
+        Helpers.check_true (name ^ " sub-key dirtied") (not stable)
+      | _ -> Helpers.check_true (name ^ " sub-key stable") stable)
+    Contribution.groups
+
+let engine_delta_path () =
+  let cfg = base () in
+  let p = Pattern.idd0 cfg.Config.spec in
+  let cfg' = scale_bitline cfg 1.05 in
+  let on = Engine.create ~jobs:1 () in
+  ignore (Engine.eval on cfg p);
+  let r = Engine.eval ~base:cfg on cfg' p in
+  Helpers.check_true "delta eval bit-identical to the direct model"
+    (r = Model.pattern_power cfg' p);
+  let ds = (Engine.stats on).Engine.delta_stats in
+  Alcotest.(check int) "one delta attempt" 1 ds.Engine.delta_attempts;
+  Alcotest.(check int) "no fallback" 0 ds.Engine.delta_fallbacks;
+  Alcotest.(check int) "four clean groups spliced" 4
+    ds.Engine.groups_spliced;
+  (* The switch: a [~delta:false] engine returns the same report and
+     never takes the delta path. *)
+  let off = Engine.create ~jobs:1 ~delta:false () in
+  ignore (Engine.eval off cfg p);
+  Helpers.check_true "delta-off engine identical"
+    (Engine.eval ~base:cfg off cfg' p = r);
+  Alcotest.(check int) "delta-off never attempts" 0
+    (Engine.stats off).Engine.delta_stats.Engine.delta_attempts
+
+let sensitivity_delta_identity () =
+  let cfg = base () in
+  let on = Engine.create ~jobs:1 () in
+  let off = Engine.create ~jobs:1 ~delta:false () in
+  let s_on = Sensitivity.run ~engine:on cfg in
+  let s_off = Sensitivity.run ~engine:off cfg in
+  Helpers.check_true "sensitivity identical with delta on and off"
+    (s_on = s_off);
+  Helpers.check_true "the delta engine actually took the delta path"
+    ((Engine.stats on).Engine.delta_stats.Engine.delta_attempts > 0)
 
 (* ----- persistent store ----------------------------------------------- *)
 
@@ -706,6 +797,13 @@ let suite =
     Helpers.qcheck eval_determinism;
     Helpers.qcheck map_jobs_determinism;
     Helpers.qcheck fingerprint_faithful;
+    Helpers.qcheck delta_matches_full;
+    Alcotest.test_case "delta: group sub-keys move only when dirtied" `Quick
+      delta_group_keys;
+    Alcotest.test_case "delta: engine path identical, counted, switchable"
+      `Quick engine_delta_path;
+    Alcotest.test_case "delta: sensitivity identical with delta off" `Quick
+      sensitivity_delta_identity;
     Alcotest.test_case "disk cache round-trip" `Quick store_roundtrip;
     Alcotest.test_case "disk cache corruption recovery" `Quick
       store_corruption_recovery;

@@ -4,19 +4,28 @@
           bench_gate --update BASELINE.json FRESH.json...
 
    Gate mode fails (exit 1) when the fresh run broke the determinism
-   contract, when its warm disk pass did not actually hit the
-   persistent caches, when the warm pass was not faster than the cold
-   one, or when the parallel speedup regressed more than 20% below the
+   contract (parallel/disk or delta extraction), when its warm disk
+   pass did not actually hit the persistent caches, when the warm pass
+   was not faster than the cold one, or when the parallel or
+   delta-extraction speedup regressed more than 20% below the
    committed baseline.  The parser is deliberately naive — the bench
    writes one scalar per line — so the gate has no dependencies.
+
+   The committed baseline holds one run per machine class (the
+   [machine_class] field the bench stamps: OS + core count).  The gate
+   compares the fresh run against the baseline with the matching
+   class; when none exists it falls back to the first committed run
+   with a warning, because a 4-core runner should not be held to an
+   d32-core floor — but a missing class is worth seeing in the log.
 
    Update mode rewrites the committed baseline from fresh runs: with
    two or more candidates the first is dropped as a warmup (page
    cache, CPU governor), every survivor must pass the same sanity
    checks the gate applies, and the median candidate by parallel
-   speedup is written verbatim into BASELINE.json — the median, not
-   the best, so a lucky scheduler draw cannot ratchet the committed
-   floor above what CI can reproduce. *)
+   speedup replaces its machine class's entry in BASELINE.json,
+   leaving other classes' entries intact — the median, not the best,
+   so a lucky scheduler draw cannot ratchet the committed floor above
+   what CI can reproduce. *)
 
 let contents path =
   try In_channel.with_open_text path In_channel.input_all
@@ -55,6 +64,52 @@ let float_field j k = float_of_string (field j k)
 let int_field j k = int_of_string (field j k)
 let bool_field j k = bool_of_string (field j k)
 
+let string_field j k =
+  let raw = field j k in
+  let n = String.length raw in
+  if n >= 2 && raw.[0] = '"' && raw.[n - 1] = '"' then String.sub raw 1 (n - 2)
+  else raw
+
+(* A baseline file is either one bench run (the historical format) or
+   a JSON array of runs, one per machine class.  Split on balanced
+   top-level braces, skipping brace characters inside strings. *)
+let split_runs json =
+  let runs = ref [] in
+  let depth = ref 0 and start = ref 0 and in_string = ref false in
+  String.iteri
+    (fun i c ->
+      if !in_string then begin
+        if c = '"' && (i = 0 || json.[i - 1] <> '\\') then in_string := false
+      end
+      else
+        match c with
+        | '"' -> in_string := true
+        | '{' ->
+          if !depth = 0 then start := i;
+          incr depth
+        | '}' ->
+          decr depth;
+          if !depth = 0 then
+            runs := String.sub json !start (i - !start + 1) :: !runs
+        | _ -> ())
+    json;
+  List.rev !runs
+
+(* Runs without the field (pre-class baselines) all share one bucket. *)
+let machine_class json =
+  try string_field json "machine_class" with Failure _ -> "unclassified"
+
+(* The committed run the fresh one should be measured against: the
+   matching machine class when present, the first run (with a warning)
+   otherwise. *)
+let committed_for ~machine_class:cls committed_file =
+  match split_runs committed_file with
+  | [] -> failwith "committed baseline holds no runs"
+  | first :: _ as runs ->
+    (match List.find_opt (fun r -> machine_class r = cls) runs with
+     | Some r -> (r, true)
+     | None -> (first, false))
+
 (* The gate's structural sanity checks, shared by both modes.  [fail]
    (a plain string consumer) decides what a violation does: exit in
    gate mode, reject the candidate in update mode. *)
@@ -76,7 +131,18 @@ let sanity ~(fail : string -> unit) label fresh =
     failed "warm pass never hit the mix cache";
   let disk = float_field fresh "disk_speedup" in
   if disk <= 1.0 then
-    failed "warm disk pass slower than cold (disk_speedup %.2f)" disk
+    failed "warm disk pass slower than cold (disk_speedup %.2f)" disk;
+  (* Delta-extraction contract, for benches new enough to report it:
+     the incremental result must be bit-identical to the full one, and
+     the delta pass must actually have taken the delta path. *)
+  match (try Some (bool_field fresh "delta_identical") with Failure _ -> None)
+  with
+  | None -> ()
+  | Some false ->
+    failed "delta extraction differs from full extraction (delta_identical)"
+  | Some true ->
+    if int_field fresh "delta_attempts" <= 0 then
+      failed "delta pass never took the delta path (delta_attempts 0)"
 
 let update baseline_path fresh_paths =
   let fail fmt =
@@ -112,6 +178,17 @@ let update baseline_path fresh_paths =
         (path, speedup, json))
       candidates
   in
+  (* One update run measures one machine; mixing classes in a single
+     candidate pool would make the median meaningless. *)
+  let classes =
+    List.sort_uniq compare
+      (List.map (fun (_, _, j) -> machine_class j) measured)
+  in
+  let cls =
+    match classes with
+    | [ c ] -> c
+    | cs -> fail "candidates span machine classes %s" (String.concat ", " cs)
+  in
   let sorted =
     List.sort (fun (_, a, _) (_, b, _) -> compare a b) measured
   in
@@ -120,12 +197,26 @@ let update baseline_path fresh_paths =
   let path, speedup, json =
     List.nth sorted ((List.length sorted - 1) / 2)
   in
+  (* Replace this machine class's entry, keep every other class. *)
+  let kept =
+    if Sys.file_exists baseline_path then
+      List.filter
+        (fun r -> machine_class r <> cls)
+        (split_runs (contents baseline_path))
+    else []
+  in
+  let runs = kept @ [ json ] in
   Out_channel.with_open_text baseline_path (fun oc ->
-      Out_channel.output_string oc json);
+      match runs with
+      | [ only ] -> Out_channel.output_string oc only
+      | _ ->
+        Out_channel.output_string oc "[\n";
+        Out_channel.output_string oc (String.concat ",\n" runs);
+        Out_channel.output_string oc "\n]\n");
   Printf.printf
-    "bench gate: baseline %s updated from %s (median of %d candidate(s), \
-     speedup %.3fx)\n"
-    baseline_path path (List.length sorted) speedup
+    "bench gate: baseline %s updated for class %s from %s (median of %d \
+     candidate(s), speedup %.3fx; %d other class(es) kept)\n"
+    baseline_path cls path (List.length sorted) speedup (List.length kept)
 
 let () =
   match Array.to_list Sys.argv with
@@ -135,7 +226,7 @@ let () =
   | _ -> ();
   match Sys.argv with
   | [| _; committed_path; fresh_path |] ->
-    let committed = contents committed_path in
+    let committed_file = contents committed_path in
     let fresh = contents fresh_path in
     let fail fmt =
       Printf.ksprintf
@@ -146,6 +237,15 @@ let () =
     in
     (try
        sanity ~fail:(fun m -> fail "%s" m) fresh_path fresh;
+       let cls = machine_class fresh in
+       let committed, matched = committed_for ~machine_class:cls
+           committed_file
+       in
+       if not matched then
+         Printf.printf
+           "bench gate: warning — no committed baseline for machine class \
+            %s, comparing against class %s\n"
+           cls (machine_class committed);
        let ext = int_field fresh "warm_extraction_hits" in
        let mix = int_field fresh "warm_mix_hits" in
        let disk = float_field fresh "disk_speedup" in
@@ -155,10 +255,27 @@ let () =
        if fresh_speedup < floor then
          fail "speedup %.3f regressed below 0.8x committed %.3f"
            fresh_speedup committed_speedup;
+       (* Same 20% regression band for the delta-extraction speedup,
+          when both sides are new enough to report one. *)
+       let delta_note =
+         match
+           ( (try Some (float_field committed "delta_speedup")
+              with Failure _ -> None),
+             try Some (float_field fresh "delta_speedup")
+             with Failure _ -> None )
+         with
+         | Some c, Some f ->
+           if f < 0.8 *. c then
+             fail "delta_speedup %.3f regressed below 0.8x committed %.3f" f
+               c;
+           Printf.sprintf ", delta %.2fx (committed %.2fx)" f c
+         | None, Some f -> Printf.sprintf ", delta %.2fx (no baseline)" f
+         | _, None -> ""
+       in
        Printf.printf
-         "bench gate: ok — speedup %.2fx (committed %.2fx), disk %.2fx, \
-          warm hits %d ext / %d mix\n"
-         fresh_speedup committed_speedup disk ext mix
+         "bench gate: ok [%s] — speedup %.2fx (committed %.2fx), disk \
+          %.2fx%s, warm hits %d ext / %d mix\n"
+         cls fresh_speedup committed_speedup disk delta_note ext mix
      with Failure m -> fail "%s" m)
   | _ ->
     prerr_endline
