@@ -1,4 +1,4 @@
-.PHONY: all build test check check-model lint advise bench bench-analysis bench-gate bench-update chaos examples clean doc export
+.PHONY: all build test check check-model lint advise bench bench-analysis bench-gate bench-update chaos serve-smoke examples clean doc export
 
 all: build
 
@@ -60,6 +60,13 @@ chaos: build
 	  ! grep -q '"injected": false' chaos_$$seed.json || { echo "seed $$seed: non-injected failure leaked"; exit 1; }; \
 	  echo "chaos seed $$seed: ok"; \
 	done
+
+# Serve daemon end-to-end: boot the real binary under fault
+# injection, drive concurrent mixed traffic (coalescing and
+# injected-only failures are counter-verified), then SIGTERM it and
+# assert a clean drain with the store flushed.  See doc/SERVE.md.
+serve-smoke: build
+	dune exec tools/serve_smoke.exe -- _build/default/bin/vdram.exe
 
 examples:
 	dune exec examples/quickstart.exe

@@ -228,8 +228,33 @@ let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
    aborts and usage errors go through cmdliner's own codes. *)
 let exit_partial = 3
 
+(* SIGINT/SIGTERM on a batched command still leaves useful state
+   behind: the disk store is flushed, the failure report is written,
+   and the partial supervision counters are printed — the same drain
+   discipline [vdram serve] applies, through the shared Signals
+   module. *)
+let install_interrupt ~command engine supervisor fail_log =
+  Vdram_serve.Signals.install (fun signum ->
+      Format.eprintf "@.%s: interrupted; flushing partial state@." command;
+      Vdram_engine.Engine.flush_store engine;
+      (match (supervisor, fail_log) with
+       | Some sup, Some path ->
+         (try
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc
+                  (Vdram_engine.Supervise.report_to_json ~command sup))
+          with Sys_error _ -> ())
+       | _ -> ());
+      (match supervisor with
+       | None -> ()
+       | Some sup ->
+         Format.eprintf "supervised: %a@." Vdram_engine.Supervise.pp_counters
+           (Vdram_engine.Supervise.counters sup));
+      exit (128 + Vdram_serve.Signals.os_number signum))
+
 let run_supervised ~command ~timings ~engine ~supervisor ~fail_log body =
   let module S = Vdram_engine.Supervise in
+  install_interrupt ~command engine supervisor fail_log;
   match body () with
   | () ->
     let failures = finalize ~command timings engine supervisor fail_log in
@@ -299,25 +324,10 @@ let power_cmd =
       (match resolve_pattern config stored pattern with
        | Error e -> fail "%s" e
        | Ok p ->
-         Format.printf "%a@.@." Config.pp config;
-         (match Vdram_core.Validate.check config with
-          | [] -> ()
-          | findings ->
-            List.iter
-              (fun f ->
-                Format.printf "%a@." Vdram_core.Validate.pp_finding f)
-              findings;
-            Format.printf "@.");
-         let spec = config.Config.spec in
-         List.iter
-           (fun pat ->
-             let r = Model.pattern_power config pat in
-             Format.printf "%-12s %10s  %10s@." pat.Pattern.name
-               (Vdram_units.Si.format_eng ~unit_symbol:"W" r.Report.power)
-               (Vdram_units.Si.format_eng ~unit_symbol:"A" r.Report.current))
-           [ Pattern.idle; Pattern.idd0 spec; Pattern.idd4r spec;
-             Pattern.idd4w spec; Pattern.idd7 spec ];
-         Format.printf "@.%a@." Report.pp_full (Model.pattern_power config p);
+         (* Shared with [vdram serve]: same renderer, so a daemon
+            response is byte-equal to this stdout. *)
+         Vdram_serve.Render.power ~eval:Model.pattern_power
+           Format.std_formatter config p;
          `Ok ())
   in
   let doc = "Compute power and currents of a device." in
@@ -375,18 +385,7 @@ let sensitivity_cmd =
                   Vdram_analysis.Sensitivity.run ~engine ?supervisor
                     ~pattern:p config
                 in
-                Format.printf "%s | %s | nominal %s@."
-                  s.Vdram_analysis.Sensitivity.config_name
-                  s.Vdram_analysis.Sensitivity.pattern_name
-                  (Vdram_units.Si.format_eng ~unit_symbol:"W"
-                     s.Vdram_analysis.Sensitivity.nominal_power);
-                List.iteri
-                  (fun i e ->
-                    if i < top then
-                      Format.printf "%2d  %-46s %+7.2f%%@." (i + 1)
-                        e.Vdram_analysis.Sensitivity.lens_name
-                        e.Vdram_analysis.Sensitivity.span_percent)
-                  s.Vdram_analysis.Sensitivity.entries)))
+                Vdram_serve.Render.sensitivity ~top Format.std_formatter s)))
   in
   let doc = "Rank parameters by power impact (Fig 10 / Table III)." in
   Cmd.v (Cmd.info "sensitivity" ~doc)
@@ -1205,8 +1204,8 @@ let corners_cmd =
                   Vdram_analysis.Corners.run ~engine ?supervisor ~samples
                     ~spread ~pattern:p config
                 in
-                Format.printf "%s | %s@.%a@." config.Config.name
-                  p.Pattern.name Vdram_analysis.Corners.pp d)))
+                Vdram_serve.Render.corners ~config_name:config.Config.name
+                  ~pattern_name:p.Pattern.name Format.std_formatter d)))
   in
   let doc = "Monte-Carlo parameter spread (the vendor-spread story)." in
   Cmd.v (Cmd.info "corners" ~doc)
@@ -1688,6 +1687,115 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc)
     Term.(ret (const run $ node $ density_mbits $ io_width $ datarate))
 
+(* ----- serve ------------------------------------------------------- *)
+
+let serve_cmd =
+  let module Server = Vdram_serve.Server in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Listen on a TCP socket (port 0 picks a free port).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 8
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Concurrent computations; excess requests are rejected \
+                with an $(i,overloaded) error and a retry-after hint.")
+  in
+  let max_clients =
+    Arg.(
+      value & opt int 64
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:"Concurrent connections; excess connections are turned \
+                away.")
+  in
+  let max_frame_bytes =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-frame-bytes" ] ~docv:"BYTES"
+          ~doc:"Longest accepted request line; longer frames are \
+                rejected as bad frames and the stream resynchronises \
+                at the next newline.")
+  in
+  let drain_grace =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:"How long a drain (SIGINT/SIGTERM) waits for in-flight \
+                requests before force-aborting them.")
+  in
+  let run socket tcp max_inflight max_clients max_frame_bytes drain_grace
+      mk_engine timings =
+    let listener =
+      match (socket, tcp) with
+      | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+      | Some path, None -> Ok (Server.Unix_path path)
+      | None, Some hostport ->
+        (match String.rindex_opt hostport ':' with
+         | None -> Error "expected --tcp HOST:PORT"
+         | Some i ->
+           let host = String.sub hostport 0 i in
+           let host = if host = "" then "127.0.0.1" else host in
+           (match
+              int_of_string_opt
+                (String.sub hostport (i + 1)
+                   (String.length hostport - i - 1))
+            with
+            | Some port when port >= 0 && port < 65536 ->
+              Ok (Server.Tcp (host, port))
+            | _ -> Error "expected --tcp HOST:PORT"))
+      | None, None -> Error "pick a listener: --socket PATH or --tcp HOST:PORT"
+    in
+    match listener with
+    | Error e -> fail "serve: %s" e
+    | Ok listener ->
+      let engine = mk_engine () in
+      let cfg =
+        {
+          (Server.default_config listener) with
+          Server.max_inflight;
+          max_clients;
+          max_frame_bytes;
+          drain_grace;
+        }
+      in
+      (match Server.create ~engine cfg with
+       | Error e -> fail "serve: %s" e
+       | Ok server ->
+         Vdram_serve.Signals.install (fun _ -> Server.drain server);
+         (match Server.address server with
+          | Unix.ADDR_UNIX path ->
+            Format.eprintf "vdram serve: listening on %s@." path
+          | Unix.ADDR_INET (addr, port) ->
+            Format.eprintf "vdram serve: listening on %s:%d@."
+              (Unix.string_of_inet_addr addr)
+              port);
+         Server.serve server;
+         Format.eprintf "vdram serve: drained@.";
+         report_timings timings engine None;
+         `Ok ())
+  in
+  let doc =
+    "Persistent evaluation daemon over line-delimited JSON (see \
+     doc/SERVE.md)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ socket $ tcp $ max_inflight $ max_clients
+       $ max_frame_bytes $ drain_grace $ engine_term $ timings_arg))
+
 let () =
   let doc = "flexible analytical DRAM power model (Vogelsang, MICRO 2010)" in
   let info = Cmd.info "vdram" ~version:"1.0.0" ~doc in
@@ -1697,4 +1805,4 @@ let () =
           [ power_cmd; verify_cmd; sensitivity_cmd; trends_cmd; schemes_cmd;
             simulate_cmd; corners_cmd; states_cmd; ablate_cmd;
             bench_analysis_cmd; export_cmd; validate_cmd; lint_cmd;
-            check_cmd; advise_cmd; channel_cmd; dump_cmd ]))
+            check_cmd; advise_cmd; channel_cmd; dump_cmd; serve_cmd ]))

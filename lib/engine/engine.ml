@@ -90,6 +90,12 @@ type t = {
   store : Store.t option;
   preloaded : int * int;
   discarded : int;
+  (* Miss counts at the last flush, per persistent stage: a flush only
+     writes a stage that has missed since the previous one, so a
+     long-lived engine (the serve daemon) can call [flush_store] after
+     every request and pay nothing when the caches are clean. *)
+  flushed_ext : int Atomic.t;
+  flushed_mix : int Atomic.t;
 }
 
 exception Stage_error of string * exn
@@ -162,6 +168,8 @@ let create ?jobs ?store ?(delta = true) () =
     store;
     preloaded;
     discarded;
+    flushed_ext = Atomic.make 0;
+    flushed_mix = Atomic.make 0;
   }
 
 let serial () = create ~jobs:1 ()
@@ -171,24 +179,37 @@ let store t = t.store
 let preloaded t = t.preloaded
 let discarded t = t.discarded
 
+let store_dirty t =
+  t.store <> None
+  && (Atomic.get t.ext_c.misses > Atomic.get t.flushed_ext
+      || Atomic.get t.mix_c.misses > Atomic.get t.flushed_mix)
+
 let flush_store t =
   match t.store with
   | None -> ()
   | Some st ->
     (* Persist without witnesses: on disk the 128-bit digest is the
        identity (see Fingerprint.trusted), which keeps snapshots at a
-       fraction of the in-memory footprint.  A stage that never missed
-       holds nothing the snapshot lacks, so skip it — a fully warm run
-       costs a load but no save (and an idle engine never clobbers a
-       good snapshot with an empty one). *)
+       fraction of the in-memory footprint.  A stage that has not
+       missed since the last flush holds nothing its snapshot lacks,
+       so skip it — a fully warm run costs a load but no save, an idle
+       engine never clobbers a good snapshot with an empty one, and a
+       resident engine that flushes after every request only pays when
+       something new was computed. *)
     let dump cache =
       Array.of_list
         (List.map (fun (fp, v) -> (Fp.trusted fp, v)) (cache_entries cache))
     in
-    if Atomic.get t.ext_c.misses > 0 then
+    let ext_misses = Atomic.get t.ext_c.misses in
+    if ext_misses > Atomic.get t.flushed_ext then begin
       Store.save st ~name:"extraction" (dump t.ext_cache);
-    if Atomic.get t.mix_c.misses > 0 then
-      Store.save st ~name:"mix" (dump t.mix_cache)
+      Atomic.set t.flushed_ext ext_misses
+    end;
+    let mix_misses = Atomic.get t.mix_c.misses in
+    if mix_misses > Atomic.get t.flushed_mix then begin
+      Store.save st ~name:"mix" (dump t.mix_cache);
+      Atomic.set t.flushed_mix mix_misses
+    end
 
 (* ----- fingerprint keys -------------------------------------------- *)
 
@@ -494,6 +515,11 @@ let reset_stats t =
   reset_counters t.geom_c;
   reset_counters t.ext_c;
   reset_counters t.mix_c;
+  (* Dirty tracking follows the miss counters: after a reset the next
+     flush must re-examine both stages rather than compare against a
+     stale high-water mark. *)
+  Atomic.set t.flushed_ext 0;
+  Atomic.set t.flushed_mix 0;
   Atomic.set t.delta_c.attempts 0;
   Atomic.set t.delta_c.fallbacks 0;
   Atomic.set t.delta_c.spliced 0;

@@ -69,10 +69,18 @@ val discarded : t -> int
 
 val flush_store : t -> unit
 (** Write the extraction and pattern-mix caches back to the engine's
-    store (no-op without one).  Only stages that have missed since
-    {!create} are written — a fully warm run re-saves nothing.
-    Snapshots are written atomically, so a crash mid-flush leaves the
-    previous snapshot intact. *)
+    store (no-op without one).  Only stages that have missed since the
+    last flush are written — a fully warm run re-saves nothing, and a
+    long-lived engine (the serve daemon) can flush periodically
+    without rewriting unchanged snapshots.  Snapshots are written
+    atomically, so a crash mid-flush leaves the previous snapshot
+    intact. *)
+
+val store_dirty : t -> bool
+(** Whether {!flush_store} would write anything: the engine has a
+    store and at least one stage has missed since the last flush.
+    Lets a long-running caller skip the flush entirely on a quiet
+    interval. *)
 
 (** {1 Stages} *)
 

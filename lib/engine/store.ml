@@ -8,6 +8,7 @@ type io_stats = {
   retries : int;
   discarded : int;
   quarantined : int;
+  quarantined_bytes : int;
   evicted : int;
 }
 
@@ -15,9 +16,11 @@ type t = {
   dir : string;
   version : string;
   max_bytes : int option;
+  quarantine_max_bytes : int option;
   c_retries : int Atomic.t;
   c_discarded : int Atomic.t;
   c_quarantined : int Atomic.t;
+  c_quarantined_bytes : int Atomic.t;
   c_evicted : int Atomic.t;
 }
 
@@ -33,6 +36,15 @@ let default_max_bytes () =
   | Some s -> int_of_string_opt (String.trim s)
   | None -> None
 
+(* The quarantine directory is capped by default: its whole purpose is
+   to keep evidence, and evidence of a corrupt-heavy run (every failed
+   read moves another specimen aside) must not grow without bound on a
+   long-lived daemon.  32 MiB keeps plenty of specimens. *)
+let default_quarantine_max_bytes () =
+  match Sys.getenv_opt "VDRAM_QUARANTINE_MAX_BYTES" with
+  | Some s -> int_of_string_opt (String.trim s)
+  | None -> Some (32 * 1024 * 1024)
+
 let rec mkdir_p dir =
   if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
   else begin
@@ -40,24 +52,32 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
   end
 
-let open_ ?dir ?max_bytes ~version () =
+let open_ ?dir ?max_bytes ?quarantine_max_bytes ~version () =
   let dir = match dir with Some d -> d | None -> default_dir () in
   let max_bytes =
     match max_bytes with Some _ as m -> m | None -> default_max_bytes ()
+  in
+  let quarantine_max_bytes =
+    match quarantine_max_bytes with
+    | Some _ as m -> m
+    | None -> default_quarantine_max_bytes ()
   in
   {
     dir;
     version;
     max_bytes;
+    quarantine_max_bytes;
     c_retries = Atomic.make 0;
     c_discarded = Atomic.make 0;
     c_quarantined = Atomic.make 0;
+    c_quarantined_bytes = Atomic.make 0;
     c_evicted = Atomic.make 0;
   }
 
 let dir t = t.dir
 let version t = t.version
 let max_bytes t = t.max_bytes
+let quarantine_max_bytes t = t.quarantine_max_bytes
 
 let path t name = Filename.concat t.dir (name ^ ".cache")
 let quarantine_dir t = Filename.concat t.dir "quarantine"
@@ -67,13 +87,14 @@ let stats t =
     retries = Atomic.get t.c_retries;
     discarded = Atomic.get t.c_discarded;
     quarantined = Atomic.get t.c_quarantined;
+    quarantined_bytes = Atomic.get t.c_quarantined_bytes;
     evicted = Atomic.get t.c_evicted;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d retries, %d discarded, %d quarantined, %d evicted" s.retries
-    s.discarded s.quarantined s.evicted
+    "%d retries, %d discarded, %d quarantined (%d bytes), %d evicted"
+    s.retries s.discarded s.quarantined s.quarantined_bytes s.evicted
 
 (* ----- quarantine ---------------------------------------------------- *)
 
@@ -81,7 +102,58 @@ let pp_stats ppf s =
    place: deleting destroys the evidence, leaving it means every
    subsequent run re-reads (and re-rejects) the same bad bytes.  The
    destination name is made unique so repeated corruption of one stage
-   keeps every specimen, and a .reason sidecar records why. *)
+   keeps every specimen, and a .reason sidecar records why.  The
+   directory itself is size-capped ([quarantine_max_bytes]): after
+   every move the oldest specimens (and their sidecars) are dropped
+   until the evidence fits, so a corrupt-heavy run keeps the freshest
+   specimens instead of growing without bound. *)
+
+let file_size p =
+  match Unix.stat p with
+  | { Unix.st_kind = Unix.S_REG; st_size; _ } -> st_size
+  | _ | (exception Unix.Unix_error _) -> 0
+
+(* Specimens in the quarantine directory, oldest first (mtime, then
+   name — deterministic on coarse-mtime filesystems), each with the
+   combined size of the .cache file and its .reason sidecar. *)
+let quarantine_specimens t =
+  let qdir = quarantine_dir t in
+  if Sys.file_exists qdir && Sys.is_directory qdir then
+    Array.to_list (Sys.readdir qdir)
+    |> List.filter_map (fun f ->
+           if not (Filename.check_suffix f ".cache") then None
+           else
+             let p = Filename.concat qdir f in
+             match Unix.stat p with
+             | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+               Some (p, st_size + file_size (p ^ ".reason"), st_mtime)
+             | _ | (exception Unix.Unix_error _) -> None)
+    |> List.sort (fun (p1, _, m1) (p2, _, m2) ->
+           match Float.compare m1 m2 with 0 -> compare p1 p2 | c -> c)
+  else []
+
+let evict_quarantine ?keep t =
+  match t.quarantine_max_bytes with
+  | None -> 0
+  | Some cap ->
+    let specimens = quarantine_specimens t in
+    let total = List.fold_left (fun a (_, sz, _) -> a + sz) 0 specimens in
+    let victims =
+      List.filter (fun (p, _, _) -> Some p <> keep) specimens
+    in
+    let rec go total removed = function
+      | [] -> removed
+      | _ when total <= cap -> removed
+      | (p, sz, _) :: rest ->
+        (match Sys.remove p with
+         | () ->
+           (try Sys.remove (p ^ ".reason") with Sys_error _ -> ());
+           Atomic.incr t.c_evicted;
+           go (total - sz) (removed + 1) rest
+         | exception Sys_error _ -> go total removed rest)
+    in
+    go total 0 victims
+
 let quarantine t ~name ~reason =
   let src = path t name in
   if not (Sys.file_exists src) then false
@@ -96,6 +168,7 @@ let quarantine t ~name ~reason =
       if Sys.file_exists d then dest (k + 1) else d
     in
     let d = dest 0 in
+    let moved = file_size src in
     match Sys.rename src d with
     | () ->
       (try
@@ -103,6 +176,8 @@ let quarantine t ~name ~reason =
              Out_channel.output_string oc (reason ^ "\n"))
        with Sys_error _ -> ());
       Atomic.incr t.c_quarantined;
+      ignore (Atomic.fetch_and_add t.c_quarantined_bytes moved : int);
+      ignore (evict_quarantine ~keep:d t : int);
       true
     | exception Sys_error _ -> false
   end

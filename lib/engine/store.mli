@@ -24,17 +24,31 @@
     A store can be size-capped ({!open_} [?max_bytes], or
     [VDRAM_CACHE_MAX_BYTES]): after every {!save} the oldest snapshot
     files are evicted until the store fits, so a long-lived cache
-    directory cannot grow without bound. *)
+    directory cannot grow without bound.  The quarantine directory is
+    capped independently ([?quarantine_max_bytes], or
+    [VDRAM_QUARANTINE_MAX_BYTES], default 32 MiB): after every
+    quarantine move the oldest specimens (with their [.reason]
+    sidecars) are dropped until the evidence fits — a corrupt-heavy
+    run keeps the freshest specimens instead of growing without
+    bound. *)
 
 type t
 
-val open_ : ?dir:string -> ?max_bytes:int -> version:string -> unit -> t
+val open_ :
+  ?dir:string ->
+  ?max_bytes:int ->
+  ?quarantine_max_bytes:int ->
+  version:string ->
+  unit ->
+  t
 (** A handle on the store directory.  [dir] defaults to
     {!default_dir}; nothing is read or created until {!read}/{!save}.
     [version] stamps every snapshot — loads under a different version
     quarantine the file.  [max_bytes] caps the total size of snapshot
     files (default [VDRAM_CACHE_MAX_BYTES] when set, else uncapped);
-    {!save} evicts oldest-first down to the cap. *)
+    {!save} evicts oldest-first down to the cap.
+    [quarantine_max_bytes] caps the quarantine directory the same way
+    (default [VDRAM_QUARANTINE_MAX_BYTES], else 32 MiB). *)
 
 val default_dir : unit -> string
 (** [$VDRAM_CACHE_DIR] when set and non-empty, else
@@ -43,6 +57,7 @@ val default_dir : unit -> string
 val dir : t -> string
 val version : t -> string
 val max_bytes : t -> int option
+val quarantine_max_bytes : t -> int option
 
 val path : t -> string -> string
 (** The snapshot file a stage name maps to (diagnostics, tests). *)
@@ -84,6 +99,14 @@ val evict : ?keep:string -> t -> int
     [keep] stage.  Returns how many files were removed; [0] without a
     cap. *)
 
+val evict_quarantine : ?keep:string -> t -> int
+(** Apply the quarantine size cap now: delete the oldest specimens
+    (and their [.reason] sidecars) until the quarantine directory fits
+    [quarantine_max_bytes], never deleting the [keep] path (a full
+    specimen path, as {!quarantine_dir}[/name.cache]).  Returns how
+    many specimens were removed; [0] without a cap.  {!save}-side
+    quarantining applies this automatically after every move. *)
+
 val clear : t -> unit
 (** Remove every snapshot file in the store directory, including
     quarantined ones (cold-run benchmarking, tests). *)
@@ -94,7 +117,10 @@ type io_stats = {
   retries : int;      (** re-read / re-write attempts after failures *)
   discarded : int;    (** snapshots rejected: corrupt, skewed, injected *)
   quarantined : int;  (** rejected files actually moved to quarantine *)
-  evicted : int;      (** snapshots removed by the size cap *)
+  quarantined_bytes : int;
+      (** total bytes of snapshot files moved to quarantine *)
+  evicted : int;      (** files removed by the size caps (snapshots and
+                          quarantined specimens alike) *)
 }
 
 val stats : t -> io_stats

@@ -279,7 +279,18 @@ type counters = {
   deadline : int;
   rejected : int;
   degraded : int;
+  by_stage : (string * int) list;
 }
+
+let group_by_stage fs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace tbl f.stage
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.stage)))
+    fs;
+  Hashtbl.fold (fun stage n acc -> (stage, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let counters t =
   let fs = failures t in
@@ -291,6 +302,7 @@ let counters t =
     deadline = count (fun f -> f.stage = "deadline");
     rejected = count (fun f -> f.stage = "validate");
     degraded = Atomic.get t.degraded;
+    by_stage = group_by_stage fs;
   }
 
 let pp_counters ppf c =
@@ -299,7 +311,13 @@ let pp_counters ppf c =
     c.failures c.batches c.injected c.deadline c.rejected
     (if c.degraded > 0 then
        Printf.sprintf ", %d workers degraded" c.degraded
-     else "")
+     else "");
+  match c.by_stage with
+  | [] -> ()
+  | by_stage ->
+    Format.fprintf ppf "@.  by class: %s"
+      (String.concat ", "
+         (List.map (fun (s, n) -> Printf.sprintf "%s %d" s n) by_stage))
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -354,8 +372,13 @@ let report_to_json ~command t =
   Buffer.add_string buf
     (Printf.sprintf
        "  \"counters\": {\"batches\": %d, \"failures\": %d, \"injected\": \
-        %d, \"deadline\": %d, \"rejected\": %d, \"degraded\": %d},\n"
-       c.batches c.failures c.injected c.deadline c.rejected c.degraded);
+        %d, \"deadline\": %d, \"rejected\": %d, \"degraded\": %d, \
+        \"by_stage\": {%s}},\n"
+       c.batches c.failures c.injected c.deadline c.rejected c.degraded
+       (String.concat ", "
+          (List.map
+             (fun (s, n) -> Printf.sprintf "\"%s\": %d" (json_escape s) n)
+             c.by_stage)));
   (match fs with
    | [] -> Buffer.add_string buf "  \"failures\": []\n"
    | fs ->

@@ -123,6 +123,14 @@ val finite_report : Vdram_core.Report.t -> string option
 (** A [check] for report-producing jobs: [Some "non-finite …"] when
     any numeric field is NaN or infinite ({!Vdram_core.Report.is_finite}). *)
 
+val classify : exn -> string * bool * string
+(** [(stage, injected, message)] — the failure classification the
+    supervised runtime applies to an escaped exception: the engine
+    stage of a {!Engine.Stage_error}, ["validate"] for {!Rejected},
+    ["driver"] otherwise; [injected] for {!Faults.Injected} faults.
+    Exposed so other fault boundaries (the serve daemon) classify
+    identically. *)
+
 (** {1 Failure accounting} *)
 
 val failures : t -> failure list
@@ -136,6 +144,11 @@ type counters = {
   deadline : int;  (** of which deadline overruns *)
   rejected : int;  (** of which check rejections *)
   degraded : int;  (** worker domains that failed to spawn *)
+  by_stage : (string * int) list;
+      (** failure count per class — ["geometry"], ["extraction"],
+          ["mix"], ["validate"], ["deadline"], ["driver"] — sorted by
+          class name, zero-count classes omitted.  Sums to
+          [failures]. *)
 }
 
 val counters : t -> counters

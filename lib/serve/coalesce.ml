@@ -1,0 +1,56 @@
+(* Single-flight coalescing: one mutex over the in-flight table, one
+   condition per entry.  Leaders compute outside the lock; followers
+   wait on the entry's condition (Condition.wait releases the table
+   mutex, so a waiting follower never blocks other keys). *)
+
+type 'a outcome = Value of 'a | Raised of exn
+
+type 'a entry = { mutable result : 'a outcome option; cond : Condition.t }
+
+type 'a t = {
+  mu : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  led : int Atomic.t;
+  shared : int Atomic.t;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    table = Hashtbl.create 16;
+    led = Atomic.make 0;
+    shared = Atomic.make 0;
+  }
+
+let run t ~key f =
+  Mutex.lock t.mu;
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+    (* Counter first: the leader may poll it while computing. *)
+    Atomic.incr t.shared;
+    let rec wait () =
+      match entry.result with
+      | Some o -> o
+      | None ->
+        Condition.wait entry.cond t.mu;
+        wait ()
+    in
+    let o = wait () in
+    Mutex.unlock t.mu;
+    (match o with Value v -> `Shared v | Raised e -> raise e)
+  | None ->
+    let entry = { result = None; cond = Condition.create () } in
+    Hashtbl.replace t.table key entry;
+    Atomic.incr t.led;
+    Mutex.unlock t.mu;
+    let o = try Value (f ()) with e -> Raised e in
+    Mutex.lock t.mu;
+    entry.result <- Some o;
+    Condition.broadcast entry.cond;
+    (* Late arrivals start a fresh flight; waiters keep their entry
+       reference. *)
+    Hashtbl.remove t.table key;
+    Mutex.unlock t.mu;
+    (match o with Value v -> `Led v | Raised e -> raise e)
+
+let counters t = (Atomic.get t.led, Atomic.get t.shared)

@@ -1,0 +1,45 @@
+(** Minimal JSON for the line-delimited serve protocol.
+
+    The daemon speaks one JSON object per line; this module is the
+    whole of its JSON surface — a recursive-descent parser with a
+    depth limit (a hostile frame cannot blow the stack) and a compact
+    single-line printer (never emits a newline, so a printed value is
+    always exactly one frame).  No dependency beyond the stdlib: the
+    protocol must work in the bare container. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : ?max_depth:int -> string -> (t, string) result
+(** Parse one complete JSON value; trailing garbage after the value is
+    an error.  [max_depth] (default 64) bounds nesting.  Strings
+    decode the standard escapes including [\uXXXX] (surrogate pairs
+    re-encoded as UTF-8). *)
+
+val to_string : t -> string
+(** Compact rendering on a single line.  Integral floats print without
+    a fractional part; non-finite numbers print as [null] (JSON has no
+    spelling for them). *)
+
+(** {1 Accessors}
+
+    All return [None] on a type mismatch — protocol decoding treats a
+    wrongly-typed field exactly like a missing one. *)
+
+val mem : string -> t -> t option
+(** Object member lookup; [None] on non-objects. *)
+
+val str : t -> string option
+val num : t -> float option
+
+val int_ : t -> int option
+(** [num] that also requires the value to be integral. *)
+
+val bool_ : t -> bool option
+val list_ : t -> t list option
+val obj : t -> (string * t) list option

@@ -1,0 +1,12 @@
+let install handler =
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handler)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let os_number s =
+  if s = Sys.sigint then 2
+  else if s = Sys.sigterm then 15
+  else if s = Sys.sighup then 1
+  else 0

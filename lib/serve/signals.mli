@@ -1,0 +1,19 @@
+(** Shared SIGINT/SIGTERM plumbing.
+
+    The daemon and the batched one-shot commands install the same
+    mechanism — one handler over both termination signals — and differ
+    only in what the handler does: serve flips its drain flag, the CLI
+    flushes the store, prints partial supervision counters and exits
+    with the conventional [128 + signal] code. *)
+
+val install : (int -> unit) -> unit
+(** Install [handler] for SIGINT and SIGTERM (replacing any previous
+    disposition).  The argument passed to the handler is OCaml's
+    internal signal number ([Sys.sigint] / [Sys.sigterm]); use
+    {!os_number} to turn it into the OS numbering for exit codes.
+    Signals that cannot be handled on this platform are skipped. *)
+
+val os_number : int -> int
+(** The conventional OS signal number for an OCaml [Sys.sig*] value
+    (SIGINT 2, SIGTERM 15, SIGHUP 1); [0] for anything else.  Exit
+    code for a signal-terminated command is [128 + os_number]. *)

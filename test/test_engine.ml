@@ -450,6 +450,74 @@ let store_eviction_roundtrip () =
     (Store.stats capped).Store.evicted;
   Store.clear capped
 
+let store_quarantine_cap () =
+  let module Store = Vdram_engine.Store in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "vdram-test-qcap"
+  in
+  let st = Store.open_ ~dir ~quarantine_max_bytes:2200 ~version:"qcap" () in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Store.clear st;
+  let corrupt name =
+    Out_channel.with_open_text (Store.path st name) (fun oc ->
+        Out_channel.output_string oc (String.make 2048 'x'));
+    match Store.read ~retries:0 ~backoff:0.001 st ~name with
+    | Store.Corrupt _ -> ()
+    | Store.Hit _ | Store.Missing ->
+      Alcotest.fail "garbage snapshot must classify as Corrupt"
+  in
+  corrupt "alpha";
+  corrupt "beta";
+  let s = Store.stats st in
+  Alcotest.(check int) "both files quarantined" 2 s.Store.quarantined;
+  Alcotest.(check int) "quarantined bytes accumulated" (2 * 2048)
+    s.Store.quarantined_bytes;
+  (* The cap holds one ~2 KiB specimen: quarantining beta must have
+     evicted alpha (oldest first, never the file just moved). *)
+  Alcotest.(check int) "cap evicted exactly the older specimen" 1
+    s.Store.evicted;
+  let qdir = Store.quarantine_dir st in
+  let specimens =
+    Array.to_list (Sys.readdir qdir)
+    |> List.filter (fun f -> Filename.check_suffix f ".cache")
+  in
+  Alcotest.(check (list string)) "the fresh specimen survives"
+    [ "beta.cache" ] specimens;
+  Store.clear st
+
+let store_flush_incremental () =
+  let module Store = Vdram_engine.Store in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "vdram-test-dirty"
+  in
+  let st = Engine.store_open ~dir () in
+  Store.clear st;
+  let cfg = base () in
+  let e = Engine.create ~jobs:1 ~store:st () in
+  Helpers.check_true "cold engine has nothing to flush"
+    (not (Engine.store_dirty e));
+  ignore (Engine.eval e cfg (Pattern.idd0 cfg.Config.spec) : Report.t);
+  Helpers.check_true "a stage miss marks the store dirty"
+    (Engine.store_dirty e);
+  Engine.flush_store e;
+  Helpers.check_true "flushing clears the dirty flag"
+    (not (Engine.store_dirty e));
+  ignore (Engine.eval e cfg (Pattern.idd0 cfg.Config.spec) : Report.t);
+  Helpers.check_true "pure cache hits do not re-dirty"
+    (not (Engine.store_dirty e));
+  (* A clean flush must rewrite nothing — remove the snapshot and
+     watch a no-op flush leave it missing. *)
+  Sys.remove (Store.path st "mix");
+  Engine.flush_store e;
+  Helpers.check_true "clean flush writes no snapshot"
+    (not (Sys.file_exists (Store.path st "mix")));
+  ignore (Engine.eval e cfg (Pattern.idd4r cfg.Config.spec) : Report.t);
+  Helpers.check_true "a fresh miss re-dirties" (Engine.store_dirty e);
+  Engine.flush_store e;
+  Helpers.check_true "dirty flush rewrites the snapshot"
+    (Sys.file_exists (Store.path st "mix"));
+  Store.clear st
+
 (* ----- fault plans ---------------------------------------------------- *)
 
 module Supervise = Vdram_engine.Supervise
@@ -619,6 +687,30 @@ let supervised_validate_stage () =
        (List.filter
           (function Supervise.Done _ -> true | _ -> false)
           outcomes))
+
+let supervised_by_stage () =
+  let sup = quiet () in
+  let engine = Engine.create ~jobs:1 () in
+  let check v = if v = 2 then Some "two is rejected" else None in
+  let f i = if i = 1 then failwith "driver boom" else i in
+  ignore
+    (Supervise.map sup engine ~check f [ 0; 1; 2; 3 ]
+      : int Supervise.outcome list);
+  let c = Supervise.counters sup in
+  Alcotest.(check int) "two failures" 2 c.Supervise.failures;
+  Alcotest.(check (list (pair string int)))
+    "per-class counters, sorted, summing to failures"
+    [ ("driver", 1); ("validate", 1) ]
+    c.Supervise.by_stage;
+  (* classify is the single source of those class names. *)
+  let stage, injected, _ = Supervise.classify (Failure "x") in
+  Alcotest.(check string) "bare exception classifies as driver" "driver" stage;
+  Helpers.check_true "not injected" (not injected);
+  let stage, injected, _ =
+    Supervise.classify (Vdram_engine.Faults.Injected ("mix", 0, 3))
+  in
+  Alcotest.(check string) "injected fault keeps its stage" "mix" stage;
+  Helpers.check_true "flagged injected" injected
 
 let injected_exactness () =
   (* The acceptance contract: the failure report must name exactly the
@@ -815,6 +907,10 @@ let suite =
       store_retry_quarantine;
     Alcotest.test_case "store size cap evicts oldest first" `Quick
       store_eviction_roundtrip;
+    Alcotest.test_case "quarantine cap keeps freshest specimens" `Quick
+      store_quarantine_cap;
+    Alcotest.test_case "flush is incremental and dirty-tracked" `Quick
+      store_flush_incremental;
     Alcotest.test_case "fault plan grammar" `Quick faults_grammar;
     Alcotest.test_case "faulted set is order-free" `Quick
       faulted_is_order_free;
@@ -827,6 +923,8 @@ let suite =
       supervised_abort_budget;
     Alcotest.test_case "check rejection is a validate failure" `Quick
       supervised_validate_stage;
+    Alcotest.test_case "failure classes roll up by stage" `Quick
+      supervised_by_stage;
     Alcotest.test_case "injected failures match the hash prediction" `Quick
       injected_exactness;
     Alcotest.test_case "stalled items miss their deadline" `Quick

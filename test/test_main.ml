@@ -22,5 +22,6 @@ let () =
       ("sim", Test_sim.suite);
       ("link", Test_link.suite);
       ("plot", Test_plot.suite);
+      ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);
     ]
